@@ -1,0 +1,64 @@
+// Ablation (DESIGN.md §6): the similarity function and Louvain resolution
+// inside the paper's auto-segmentation. The paper uses unweighted Jaccard;
+// does byte-weighted overlap or cosine help? Is the result stable in the
+// clustering resolution (the paper calls the ideal algorithm an open
+// question)?
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/segmentation/cluster_metrics.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  const auto sim = simulate(presets::k8s_paas(default_rate_scale("K8sPaaS")),
+                            {.hours = 1});
+  const CommGraph& graph = sim.hourly_graphs.at(0);
+  const auto truth = ground_truth_labels(graph, sim.roles, /*monitored_only=*/true);
+
+  print_header("Ablation: similarity kind x Louvain resolution (K8s PaaS)");
+  const std::vector<int> widths{28, 12, 10, 8, 8, 8};
+  print_row({"similarity", "resolution", "segments", "ARI", "NMI", "purity"},
+            widths);
+
+  struct KindCase {
+    SegmentationMethod method;
+    const char* label;
+  };
+  const KindCase kinds[] = {
+      {SegmentationMethod::kJaccardLouvain, "jaccard (paper)"},
+      {SegmentationMethod::kWeightedJaccardLouvain, "weighted-jaccard"},
+  };
+  for (const auto& kind : kinds) {
+    for (const double resolution : {0.5, 1.0, 2.0, 4.0}) {
+      const Segmentation seg =
+          auto_segment(graph, kind.method, {.louvain_resolution = resolution});
+      const auto agreement =
+          compare_labelings(seg.labels, truth.labels, truth.mask);
+      print_row({kind.label, fmt(resolution, 1), fmt_count(seg.segment_count),
+                 fmt(agreement.ari, 3), fmt(agreement.nmi, 3),
+                 fmt(agreement.purity, 3)},
+                widths);
+    }
+  }
+
+  // Similarity floor sweep (candidate pruning threshold).
+  std::printf("\nmin-similarity floor sweep (jaccard, resolution 1.0):\n");
+  const std::vector<int> w2{14, 12, 8, 8};
+  print_row({"min-score", "segments", "ARI", "purity"}, w2);
+  for (const double floor : {0.0, 0.02, 0.05, 0.1, 0.3}) {
+    const Segmentation seg =
+        auto_segment(graph, SegmentationMethod::kJaccardLouvain,
+                     {.min_similarity = floor});
+    const auto agreement = compare_labelings(seg.labels, truth.labels, truth.mask);
+    print_row({fmt(floor, 2), fmt_count(seg.segment_count),
+               fmt(agreement.ari, 3), fmt(agreement.purity, 3)},
+              w2);
+  }
+
+  std::printf(
+      "\nShape checks: plain Jaccard is already strong (the paper's choice); "
+      "results should be broadly stable for resolutions near 1 and small "
+      "similarity floors, degrading only at aggressive settings.\n");
+  return 0;
+}

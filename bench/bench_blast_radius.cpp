@@ -1,0 +1,65 @@
+// Reproduces the §2.1 motivation: µsegmentation shrinks the blast radius.
+// "Even a single breached resource may open up access to many other
+// resources in a subscription" — the flat network gives radius n−1; a
+// default-deny policy over µsegments confines the attacker to the allowed
+// channels. We compare ground-truth segments vs inferred segments.
+#include "ccg/policy/blast_radius.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  print_header("Blast radius: flat vs segmented (mined default-deny policy)");
+  const std::vector<int> widths{16, 16, 10, 8, 12, 12, 12};
+  print_row({"cluster", "segments-from", "segs", "flat", "mean-direct",
+             "mean-trans", "reduction"},
+            widths);
+
+  for (const auto& base : presets::paper_clusters(1.0)) {
+    const double scale = default_rate_scale(base.name);
+    const ClusterSpec spec = [&] {
+      if (base.name == "Portal") return presets::portal(scale);
+      if (base.name == "uServiceBench") return presets::microservice_bench(scale);
+      if (base.name == "K8sPaaS") return presets::k8s_paas(scale);
+      return presets::kquery(scale);
+    }();
+
+    const auto sim = simulate(spec, {.hours = 1});
+    const CommGraph& graph = sim.hourly_graphs.at(0);
+
+    // Mine policy once per segmentation source from the same telemetry.
+    auto evaluate = [&](const SegmentMap& segments, const std::string& label) {
+      Cluster cluster(spec, 2023);
+      TelemetryHub hub(ProviderProfile::azure(), 2023);
+      SimulationDriver driver(cluster, hub);
+      PolicyMiner miner(segments);
+      for (std::int64_t m = 0; m < 60; ++m) {
+        miner.observe_batch(driver.step(MinuteBucket(m)));
+      }
+      const auto report = blast_radius(segments, miner.build());
+      print_row({spec.name, label, fmt_count(segments.segment_count()),
+                 fmt_count(report.flat_radius), fmt(report.mean_direct, 1),
+                 fmt(report.mean_transitive, 1),
+                 fmt(report.reduction_factor, 1) + "x"},
+                widths);
+    };
+
+    std::unordered_map<IpAddr, std::string> internal_roles;
+    for (const auto& [ip, role] : sim.roles) {
+      if (sim.monitored.contains(ip)) internal_roles.emplace(ip, role);
+    }
+    evaluate(SegmentMap::from_roles(internal_roles), "ground-truth");
+
+    const Segmentation inferred =
+        auto_segment(graph, SegmentationMethod::kJaccardLouvain);
+    evaluate(SegmentMap::from_segmentation(graph, inferred), "inferred");
+  }
+
+  std::printf(
+      "\nShape checks: reduction factor > 1 everywhere; largest on the "
+      "role-rich K8s PaaS (many tenant tiers that never talk across "
+      "tenants); inferred segments come close to ground truth.\n");
+  return 0;
+}

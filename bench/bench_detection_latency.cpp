@@ -1,0 +1,80 @@
+// Detection latency of the §2.2 anomaly detector: the paper pitches
+// continuous telemetry ("an administrator gets up-to-date views"), so the
+// operational question is how quickly pattern drift surfaces. We score
+// 10-minute windows of the µserviceBench cluster (the paper's attack
+// testbed) and measure minutes from attack start to first alert.
+#include <memory>
+
+#include "ccg/summarize/anomaly.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  constexpr std::int64_t kWindowMinutes = 10;
+  constexpr std::int64_t kAttackStart = 90;
+
+  const ClusterSpec spec = presets::microservice_bench(0.25);
+  Cluster cluster(spec, 2023);
+  TelemetryHub hub(ProviderProfile::azure(), 2023);
+  SimulationDriver driver(cluster, hub);
+  driver.add_injector(std::make_unique<LateralMovementAttack>(
+      LateralMovementAttack::Config{
+          .active = TimeWindow::minutes(kAttackStart, 30),
+          .spread_per_minute = 0.5},
+      99));
+
+  const auto ips = cluster.monitored_ips();
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = kWindowMinutes},
+                       {ips.begin(), ips.end()});
+  hub.set_sink(&builder);
+  driver.run(TimeWindow::minutes(0, 120));
+  builder.flush();
+  const auto windows = builder.take_graphs();
+
+  print_header("Detection latency (uServiceBench, 10-minute windows)");
+  std::printf("lateral movement starts at minute %lld; baseline = first 6 windows\n\n",
+              static_cast<long long>(kAttackStart));
+
+  SpectralAnomalyDetector detector({.rank = 10});
+  std::vector<const CommGraph*> baseline;
+  for (std::size_t w = 0; w < 6 && w < windows.size(); ++w) {
+    baseline.push_back(&windows[w]);
+  }
+  detector.fit(baseline);
+
+  std::int64_t first_alert_minute = -1;
+  int false_alerts = 0;
+  for (std::size_t w = 6; w < windows.size(); ++w) {
+    const auto score = detector.score(windows[w]);
+    const bool alert = detector.is_alert(score);
+    const std::int64_t start = windows[w].window().begin().index();
+    const bool attack_active = start + kWindowMinutes > kAttackStart;
+    std::printf("window @%3lld-%3lld: z=%6.2f new-bytes=%5.2f%% -> %s%s\n",
+                static_cast<long long>(start),
+                static_cast<long long>(start + kWindowMinutes), score.zscore,
+                100 * score.new_node_byte_share, alert ? "ALERT" : "ok",
+                attack_active ? "  [attack active]" : "");
+    if (alert && attack_active && first_alert_minute < 0) {
+      first_alert_minute = start;
+    }
+    if (alert && !attack_active) ++false_alerts;
+  }
+
+  if (first_alert_minute >= 0) {
+    std::printf("\ndetection latency: <= %lld minutes (first alerting window "
+                "starts at %lld)\n",
+                static_cast<long long>(first_alert_minute + kWindowMinutes -
+                                       kAttackStart),
+                static_cast<long long>(first_alert_minute));
+  } else {
+    std::printf("\nATTACK NOT DETECTED\n");
+  }
+  std::printf("false alerts before the attack: %d\n", false_alerts);
+  std::printf(
+      "\nShape checks: quiet windows stay quiet; the first window containing "
+      "attack traffic alerts — latency is bounded by the window length, the "
+      "operational knob the paper's 'dynamic' pitch buys.\n");
+  return first_alert_minute >= 0 && false_alerts == 0 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 1: role inference on the K8s PaaS cluster via
+// Jaccard neighbor-overlap scoring + Louvain on the scored clique.
+//
+// The paper colors nodes by inferred role and relies on eyeballing +
+// developer interviews; our synthetic cluster has exact ground-truth roles,
+// so we report ARI/NMI/purity and the segment-size profile.
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/segmentation/cluster_metrics.hpp"
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  const double scale = default_rate_scale("K8sPaaS");
+  const auto sim = simulate(presets::k8s_paas(scale), {.hours = 1});
+  const CommGraph& graph = sim.hourly_graphs.at(0);
+
+  print_header("Fig. 1: auto-segmentation of K8s PaaS (jaccard+louvain)");
+  std::printf("graph: %zu nodes, %zu edges (collapse 0.1%%)\n",
+              graph.node_count(), graph.edge_count());
+
+  Stopwatch watch;
+  const Segmentation seg = auto_segment(graph, SegmentationMethod::kJaccardLouvain);
+  const double seconds = watch.seconds();
+
+  const auto truth = ground_truth_labels(graph, sim.roles, /*monitored_only=*/true);
+  std::size_t truth_items = 0;
+  for (const bool m : truth.mask) truth_items += m;
+  const auto agreement = compare_labelings(seg.labels, truth.labels, truth.mask);
+
+  std::printf("segments found: %zu (ground-truth roles: %zu over %zu nodes)\n",
+              seg.segment_count, agreement.clusters_truth, truth_items);
+  std::printf("agreement: %s\n", agreement.to_string().c_str());
+  std::printf("objective modularity: %.3f, runtime: %.2fs\n",
+              seg.objective_modularity, seconds);
+
+  auto sizes = seg.segment_sizes();
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  std::printf("largest segments:");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, sizes.size()); ++i) {
+    std::printf(" %zu", sizes[i]);
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nShape checks: many fewer segments than nodes; strong agreement with "
+      "ground-truth roles (the paper's premise that same-role resources share "
+      "communication patterns). Residual impurity is the ambiguity the paper "
+      "itself flags: same-tenant db/cache (identical IP-level neighbor sets — "
+      "only ports differ) and api/worker pairs merge; 'segmenting IP-port "
+      "graphs may be more useful'.\n");
+  return agreement.ari > 0.5 ? 0 : 1;
+}

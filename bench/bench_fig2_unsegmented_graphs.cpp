@@ -1,0 +1,48 @@
+// Reproduces paper Fig. 2: the unsegmented IP-graphs of the four clusters.
+// The figure is visual; we report the structural metrics that distinguish
+// the four shapes (Portal's star, µserviceBench's dense mesh, K8s PaaS's
+// hub-rich sparse graph, KQuery's dense blocks) plus an ASCII adjacency
+// rendering.
+#include "ccg/graph/metrics.hpp"
+#include "ccg/summarize/temporal.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  print_header("Fig. 2: unsegmented IP-graphs, one hour per cluster");
+  const std::vector<int> widths{16, 9, 9, 10, 10, 10, 12, 12};
+  print_row({"cluster", "nodes", "edges", "density", "mean-deg", "max-deg",
+             "components", "clustering"},
+            widths);
+
+  for (ClusterSpec spec : presets::paper_clusters(1.0)) {
+    const double scale = default_rate_scale(spec.name);
+    spec = [&] {
+      if (spec.name == "Portal") return presets::portal(scale);
+      if (spec.name == "uServiceBench") return presets::microservice_bench(scale);
+      if (spec.name == "K8sPaaS") return presets::k8s_paas(scale);
+      return presets::kquery(scale);
+    }();
+    const auto sim = simulate(spec, {.hours = 1});
+    const CommGraph& g = sim.hourly_graphs.at(0);
+    const GraphMetrics m = compute_metrics(g);
+    print_row({spec.name, fmt_count(m.nodes), fmt_count(m.edges),
+               fmt(m.density, 4), fmt(m.mean_degree, 1),
+               fmt_count(m.max_degree), fmt_count(m.components),
+               fmt(m.clustering_coefficient, 3)},
+              widths);
+  }
+
+  // One visual, K8s PaaS (the paper's default dataset).
+  const auto sim = simulate(presets::k8s_paas(default_rate_scale("K8sPaaS")),
+                            {.hours = 1});
+  std::printf("\nK8s PaaS byte adjacency (log scale, 40x40 cells):\n%s",
+              ascii_adjacency(sim.hourly_graphs.at(0), 40).c_str());
+  std::printf(
+      "\nShape checks: Portal has components ~= client clusters and tiny "
+      "clustering; uServiceBench is small but dense; KQuery has the largest "
+      "mean degree.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 3: alternative segmentation strategies on the
+// K8s PaaS IP-graph — SimRank, SimRank++, connection-weighted modularity,
+// byte-weighted modularity — side by side with the paper's Fig. 1 method.
+//
+// Paper's qualitative finding: "the results clearly differ" and none of the
+// baselines beat the simple Jaccard+Louvain method. With ground-truth roles
+// we can report that quantitatively.
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/segmentation/cluster_metrics.hpp"
+#include "ccg/segmentation/feature_roles.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  const auto sim = simulate(presets::k8s_paas(default_rate_scale("K8sPaaS")),
+                            {.hours = 1});
+  const CommGraph& graph = sim.hourly_graphs.at(0);
+  const auto truth = ground_truth_labels(graph, sim.roles, /*monitored_only=*/true);
+
+  print_header("Fig. 3 (+Fig. 1): segmentation methods on K8s PaaS");
+  std::printf("graph: %zu nodes, %zu edges; %zu ground-truth roles\n\n",
+              graph.node_count(), graph.edge_count(),
+              truth.role_names.size());
+
+  const std::vector<int> widths{28, 10, 8, 8, 8, 10, 10};
+  print_row({"method", "segments", "ARI", "NMI", "purity", "modularity", "sec"},
+            widths);
+
+  double paper_method_ari = 0.0, best_baseline_ari = 0.0;
+  for (const auto method :
+       {SegmentationMethod::kJaccardLouvain, SegmentationMethod::kSimRank,
+        SegmentationMethod::kSimRankPlusPlus,
+        SegmentationMethod::kConnectivityModularity,
+        SegmentationMethod::kByteModularity}) {
+    Stopwatch watch;
+    const Segmentation seg = auto_segment(graph, method);
+    const double seconds = watch.seconds();
+    const auto agreement = compare_labelings(seg.labels, truth.labels, truth.mask);
+    print_row({to_string(method), fmt_count(seg.segment_count),
+               fmt(agreement.ari, 3), fmt(agreement.nmi, 3),
+               fmt(agreement.purity, 3), fmt(seg.objective_modularity, 3),
+               fmt(seconds, 2)},
+              widths);
+    if (method == SegmentationMethod::kJaccardLouvain) {
+      paper_method_ari = agreement.ari;
+    } else {
+      best_baseline_ari = std::max(best_baseline_ari, agreement.ari);
+    }
+  }
+
+  // Extra baseline: RolX-style feature clustering (paper's role-inference
+  // citation [51]); it needs k up front, so we hand it the oracle count.
+  {
+    Stopwatch watch;
+    const Segmentation seg =
+        feature_role_segmentation(graph, truth.role_names.size());
+    const double seconds = watch.seconds();
+    const auto agreement = compare_labelings(seg.labels, truth.labels, truth.mask);
+    print_row({"feature-kmeans (oracle k)", fmt_count(seg.segment_count),
+               fmt(agreement.ari, 3), fmt(agreement.nmi, 3),
+               fmt(agreement.purity, 3), "-", fmt(seconds, 2)},
+              widths);
+    best_baseline_ari = std::max(best_baseline_ari, agreement.ari);
+  }
+
+  std::printf(
+      "\nShape checks: the paper method (jaccard+louvain) should match or "
+      "beat every baseline on ARI; modularity variants merge same-role nodes "
+      "that never talk to each other (paper: front-end VMs).\n");
+  std::printf("paper-method ARI %.3f vs best baseline %.3f -> %s\n",
+              paper_method_ari, best_baseline_ari,
+              paper_method_ari >= best_baseline_ari - 0.02 ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces paper Fig. 5: timelapse of the K8s PaaS byte matrix over
+// consecutive hours. The paper's observation: "some bands shrink or grow in
+// intensity ... many patterns are consistent". We quantify it with
+// hour-over-hour edge Jaccard and byte-weighted overlap, and run the §2.2
+// spectral anomaly detector across the series.
+#include "ccg/summarize/anomaly.hpp"
+#include "ccg/summarize/temporal.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  const auto sim = simulate(presets::k8s_paas(default_rate_scale("K8sPaaS")),
+                            {.hours = 4});
+  const auto& hours = sim.hourly_graphs;
+
+  print_header("Fig. 5: K8s PaaS timelapse over 4 consecutive hours");
+  for (std::size_t h = 0; h < hours.size(); ++h) {
+    std::printf("\nhour %zu (%zu nodes, %zu edges):\n%s", h,
+                hours[h].node_count(), hours[h].edge_count(),
+                ascii_adjacency(hours[h], 28).c_str());
+  }
+
+  const SeriesStability stability = analyze_series(hours);
+  std::printf("\n%s\n", stability.summary().c_str());
+  const std::vector<int> widths{20, 14, 14, 14, 10, 10, 10};
+  print_row({"transition", "edge-jaccard", "byte-overlap", "node-jaccard",
+             "added", "removed", "changed"},
+            widths);
+  for (const auto& t : stability.transitions) {
+    print_row({t.from.to_string() + "->",
+               fmt(t.edge_jaccard, 3), fmt(t.byte_weighted_overlap, 3),
+               fmt(t.node_jaccard, 3), fmt_count(t.edges_added),
+               fmt_count(t.edges_removed), fmt_count(t.edges_changed)},
+              widths);
+  }
+
+  // Spectral view: fit on hours 0-2, score hour 3 (two fit windows give a
+  // variance estimate that is too optimistic about hour-to-hour wiggle).
+  SpectralAnomalyDetector detector({.rank = 25});
+  detector.fit({&hours[0], &hours[1], &hours[2]});
+  for (std::size_t h = 3; h < hours.size(); ++h) {
+    const auto score = detector.score(hours[h]);
+    std::printf("hour %zu spectral score: %s -> %s\n", h,
+                score.to_string().c_str(),
+                detector.is_alert(score) ? "ALERT" : "ok");
+  }
+
+  std::printf(
+      "\nShape checks: byte-weighted overlap stays high hour-over-hour "
+      "(patterns persist), and quiet hours do not alert the detector.\n");
+  return stability.mean_byte_overlap > 0.5 ? 0 : 1;
+}

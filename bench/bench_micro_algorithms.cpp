@@ -1,0 +1,110 @@
+// Micro-benchmarks of the analysis kernels — the §3.2 question ("can
+// complex analyses be factored to meet the COGS constraints?") needs
+// per-kernel costs, and these guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "ccg/graph/delta.hpp"
+#include "ccg/linalg/eigen.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/segmentation/similarity.hpp"
+#include "ccg/segmentation/simrank.hpp"
+#include "ccg/summarize/graph_pca.hpp"
+#include "ccg/summarize/patterns.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ccg;
+using namespace ccg::bench;
+
+/// One shared K8s PaaS hour (scaled down so SimRank fits the budget).
+const CommGraph& k8s_graph() {
+  static const CommGraph graph = [] {
+    const auto sim = simulate(presets::k8s_paas(0.25), {.hours = 1});
+    return sim.hourly_graphs.at(0);
+  }();
+  return graph;
+}
+
+void BM_SimilarityClique(benchmark::State& state) {
+  const CommGraph& g = k8s_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity_clique(g).total_weight());
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+}
+BENCHMARK(BM_SimilarityClique)->Unit(benchmark::kMillisecond);
+
+void BM_LouvainOnSimilarityClique(benchmark::State& state) {
+  const WeightedGraph clique = similarity_clique(k8s_graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(louvain_cluster(clique).community_count);
+  }
+}
+BENCHMARK(BM_LouvainOnSimilarityClique)->Unit(benchmark::kMillisecond);
+
+void BM_FullAutoSegment(benchmark::State& state) {
+  const CommGraph& g = k8s_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        auto_segment(g, SegmentationMethod::kJaccardLouvain).segment_count);
+  }
+}
+BENCHMARK(BM_FullAutoSegment)->Unit(benchmark::kMillisecond);
+
+void BM_SimRank(benchmark::State& state) {
+  const CommGraph& g = k8s_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simrank_scores(g, {.iterations = static_cast<int>(state.range(0))}).size());
+  }
+}
+BENCHMARK(BM_SimRank)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = m(j, i) = rng.normal();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jacobi_eigen(m).values.size());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PcaReconstructionCurve(benchmark::State& state) {
+  const NodeIndex index = NodeIndex::from_graph(k8s_graph());
+  const Matrix m = adjacency_matrix(k8s_graph(), index);
+  const PcaSummary pca(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pca.error_curve(25).back());
+  }
+}
+BENCHMARK(BM_PcaReconstructionCurve)->Unit(benchmark::kMillisecond);
+
+void BM_PatternMining(benchmark::State& state) {
+  const CommGraph& g = k8s_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mine_patterns(g).patterns.size());
+  }
+}
+BENCHMARK(BM_PatternMining)->Unit(benchmark::kMillisecond);
+
+void BM_GraphDiff(benchmark::State& state) {
+  const auto sim = simulate(presets::k8s_paas(0.25), {.hours = 2});
+  const CommGraph& a = sim.hourly_graphs.at(0);
+  const CommGraph& b = sim.hourly_graphs.at(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff_graphs(a, b).edge_jaccard);
+  }
+}
+BENCHMARK(BM_GraphDiff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,185 @@
+// Reproduces the §2.1 higher-order policy argument: plain reachability
+// policies false-positive on benign coordinated changes (code rollouts) and
+// cannot explain flash crowds; similarity-based and proportionality-based
+// policies fix both while still catching attacks.
+//
+// Timeline on K8s PaaS: hour 0 learns the policy; each later hour carries
+// one scenario. We score alerts at IP-pair granularity against exact
+// ground truth.
+#include <memory>
+
+#include "ccg/policy/higher_order.hpp"
+#include "ccg/policy/reachability.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  const double scale = default_rate_scale("K8sPaaS");
+  const ClusterSpec spec = presets::k8s_paas(scale);
+  Cluster cluster(spec, 2023);
+  TelemetryHub hub(ProviderProfile::azure(), 2023);
+  SimulationDriver driver(cluster, hub);
+
+  // Scenario schedule (one per hour, starting hour 1).
+  driver.add_injector(std::make_unique<ScanAttack>(
+      ScanAttack::Config{.active = TimeWindow::hour(1),
+                         .targets_per_minute = 20,
+                         .ports_per_target = 3},
+      11));
+  driver.add_injector(std::make_unique<ExfiltrationAttack>(
+      ExfiltrationAttack::Config{.active = TimeWindow::hour(2),
+                                 .mbytes_per_minute = 40.0},
+      12));
+  driver.add_injector(std::make_unique<CodeChangeScenario>(
+      CodeChangeScenario::Config{.active = TimeWindow::hour(3),
+                                 .role = "t3-web",
+                                 .new_server_role = "t3-db",
+                                 .server_port = 5432,
+                                 .connections_per_minute = 6.0},
+      13));
+  driver.add_injector(std::make_unique<FlashCrowdScenario>(
+      FlashCrowdScenario::Config{
+          .active = TimeWindow::hour(4),
+          .role = "t5-web",
+          .multiplier = 6.0,
+          // The physical chain: customers -> ingress -> tenant 5's serving
+          // tiers. (Workers are queue-driven, not request-driven.)
+          .scope_roles = {"customer-client", "ingress", "t5-web", "t5-api",
+                          "t5-db", "t5-cache"}},
+      14));
+  driver.add_injector(std::make_unique<LateralMovementAttack>(
+      LateralMovementAttack::Config{.active = TimeWindow::hour(5),
+                                    .spread_per_minute = 0.5},
+      15));
+  // Hour 6: exfiltration tunneled over the ALLOWED telemetry channel —
+  // invisible to reachability by construction; the volume policy's case.
+  driver.add_injector(std::make_unique<TunnelExfiltrationAttack>(
+      TunnelExfiltrationAttack::Config{.active = TimeWindow::hour(6),
+                                       .source_role = "t1-api",
+                                       .sink_role = "telemetry-sink",
+                                       .sink_port = 4317,
+                                       .mbytes_per_minute = 30.0},
+      16));
+
+  // --- Segment ids are per role and stable across the run; IP membership
+  // refreshes each hour because pods churn (paper: "the µsegment labels
+  // must keep up-to-date" — tag-based membership tracks replacements).
+  std::unordered_map<std::string, std::uint32_t> role_ids;
+  auto current_segments = [&] {
+    SegmentMap segments;
+    for (const auto& [ip, role] : cluster.ground_truth_roles()) {
+      if (!cluster.spec().internal_space.contains(ip)) continue;
+      const auto [it, inserted] =
+          role_ids.try_emplace(role, static_cast<std::uint32_t>(role_ids.size()));
+      segments.assign(ip, it->second);
+    }
+    return segments;
+  };
+
+  // --- Hour 0: learn the policy + baseline volumes.
+  SegmentMap segments = current_segments();
+  PolicyMiner miner(segments);
+  SegmentVolumeMatrix baseline_volumes(segments);
+  for (std::int64_t m = 0; m < 60; ++m) {
+    const auto batch = driver.step(MinuteBucket(m));
+    segments = current_segments();  // tag replacements as they provision
+    miner.observe_batch(batch);
+    baseline_volumes.observe_batch(batch);
+  }
+  const ReachabilityPolicy policy = miner.build();
+
+  print_header("Higher-order policies on K8s PaaS (segments = roles)");
+  std::printf("policy: %zu allow rules over %zu segments\n\n",
+              policy.rule_count(), segments.segment_count());
+  const std::vector<int> widths{14, 12, 12, 12, 14, 14, 12};
+  print_row({"hour", "scenario", "attack-pairs", "reach-TP", "reach-FP",
+             "simil-TP", "simil-FP"},
+            widths);
+
+  const char* scenarios[] = {"scan",        "exfiltration", "code-change",
+                             "flash-crowd", "lateral-move", "tunnel-exfil"};
+  int failures = 0;
+  for (std::int64_t hour = 1; hour <= 6; ++hour) {
+    PolicyChecker checker(segments, policy);
+    SegmentVolumeMatrix volumes(segments);
+    std::unordered_set<IpPair> attack_pairs;
+    for (std::int64_t m = hour * 60; m < (hour + 1) * 60; ++m) {
+      const auto batch = driver.step(MinuteBucket(m));
+      // The control plane tags pods at provisioning: membership updates
+      // the moment a replacement appears, not at window boundaries.
+      segments = current_segments();
+      checker.check_batch(batch);
+      volumes.observe_batch(batch);
+      for (const auto& pair : driver.malicious_pairs_last_step()) {
+        attack_pairs.insert(pair);
+      }
+    }
+
+    auto count = [&](const std::vector<Violation>& violations) {
+      std::size_t tp = 0, fp = 0;
+      for (const auto& v : violations) {
+        (attack_pairs.contains(v.pair()) ? tp : fp) += 1;
+      }
+      return std::pair{tp, fp};
+    };
+    const auto [reach_tp, reach_fp] = count(checker.violations());
+
+    const auto classified = apply_similarity_policy(checker.violations(), segments);
+    std::size_t simil_tp = 0, simil_fp = 0;
+    for (const auto& cv : classified) {
+      if (cv.suppressed) continue;
+      (attack_pairs.contains(cv.violation.pair()) ? simil_tp : simil_fp) += 1;
+    }
+
+    const auto alerts = apply_proportionality_policy(baseline_volumes, volumes);
+    std::size_t vol_flagged = 0;
+    for (const auto& a : alerts) {
+      vol_flagged += a.flagged;
+      if (a.flagged) std::printf("    volume %s\n", a.to_string().c_str());
+    }
+
+    const char* scenario = scenarios[hour - 1];
+    print_row({"hour " + std::to_string(hour), scenario,
+               fmt_count(attack_pairs.size()), fmt_count(reach_tp),
+               fmt_count(reach_fp), fmt_count(simil_tp), fmt_count(simil_fp)},
+              widths);
+    std::printf("    proportionality: %zu grown segment-pairs, %zu flagged\n",
+                alerts.size(), vol_flagged);
+
+    // Shape assertions.
+    const bool is_attack_hour = hour == 1 || hour == 2 || hour == 5;
+    if (is_attack_hour && simil_tp == 0) {
+      std::printf("    !! expected attack detections in %s hour\n", scenario);
+      ++failures;
+    }
+    if (hour == 3 && simil_fp > reach_fp) ++failures;
+    if (hour == 4 && vol_flagged > 0) {
+      std::printf("    !! flash crowd should be explained, not flagged\n");
+      ++failures;
+    }
+    if (hour == 6) {
+      // The tunnel rides an allowed channel: reachability must be blind,
+      // and the volume policy must be the one that fires.
+      if (reach_tp > 0) {
+        std::printf("    !! tunnel should be invisible to reachability\n");
+        ++failures;
+      }
+      if (vol_flagged == 0) {
+        std::printf("    !! tunnel volume surge should be flagged\n");
+        ++failures;
+      }
+    }
+  }
+
+  std::printf(
+      "\nShape checks: attacks (scan/exfil/lateral) alert under every policy; "
+      "the code-change hour's false positives vanish under the similarity "
+      "policy; the flash-crowd hour's volume growth is explained by "
+      "proportionality — and the hour-6 tunnel (exfil over an ALLOWED "
+      "channel) is invisible to reachability but flagged by the volume "
+      "policy: the two §2.1 policy families are complementary.\n");
+  return failures == 0 ? 0 : 1;
+}

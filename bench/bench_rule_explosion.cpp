@@ -1,0 +1,75 @@
+// Reproduces the §2.1 rule-explosion analysis: unrolling µsegment
+// reachability policies into per-IP rules vs the proposed tag-based
+// enforcement, against the ~10^3 rules/VM budget clouds impose, plus the
+// rule churn when an instance is replaced (pods migrating / scaling).
+#include "ccg/policy/rules.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  print_header("Rule explosion: ip-unrolled vs tag-based (budget 1000/VM)");
+  const std::vector<int> widths{16, 10, 8, 13, 12, 12, 13, 12};
+  print_row({"cluster", "segments", "allows", "compiler", "total", "max/VM",
+             "over-budget", "churn-VMs"},
+            widths);
+
+  for (const auto& base_spec : presets::paper_clusters(1.0)) {
+    const double scale = default_rate_scale(base_spec.name);
+    const ClusterSpec spec = [&] {
+      if (base_spec.name == "Portal") return presets::portal(scale);
+      if (base_spec.name == "uServiceBench") return presets::microservice_bench(scale);
+      if (base_spec.name == "K8sPaaS") return presets::k8s_paas(scale);
+      return presets::kquery(scale);
+    }();
+
+    const auto sim = simulate(spec, {.hours = 1});
+    // Ground-truth segments (role = segment) + policy mined from the
+    // actual hour of telemetry.
+    const SegmentMap segments = SegmentMap::from_roles([&] {
+      // Only monitored resources can be segmented.
+      std::unordered_map<IpAddr, std::string> internal;
+      for (const auto& [ip, role] : sim.roles) {
+        if (sim.monitored.contains(ip)) internal.emplace(ip, role);
+      }
+      return internal;
+    }());
+
+    PolicyMiner miner(segments);
+    // Re-simulate the stream for mining (same seed -> same telemetry).
+    Cluster cluster(spec, 2023);
+    TelemetryHub hub(ProviderProfile::azure(), 2023);
+    SimulationDriver driver(cluster, hub);
+    for (std::int64_t m = 0; m < 60; ++m) {
+      miner.observe_batch(driver.step(MinuteBucket(m)));
+    }
+    const ReachabilityPolicy policy = miner.build();
+
+    for (const auto kind :
+         {RuleCompilerKind::kIpUnrolled, RuleCompilerKind::kCidrAggregated,
+          RuleCompilerKind::kTagBased}) {
+      const auto compiled = compile_rules(segments, policy, kind, 1000);
+      const auto churn = churn_cost_of_replacement(
+          segments, policy, 0, kind);
+      print_row({spec.name, fmt_count(segments.segment_count()),
+                 fmt_count(policy.rule_count()),
+                 to_string(kind),
+                 fmt_count(compiled.total_rules), fmt_count(compiled.max_per_vm),
+                 fmt_count(compiled.vms_over_budget),
+                 fmt_count(churn.vm_tables_touched)},
+                widths);
+    }
+  }
+
+  std::printf(
+      "\nShape checks: ip-unrolled blows the per-VM budget on the large "
+      "clusters (KQuery especially). CIDR aggregation — what a careful NSG "
+      "deployment does today — fixes the rule *count* (contiguous role "
+      "allocations compress hard) but not the churn blast: one replaced pod "
+      "still rewrites every peer VM's table. Only tags fix both, which is "
+      "the paper's actual argument ('Tags may also help reduce churn and "
+      "lag when µsegment labels change').\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Temporal µsegment tracking (paper §2.1: "the µsegment labels must keep
+// up-to-date" as pods churn and software changes land).
+//
+// Four hours of K8s PaaS with pod churn throughout; hour 3 additionally
+// carries a code rollout (one tenant's web tier starts calling its db).
+// The tracker re-segments every hour and matches identities by member
+// overlap; we report label churn per transition — the quantity that drives
+// enforcement-rule updates (tag-based: churn ~ relabeled nodes only).
+#include <memory>
+
+#include "ccg/segmentation/tracker.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+
+  ClusterSpec spec = presets::k8s_paas(default_rate_scale("K8sPaaS"));
+  for (auto& role : spec.roles) {
+    if (!role.is_external) role.churn_per_hour = 0.05;  // visible pod churn
+  }
+
+  Cluster cluster(spec, 2023);
+  TelemetryHub hub(ProviderProfile::azure(), 2023);
+  SimulationDriver driver(cluster, hub);
+  driver.add_injector(std::make_unique<CodeChangeScenario>(
+      CodeChangeScenario::Config{.active = TimeWindow::hour(3),
+                                 .role = "t2-web",
+                                 .new_server_role = "t2-db",
+                                 .server_port = 5432,
+                                 .connections_per_minute = 6.0},
+      42));
+
+  const auto ips = cluster.monitored_ips();
+  GraphBuilder builder({.facet = GraphFacet::kIp,
+                        .window_minutes = 60,
+                        .collapse_threshold = 0.001},
+                       {ips.begin(), ips.end()});
+  hub.set_sink(&builder);
+  for (int h = 0; h < 4; ++h) {
+    driver.run(TimeWindow::hour(h));
+    for (const IpAddr ip : cluster.monitored_ips()) hub.add_host(ip);
+  }
+  builder.flush();
+  const auto hours = builder.take_graphs();
+
+  print_header("Segment tracking under churn (K8s PaaS, 4 hours)");
+  std::printf("churn: %llu instance replacements over the run; hour 3 adds a "
+              "code rollout in tenant 2\n\n",
+              static_cast<unsigned long long>(driver.stats().churn_events));
+
+  SegmentTracker tracker;
+  int failures = 0;
+  for (std::size_t h = 0; h < hours.size(); ++h) {
+    const auto t = tracker.observe(hours[h]);
+    std::printf("hour %zu: %s\n", h, t.to_string().c_str());
+    if (h >= 1 && t.label_churn > 0.20) {
+      std::printf("  !! unexpectedly high churn\n");
+      ++failures;
+    }
+  }
+  std::printf("\nstable segment identities allocated: %u\n",
+              tracker.next_stable_id());
+  std::printf(
+      "\nShape checks: identities persist hour over hour despite pod "
+      "replacements (low label churn), so tag-based enforcement only touches "
+      "relabeled nodes; the hour-3 rollout shifts one tenant's labels "
+      "without destabilizing the rest.\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace ccg::bench {
+
+double default_rate_scale(const std::string& preset_name) {
+  // KQuery at full calibration generates ~100k records/min; scale the big
+  // presets down for bench runtime while keeping topology intact.
+  if (preset_name == "KQuery") return 0.5;
+  if (preset_name == "K8sPaaS") return 0.5;
+  if (preset_name == "uServiceBench") return 0.5;
+  return 1.0;
+}
+
+SimulationResult simulate(const ClusterSpec& spec, SimulateOptions options) {
+  SimulationResult result;
+  Cluster cluster(spec, options.seed);
+  TelemetryHub hub(options.provider, options.seed);
+  SimulationDriver driver(cluster, hub);
+  for (Injector* injector : options.injectors) {
+    driver.add_injector(std::unique_ptr<Injector>(injector));
+  }
+
+  const auto monitored_vec = cluster.monitored_ips();
+  result.monitored = {monitored_vec.begin(), monitored_vec.end()};
+
+  GraphBuilder ip_builder({.facet = GraphFacet::kIp,
+                           .window_minutes = 60,
+                           .collapse_threshold = options.collapse_threshold},
+                          result.monitored);
+  auto port_builder =
+      options.want_ip_port
+          ? std::make_unique<GraphBuilder>(
+                GraphBuildConfig{.facet = GraphFacet::kIpPort, .window_minutes = 60},
+                result.monitored)
+          : nullptr;
+
+  Stopwatch watch;
+  for (std::int64_t m = 0; m < options.hours * 60; ++m) {
+    const auto batch = driver.step(MinuteBucket(m));
+    ip_builder.on_batch(MinuteBucket(m), batch);
+    if (port_builder) port_builder->on_batch(MinuteBucket(m), batch);
+  }
+  result.simulate_seconds = watch.seconds();
+
+  ip_builder.flush();
+  result.hourly_graphs = ip_builder.take_graphs();
+  if (port_builder) {
+    port_builder->flush();
+    result.hourly_port_graphs = port_builder->take_graphs();
+  }
+  result.ledger = hub.ledger();
+  result.roles = cluster.ground_truth_roles();
+  result.activities = driver.stats().activities;
+  return result;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 14;
+    std::printf("%-*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  char buf[48];
+  if (v >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+}  // namespace ccg::bench

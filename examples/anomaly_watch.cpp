@@ -1,0 +1,83 @@
+// Anomaly watch (paper §2.2): turn the summarization model into a
+// detector. Fits the spectral baseline on two quiet hours of the
+// µserviceBench cluster, then watches subsequent hours — one quiet, one
+// carrying an Infection-Monkey-style lateral-movement attack, one carrying
+// an exfiltration — and prints the scoreboard.
+//
+// Build & run:  ./build/examples/anomaly_watch
+#include <cstdio>
+#include <memory>
+
+#include "ccg/graph/builder.hpp"
+#include "ccg/summarize/anomaly.hpp"
+#include "ccg/summarize/edge_anomaly.hpp"
+#include "ccg/summarize/temporal.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+int main() {
+  using namespace ccg;
+
+  const ClusterSpec spec = presets::microservice_bench(0.25);
+  Cluster cluster(spec, 11);
+  TelemetryHub hub(ProviderProfile::azure(), 11);
+  SimulationDriver driver(cluster, hub);
+
+  // Attacks land in hours 3 and 4.
+  driver.add_injector(std::make_unique<LateralMovementAttack>(
+      LateralMovementAttack::Config{.active = TimeWindow::hour(3),
+                                    .spread_per_minute = 0.5},
+      201));
+  driver.add_injector(std::make_unique<ExfiltrationAttack>(
+      ExfiltrationAttack::Config{.active = TimeWindow::hour(4),
+                                 .mbytes_per_minute = 30.0},
+      202));
+
+  const auto ips = cluster.monitored_ips();
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60},
+                       {ips.begin(), ips.end()});
+  hub.set_sink(&builder);
+  driver.run(TimeWindow::minutes(0, 5 * 60));
+  builder.flush();
+  const auto hours = builder.take_graphs();
+  std::printf("built %zu hourly graphs from %llu records\n\n", hours.size(),
+              static_cast<unsigned long long>(hub.ledger().records));
+
+  SpectralAnomalyDetector detector({.rank = 10});
+  detector.fit({&hours[0], &hours[1]});
+
+  const char* labels[] = {"baseline", "baseline", "quiet",
+                          "lateral-movement", "exfiltration"};
+  std::printf("%-6s %-18s %-10s %-12s %-10s %s\n", "hour", "scenario", "z-score",
+              "new-bytes%", "verdict", "");
+  for (std::size_t h = 2; h < hours.size(); ++h) {
+    const AnomalyScore score = detector.score(hours[h]);
+    const bool alert = detector.is_alert(score);
+    std::printf("%-6zu %-18s %-10.2f %-12.2f %-10s %s\n", h, labels[h],
+                score.zscore, 100 * score.new_node_byte_share,
+                alert ? "ALERT" : "ok", score.to_string().c_str());
+  }
+
+  // Localize: WHICH conversations changed? (EWMA control chart per edge.)
+  EwmaEdgeDetector localizer;
+  for (std::size_t h = 0; h < 3; ++h) localizer.observe(hours[h]);  // train
+  std::printf("\nedge-level localization for hour 3 (top 5):\n");
+  const auto edge_alerts = localizer.observe(hours[3]);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, edge_alerts.size()); ++i) {
+    std::printf("  %s\n", edge_alerts[i].to_string().c_str());
+  }
+  std::printf("  (%zu anomalous edges total)\n", edge_alerts.size());
+
+  // What changed structurally between the last quiet hour and the attack?
+  const GraphDelta delta = diff_graphs(hours[2], hours[3]);
+  std::printf("\nhour2 -> hour3 delta: %s\n", delta.summary().c_str());
+  std::printf("new edges introduced by the attack (first 5):\n");
+  std::size_t shown = 0;
+  for (const auto& e : delta.edges_added) {
+    if (shown++ >= 5) break;
+    std::printf("  %s <-> %s (%llu bytes)\n", e.a.to_string().c_str(),
+                e.b.to_string().c_str(),
+                static_cast<unsigned long long>(e.bytes_after));
+  }
+  return 0;
+}

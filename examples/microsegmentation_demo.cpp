@@ -1,0 +1,112 @@
+// Micro-segmentation end to end (paper §2.1) on the K8s PaaS preset:
+//
+//   learn -> segment -> author default-deny policy -> compile to the
+//   network-virtualization layer -> simulate a breach -> compare blast
+//   radius with and without segmentation -> watch the policy catch a scan
+//   while a benign code rollout is absorbed by the similarity policy.
+//
+// Build & run:  ./build/examples/microsegmentation_demo
+#include <cstdio>
+#include <memory>
+
+#include "ccg/graph/builder.hpp"
+#include "ccg/policy/blast_radius.hpp"
+#include "ccg/policy/higher_order.hpp"
+#include "ccg/policy/rules.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/segmentation/cluster_metrics.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+int main() {
+  using namespace ccg;
+
+  // Scaled-down K8s PaaS so the demo runs in seconds.
+  const ClusterSpec spec = presets::k8s_paas(0.25);
+  Cluster cluster(spec, 7);
+  TelemetryHub hub(ProviderProfile::azure(), 7);
+  SimulationDriver driver(cluster, hub);
+
+  // --- Hour 0: observe and learn. -----------------------------------------
+  const auto ips = cluster.monitored_ips();
+  GraphBuilder builder({.facet = GraphFacet::kIp,
+                        .window_minutes = 60,
+                        .collapse_threshold = 0.001},
+                       {ips.begin(), ips.end()});
+  std::vector<std::vector<ConnectionSummary>> hour0;
+  for (std::int64_t m = 0; m < 60; ++m) {
+    hour0.push_back(driver.step(MinuteBucket(m)));
+    builder.on_batch(MinuteBucket(m), hour0.back());
+  }
+  builder.flush();
+  const CommGraph graph = builder.take_graphs().at(0);
+  std::printf("learned graph: %zu nodes, %zu edges\n", graph.node_count(),
+              graph.edge_count());
+
+  const Segmentation seg = auto_segment(graph, SegmentationMethod::kJaccardLouvain);
+  const auto truth = ground_truth_labels(graph, cluster.ground_truth_roles());
+  std::printf("segments: %zu; agreement with ground-truth roles: %s\n",
+              seg.segment_count,
+              compare_labelings(seg.labels, truth.labels, truth.mask)
+                  .to_string()
+                  .c_str());
+
+  const SegmentMap segments = SegmentMap::from_segmentation(graph, seg);
+  PolicyMiner miner(segments);
+  for (const auto& batch : hour0) miner.observe_batch(batch);
+  const ReachabilityPolicy policy = miner.build();
+  std::printf("mined default-deny policy: %zu allow rules\n\n",
+              policy.rule_count());
+
+  // --- Compile to the data path. ------------------------------------------
+  for (const auto kind :
+       {RuleCompilerKind::kIpUnrolled, RuleCompilerKind::kCidrAggregated,
+          RuleCompilerKind::kTagBased}) {
+    std::printf("compiled %s\n", compile_rules(segments, policy, kind).summary().c_str());
+  }
+
+  // --- Blast radius. --------------------------------------------------------
+  const auto blast = blast_radius(segments, policy);
+  std::printf("\nblast radius: %s\n", blast.summary().c_str());
+  std::printf("=> a breached VM reaches %.0f resources on average instead of "
+              "all %zu (%.1fx reduction)\n\n",
+              blast.mean_transitive, blast.flat_radius, blast.reduction_factor);
+
+  // --- Hour 1: a scan and a code rollout happen at once. --------------------
+  driver.add_injector(std::make_unique<ScanAttack>(
+      ScanAttack::Config{.active = TimeWindow::hour(1),
+                         .targets_per_minute = 15,
+                         .ports_per_target = 3},
+      101));
+  driver.add_injector(std::make_unique<CodeChangeScenario>(
+      CodeChangeScenario::Config{.active = TimeWindow::hour(1),
+                                 .role = "t1-web",
+                                 .new_server_role = "t1-db",
+                                 .server_port = 5432,
+                                 .connections_per_minute = 5.0},
+      102));
+
+  PolicyChecker checker(segments, policy);
+  for (std::int64_t m = 60; m < 120; ++m) {
+    checker.check_batch(driver.step(MinuteBucket(m)));
+  }
+
+  const auto classified = apply_similarity_policy(checker.violations(), segments);
+  std::size_t alerts = 0, suppressed = 0, attack_alerts = 0;
+  for (const auto& cv : classified) {
+    if (cv.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++alerts;
+    if (driver.malicious_pairs().contains(cv.violation.pair())) ++attack_alerts;
+    if (alerts <= 5) {
+      std::printf("ALERT  %s (segment coverage %.0f%%)\n",
+                  cv.violation.to_string().c_str(), 100 * cv.segment_coverage);
+    }
+  }
+  std::printf("...\nhour 1 verdict: %zu alerts (%zu on attack pairs), "
+              "%zu violations suppressed as a coordinated rollout\n",
+              alerts, attack_alerts, suppressed);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The Fig. 8 analytics service in one loop: per-minute connection
+// summaries stream in; every closed window comes back as one report —
+// graph stats, spectral anomaly score, localized edge anomalies, segment
+// identity churn, pattern census. Hour 5 carries a lateral-movement attack
+// so the alert path fires.
+//
+// Build & run:  ./build/examples/saas_service
+#include <cstdio>
+#include <memory>
+
+#include "ccg/analytics/service.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+int main() {
+  using namespace ccg;
+
+  ClusterSpec spec = presets::k8s_paas(0.25);
+  for (auto& role : spec.roles) {
+    if (!role.is_external) role.churn_per_hour = 0.03;  // realistic pod churn
+  }
+  Cluster cluster(spec, 123);
+  TelemetryHub hub(ProviderProfile::azure(), 123);
+  SimulationDriver driver(cluster, hub);
+  driver.add_injector(std::make_unique<LateralMovementAttack>(
+      LateralMovementAttack::Config{.active = TimeWindow::hour(5),
+                                    .spread_per_minute = 0.5},
+      321));
+
+  const auto ips = cluster.monitored_ips();
+  AnalyticsService service(
+      {.graph = {.facet = GraphFacet::kIp,
+                 .window_minutes = 60,
+                 .collapse_threshold = 0.001},
+       .training_windows = 3,
+       .spectral = {.rank = 20}},
+      {ips.begin(), ips.end()},
+      [](const WindowReport& report) {
+        std::printf("%s\n", report.summary().c_str());
+        if (report.alert) {
+          std::printf("  !! pattern drift — top localized edges:\n");
+          for (std::size_t i = 0;
+               i < std::min<std::size_t>(4, report.anomalous_edges.size()); ++i) {
+            std::printf("     %s\n",
+                        report.anomalous_edges[i].to_string().c_str());
+          }
+        }
+      });
+  hub.set_sink(&service);
+
+  std::printf("streaming 6 hours of K8s PaaS telemetry (attack in hour 5)...\n\n");
+  for (std::int64_t m = 0; m < 6 * 60; ++m) {
+    driver.step(MinuteBucket(m));
+    // Churn replacements get NIC agents as they provision.
+    if (m % 10 == 0) {
+      for (const IpAddr ip : cluster.monitored_ips()) hub.add_host(ip);
+    }
+  }
+  service.flush();
+
+  std::printf("\n%llu records analyzed for $%.4f of collection cost\n",
+              static_cast<unsigned long long>(hub.ledger().records),
+              hub.ledger().cost_dollars);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "ccg/analytics/cogs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+CogsReport cogs_report(const TelemetryLedger& ledger, std::size_t monitored_vms,
+                       double measured_records_per_second, CogsModel model) {
+  CCG_EXPECT(measured_records_per_second > 0.0);
+  CogsReport report;
+  report.monitored_vms = monitored_vms;
+  report.records_per_minute = ledger.records_per_minute();
+  report.measured_records_per_second = measured_records_per_second;
+
+  const double incoming_per_second = report.records_per_minute / 60.0;
+  report.analytics_vms_needed =
+      std::max(incoming_per_second / measured_records_per_second,
+               monitored_vms > 0 ? 1e-6 : 0.0);
+
+  if (monitored_vms > 0) {
+    report.analytics_dollars_per_vm_hour =
+        std::ceil(report.analytics_vms_needed) * model.analytics_vm_dollars_per_hour /
+        static_cast<double>(monitored_vms);
+
+    const double gb_per_hour =
+        report.records_per_minute * 60.0 *
+        static_cast<double>(ConnectionSummary::kWireBytes) / 1e9;
+    report.collection_dollars_per_vm_hour =
+        gb_per_hour * model.price_per_gb_collected / static_cast<double>(monitored_vms);
+  }
+  report.total_dollars_per_vm_hour =
+      report.analytics_dollars_per_vm_hour + report.collection_dollars_per_vm_hour;
+  report.within_target = report.total_dollars_per_vm_hour <= model.target_surcharge;
+  return report;
+}
+
+std::string CogsReport::summary() const {
+  char buf[300];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%llu VMs @ %.0f rec/min; 1 machine sustains %.0f rec/s -> %.2f "
+      "analytics VMs needed; $/VM/hr: analytics %.4f + collection %.4f = %.4f "
+      "(target 0.02: %s)",
+      static_cast<unsigned long long>(monitored_vms), records_per_minute,
+      measured_records_per_second, analytics_vms_needed,
+      analytics_dollars_per_vm_hour, collection_dollars_per_vm_hour,
+      total_dollars_per_vm_hour, within_target ? "PASS" : "MISS");
+  return buf;
+}
+
+}  // namespace ccg

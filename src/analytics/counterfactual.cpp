@@ -1,0 +1,175 @@
+#include "ccg/analytics/counterfactual.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+void FlowDistributions::observe(const ConnectionSummary& record) {
+  const std::int64_t minute = record.time.index();
+  auto [it, inserted] = open_.try_emplace(record.flow);
+  OpenFlow& flow = it->second;
+  if (inserted) {
+    ++flows_;
+    flow.first_minute = minute;
+    // Inter-arrival on the IP pair: time since the previous *new flow*.
+    const IpPair pair(record.flow.local_ip, record.flow.remote_ip);
+    auto [ait, first_ever] = last_arrival_.try_emplace(pair, minute);
+    if (!first_ever) {
+      const std::int64_t gap = minute - ait->second;
+      interarrivals_.add(gap < 0 ? 0 : static_cast<std::uint64_t>(gap));
+      ait->second = minute;
+    }
+  } else if (minute - flow.last_minute > 1) {
+    // The flow went idle for >= 2 intervals: close it out and reopen —
+    // summaries can't distinguish one long flow from re-connects, so idle
+    // gaps are the quantized flow boundary.
+    flow_sizes_.add(flow.bytes);
+    size_quantiles_.add(static_cast<double>(flow.bytes));
+    durations_.add(static_cast<std::uint64_t>(flow.last_minute - flow.first_minute + 1));
+    flow = OpenFlow{};
+    flow.first_minute = minute;
+    ++flows_;
+  }
+  flow.last_minute = minute;
+  flow.bytes += record.counters.total_bytes();
+}
+
+void FlowDistributions::observe_batch(const std::vector<ConnectionSummary>& batch) {
+  for (const auto& record : batch) observe(record);
+}
+
+void FlowDistributions::finalize() {
+  for (auto& [key, flow] : open_) {
+    flow_sizes_.add(flow.bytes);
+    size_quantiles_.add(static_cast<double>(flow.bytes));
+    durations_.add(static_cast<std::uint64_t>(flow.last_minute - flow.first_minute + 1));
+  }
+  open_.clear();
+}
+
+std::vector<CcdfPoint> node_traffic_ccdf(const CommGraph& graph,
+                                         bool monitored_only) {
+  std::vector<double> weights;
+  weights.reserve(graph.node_count());
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    if (monitored_only && !graph.node_stats(i).monitored) continue;
+    weights.push_back(static_cast<double>(graph.node_stats(i).bytes));
+  }
+  return traffic_concentration_ccdf(std::move(weights));
+}
+
+std::vector<CapacityRecommendation> capacity_hotspots(const CommGraph& graph,
+                                                      std::size_t top_k) {
+  const auto order = graph.nodes_by_bytes();
+  // Node byte sums count each edge at both endpoints; use edge totals as
+  // the denominator so shares are of carried traffic.
+  const double total = 2.0 * static_cast<double>(graph.total_bytes());
+  std::vector<CapacityRecommendation> out;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < std::min(top_k, order.size()); ++i) {
+    const NodeId id = order[i];
+    CapacityRecommendation rec;
+    rec.node = graph.key(id);
+    rec.bytes = graph.node_stats(id).bytes;
+    rec.share = total <= 0.0 ? 0.0 : static_cast<double>(rec.bytes) / total;
+    cumulative += rec.share;
+    rec.cumulative = cumulative;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+PlacementSavings placement_savings(const CommGraph& graph,
+                                   const std::vector<ProximityGroup>& groups,
+                                   double dollars_per_gb) {
+  CCG_EXPECT(dollars_per_gb >= 0.0);
+  PlacementSavings savings;
+  for (const auto& group : groups) {
+    savings.colocated_bytes_per_window += group.internal_bytes;
+  }
+  const std::uint64_t total = graph.total_bytes();
+  savings.share_of_total =
+      total == 0 ? 0.0
+                 : static_cast<double>(savings.colocated_bytes_per_window) /
+                       static_cast<double>(total);
+  const double window_minutes =
+      std::max<double>(1.0, static_cast<double>(graph.window().length()));
+  const double windows_per_month = 30.0 * 24.0 * 60.0 / window_minutes;
+  savings.monthly_dollars_saved =
+      static_cast<double>(savings.colocated_bytes_per_window) / 1e9 *
+      dollars_per_gb * windows_per_month;
+  return savings;
+}
+
+std::vector<ProximityGroup> proximity_groups(const CommGraph& graph,
+                                             std::size_t max_groups,
+                                             std::size_t max_group_size) {
+  CCG_EXPECT(max_group_size >= 2);
+  // Candidate edges: monitored<->monitored, heaviest first.
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (graph.node_stats(edge.a).monitored && graph.node_stats(edge.b).monitored) {
+      edges.push_back(e);
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [&](EdgeId x, EdgeId y) {
+    return graph.edge(x).stats.bytes() > graph.edge(y).stats.bytes();
+  });
+
+  std::vector<bool> assigned(graph.node_count(), false);
+  std::vector<ProximityGroup> groups;
+  const double total_bytes = static_cast<double>(graph.total_bytes());
+
+  for (const EdgeId seed : edges) {
+    if (groups.size() >= max_groups) break;
+    const Edge& seed_edge = graph.edge(seed);
+    if (assigned[seed_edge.a] || assigned[seed_edge.b]) continue;
+
+    // Grow greedily: always add the unassigned monitored neighbor with the
+    // largest byte volume into the current group.
+    std::vector<NodeId> members{seed_edge.a, seed_edge.b};
+    std::unordered_set<NodeId> member_set{seed_edge.a, seed_edge.b};
+    std::uint64_t internal = seed_edge.stats.bytes();
+
+    while (members.size() < max_group_size) {
+      NodeId best = kInvalidNode;
+      std::uint64_t best_gain = 0;
+      for (const NodeId m : members) {
+        for (const auto& [peer, edge_id] : graph.neighbors(m)) {
+          if (assigned[peer] || member_set.contains(peer)) continue;
+          if (!graph.node_stats(peer).monitored) continue;
+          // Gain = bytes between candidate and current members.
+          std::uint64_t gain = 0;
+          for (const auto& [peer2, edge_id2] : graph.neighbors(peer)) {
+            if (member_set.contains(peer2)) gain += graph.edge(edge_id2).stats.bytes();
+          }
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = peer;
+          }
+        }
+      }
+      // Stop when the next candidate adds little relative to the group.
+      if (best == kInvalidNode || best_gain * 10 < internal) break;
+      members.push_back(best);
+      member_set.insert(best);
+      internal += best_gain;
+    }
+
+    if (members.size() < 2) continue;
+    for (const NodeId m : members) assigned[m] = true;
+    ProximityGroup group;
+    group.internal_bytes = internal;
+    group.share_of_total =
+        total_bytes <= 0.0 ? 0.0 : static_cast<double>(internal) / total_bytes;
+    for (const NodeId m : members) group.members.push_back(graph.key(m));
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace ccg

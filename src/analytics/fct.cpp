@@ -1,0 +1,112 @@
+#include "ccg/analytics/fct.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::vector<SkuTier> default_sku_ladder() {
+  const double gbps = 1e9 / 8.0;  // bytes/second per Gbit/s
+  return {{"1G", 1 * gbps}, {"2G", 2 * gbps}, {"4G", 4 * gbps},
+          {"8G", 8 * gbps}, {"16G", 16 * gbps}};
+}
+
+double node_utilization(const CommGraph& graph, NodeId node,
+                        double capacity_bytes_per_second) {
+  CCG_EXPECT(capacity_bytes_per_second > 0.0);
+  CCG_EXPECT(node < graph.node_count());
+  const double window_seconds =
+      std::max<double>(60.0, static_cast<double>(graph.window().length()) * 60.0);
+  return static_cast<double>(graph.node_stats(node).bytes) /
+         (capacity_bytes_per_second * window_seconds);
+}
+
+double mg1ps_fct_seconds(double flow_bytes, double capacity_bytes_per_second,
+                         double rho) {
+  CCG_EXPECT(capacity_bytes_per_second > 0.0);
+  CCG_EXPECT(flow_bytes >= 0.0);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  const double effective = capacity_bytes_per_second * (1.0 - std::max(0.0, rho));
+  return flow_bytes / effective;
+}
+
+FctPercentiles fct_percentiles(PercentileSketch& flow_size_samples,
+                               double capacity_bytes_per_second, double rho) {
+  CCG_EXPECT(flow_size_samples.count() > 0);
+  FctPercentiles out;
+  out.overloaded = rho >= 1.0;
+  // PS completion time is monotone in flow size, so FCT quantiles are the
+  // size quantiles pushed through the model.
+  out.p50 = mg1ps_fct_seconds(flow_size_samples.quantile(0.5),
+                              capacity_bytes_per_second, rho);
+  out.p90 = mg1ps_fct_seconds(flow_size_samples.quantile(0.9),
+                              capacity_bytes_per_second, rho);
+  out.p99 = mg1ps_fct_seconds(flow_size_samples.quantile(0.99),
+                              capacity_bytes_per_second, rho);
+  return out;
+}
+
+std::vector<SkuWhatIf> sku_upgrade_analysis(
+    const CommGraph& graph, PercentileSketch& flow_size_samples,
+    const SkuTier& current, const std::vector<SkuTier>& ladder,
+    std::size_t top_k, double target_rho) {
+  CCG_EXPECT(!ladder.empty());
+  CCG_EXPECT(target_rho > 0.0 && target_rho < 1.0);
+  CCG_EXPECT(flow_size_samples.count() > 0);
+
+  std::vector<SkuWhatIf> out;
+  for (const NodeId node : graph.nodes_by_bytes()) {
+    if (out.size() >= top_k) break;
+    if (!graph.node_stats(node).monitored) continue;  // can't resize peers
+
+    SkuWhatIf what_if;
+    what_if.node = graph.key(node);
+    what_if.from = current;
+    what_if.utilization_before =
+        node_utilization(graph, node, current.nic_bytes_per_second);
+    what_if.fct_before = fct_percentiles(
+        flow_size_samples, current.nic_bytes_per_second, what_if.utilization_before);
+
+    // The smallest tier meeting the utilization target; the biggest tier
+    // if nothing does.
+    what_if.to = ladder.back();
+    for (const SkuTier& tier : ladder) {
+      const double rho = node_utilization(graph, node, tier.nic_bytes_per_second);
+      if (rho <= target_rho) {
+        what_if.to = tier;
+        break;
+      }
+    }
+    what_if.utilization_after =
+        node_utilization(graph, node, what_if.to.nic_bytes_per_second);
+    what_if.fct_after = fct_percentiles(
+        flow_size_samples, what_if.to.nic_bytes_per_second, what_if.utilization_after);
+
+    if (std::isinf(what_if.fct_before.p99) && !std::isinf(what_if.fct_after.p99)) {
+      what_if.p99_speedup = std::numeric_limits<double>::infinity();
+    } else if (what_if.fct_after.p99 > 0.0) {
+      what_if.p99_speedup = what_if.fct_before.p99 / what_if.fct_after.p99;
+    }
+    out.push_back(what_if);
+  }
+  return out;
+}
+
+std::string SkuWhatIf::to_string() const {
+  char buf[240];
+  auto fmt_fct = [](double v) {
+    return std::isinf(v) ? std::string("inf") : std::to_string(v * 1000.0) + "ms";
+  };
+  std::snprintf(buf, sizeof(buf),
+                "%s: %s (rho %.2f) -> %s (rho %.2f); p99 FCT %s -> %s (%.1fx)",
+                node.to_string().c_str(), from.name.c_str(),
+                utilization_before, to.name.c_str(), utilization_after,
+                fmt_fct(fct_before.p99).c_str(), fmt_fct(fct_after.p99).c_str(),
+                p99_speedup);
+  return buf;
+}
+
+}  // namespace ccg

@@ -1,0 +1,40 @@
+// COGS accounting (paper §3): can ~1000 VMs' telemetry be analyzed "using
+// a handful of VMs worth of resources" — a ~0.5% surcharge — and what does
+// collection cost at ~0.5 $/GB?
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ccg/telemetry/collector.hpp"
+
+namespace ccg {
+
+struct CogsModel {
+  double analytics_vm_dollars_per_hour = 0.5;  // paper's example 8-core VM
+  double price_per_gb_collected = 0.5;         // Table 3
+  double target_surcharge = 0.02;              // $/hr/VM the market bears
+};
+
+struct CogsReport {
+  std::uint64_t monitored_vms = 0;
+  double records_per_minute = 0.0;
+  double measured_records_per_second = 0.0;  // one analytics machine
+  /// Analytics machines needed to keep up with the stream in realtime.
+  double analytics_vms_needed = 0.0;
+  /// Analytics surcharge per monitored VM per hour, in dollars.
+  double analytics_dollars_per_vm_hour = 0.0;
+  /// Collection cost per monitored VM per hour.
+  double collection_dollars_per_vm_hour = 0.0;
+  double total_dollars_per_vm_hour = 0.0;
+  bool within_target = false;
+
+  std::string summary() const;
+};
+
+/// Combines a telemetry ledger with a measured processing rate.
+CogsReport cogs_report(const TelemetryLedger& ledger, std::size_t monitored_vms,
+                       double measured_records_per_second,
+                       CogsModel model = {});
+
+}  // namespace ccg

@@ -1,0 +1,96 @@
+// Counterfactual analyses (paper §2.3).
+//
+// "Connection summaries can be converted into distributions of flow sizes
+// and inter-arrival times (quantized to the frequency of summaries)." From
+// these the admin answers: where are the bottlenecks (Fig. 6 — invest
+// capacity / change SKU), and which VMs belong in the same proximity group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/common/stats.hpp"
+#include "ccg/graph/comm_graph.hpp"
+#include "ccg/telemetry/record.hpp"
+
+namespace ccg {
+
+/// Per-flow size / duration / inter-arrival distributions recovered from a
+/// summary stream (quantized to the 1-minute summary interval).
+class FlowDistributions {
+ public:
+  void observe(const ConnectionSummary& record);
+  void observe_batch(const std::vector<ConnectionSummary>& batch);
+
+  /// Call after the stream ends to close out still-open flows.
+  void finalize();
+
+  /// Total bytes per flow (both directions), log2 buckets.
+  const Log2Histogram& flow_size_histogram() const { return flow_sizes_; }
+  /// Flow durations in active minutes.
+  const Log2Histogram& flow_duration_histogram() const { return durations_; }
+  /// Minutes between consecutive flow arrivals on the same (IP pair).
+  const Log2Histogram& interarrival_histogram() const { return interarrivals_; }
+
+  PercentileSketch& flow_size_quantiles() { return size_quantiles_; }
+  std::uint64_t flows_observed() const { return flows_; }
+
+ private:
+  struct OpenFlow {
+    std::uint64_t bytes = 0;
+    std::int64_t first_minute = 0;
+    std::int64_t last_minute = 0;
+  };
+  std::unordered_map<FlowKey, OpenFlow> open_;
+  std::unordered_map<IpPair, std::int64_t> last_arrival_;
+  Log2Histogram flow_sizes_;
+  Log2Histogram durations_;
+  Log2Histogram interarrivals_;
+  PercentileSketch size_quantiles_;
+  std::uint64_t flows_ = 0;
+};
+
+/// Fig. 6: CCDF of traffic share vs fraction of nodes, from node strengths.
+std::vector<CcdfPoint> node_traffic_ccdf(const CommGraph& graph,
+                                         bool monitored_only = false);
+
+/// Capacity advisor: the top-k nodes by byte volume with their share — the
+/// "where to invest more capacity (by changing the VM SKU)" list.
+struct CapacityRecommendation {
+  NodeKey node;
+  std::uint64_t bytes = 0;
+  double share = 0.0;        // of total graph bytes
+  double cumulative = 0.0;   // running share including this node
+};
+std::vector<CapacityRecommendation> capacity_hotspots(const CommGraph& graph,
+                                                      std::size_t top_k = 10);
+
+/// Placement advisor: groups of VMs exchanging heavy mutual traffic that
+/// would benefit from the same availability zone / proximity group.
+/// Greedy: repeatedly take the heaviest unassigned edge between monitored
+/// nodes and grow its group while intra-group byte gain dominates.
+struct ProximityGroup {
+  std::vector<NodeKey> members;
+  std::uint64_t internal_bytes = 0;
+  double share_of_total = 0.0;
+};
+std::vector<ProximityGroup> proximity_groups(const CommGraph& graph,
+                                             std::size_t max_groups = 8,
+                                             std::size_t max_group_size = 16);
+
+/// The money view of the placement advice (§2.3: "relocate VMs that
+/// exchange a lot of data into the same availability zone"): if each
+/// proposed group lands in one zone, its internal bytes stop crossing AZ
+/// boundaries. Extrapolates the graph's window to a 30-day month at the
+/// given cross-AZ transfer price.
+struct PlacementSavings {
+  std::uint64_t colocated_bytes_per_window = 0;
+  double share_of_total = 0.0;
+  double monthly_dollars_saved = 0.0;
+};
+PlacementSavings placement_savings(const CommGraph& graph,
+                                   const std::vector<ProximityGroup>& groups,
+                                   double dollars_per_gb = 0.01);
+
+}  // namespace ccg

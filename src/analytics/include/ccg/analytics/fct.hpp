@@ -1,0 +1,74 @@
+// Flow-completion-time counterfactuals (paper §2.3).
+//
+// "The dataset enables rich counterfactual reasoning. For example, [71]
+// learns a mathematical model that can offer flow completion time
+// distributions given flow size and arrival information." We implement the
+// analytic core of that idea: per-VM utilization from the communication
+// graph, an M/G/1 processor-sharing FCT model, and the what-if an admin
+// actually asks — if I move this hotspot to a bigger SKU (more NIC
+// bandwidth), what happens to tail flow-completion times?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/common/stats.hpp"
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+
+/// NIC bandwidth tiers of typical VM SKUs, bytes/second.
+struct SkuTier {
+  std::string name;
+  double nic_bytes_per_second;
+};
+std::vector<SkuTier> default_sku_ladder();  // 1 / 2 / 4 / 8 / 16 Gbps
+
+/// Offered NIC load of a node over its graph's window: bytes in+out
+/// divided by (capacity x window seconds). May exceed 1 (overload).
+double node_utilization(const CommGraph& graph, NodeId node,
+                        double capacity_bytes_per_second);
+
+/// M/G/1-PS expected completion time of a flow of `flow_bytes` through a
+/// link at `capacity` under utilization `rho`: size / (C (1 - rho)).
+/// Returns +inf when rho >= 1. Preconditions: capacity > 0, flow_bytes >= 0.
+double mg1ps_fct_seconds(double flow_bytes, double capacity_bytes_per_second,
+                         double rho);
+
+struct FctPercentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  bool overloaded = false;  // rho >= 1: times are infinite
+};
+
+/// FCT percentiles for a flow-size sample under (capacity, rho).
+/// Precondition: flow_size_samples non-empty.
+FctPercentiles fct_percentiles(PercentileSketch& flow_size_samples,
+                               double capacity_bytes_per_second, double rho);
+
+/// One SKU-upgrade what-if for one node.
+struct SkuWhatIf {
+  NodeKey node;
+  double utilization_before = 0.0;
+  double utilization_after = 0.0;
+  SkuTier from;
+  SkuTier to;
+  FctPercentiles fct_before;
+  FctPercentiles fct_after;
+  /// p99 speedup factor (inf-aware: overloaded -> finite counts as inf).
+  double p99_speedup = 1.0;
+
+  std::string to_string() const;
+};
+
+/// For the graph's top-k byte hotspots: pick the smallest SKU from the
+/// ladder whose utilization stays under `target_rho`, and report the FCT
+/// movement. `current` is the fleet's assumed present tier.
+std::vector<SkuWhatIf> sku_upgrade_analysis(
+    const CommGraph& graph, PercentileSketch& flow_size_samples,
+    const SkuTier& current, const std::vector<SkuTier>& ladder,
+    std::size_t top_k = 5, double target_rho = 0.6);
+
+}  // namespace ccg

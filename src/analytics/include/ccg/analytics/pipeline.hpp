@@ -1,0 +1,78 @@
+// The streaming analytics pipeline (paper §3.2, Fig. 8).
+//
+// "A key issue is to factor the graph analyses into parallelizable
+// in-memory execution plans." Graph construction is a group-by-aggregate:
+// we shard records by their undirected IP pair, each shard aggregates
+// independently on its own thread, and window close merges the per-shard
+// partial graphs. An edge lands in exactly one shard, so the merge is a
+// disjoint union — no cross-shard reconciliation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ccg/analytics/queue.hpp"
+#include "ccg/graph/builder.hpp"
+#include "ccg/telemetry/collector.hpp"
+
+namespace ccg {
+
+struct PipelineOptions {
+  std::size_t shards = 4;
+  std::size_t queue_capacity = 64;      // batches in flight per shard
+  std::size_t shard_batch_size = 4096;  // records per internal batch
+  GraphBuildConfig graph;               // facet/window/collapse settings
+};
+
+struct PipelineStats {
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+  double wall_seconds = 0.0;
+
+  double records_per_second() const {
+    return wall_seconds <= 0.0 ? 0.0 : static_cast<double>(records) / wall_seconds;
+  }
+};
+
+/// Sharded streaming graph builder. Thread-safe for a single producer
+/// (the telemetry hub); shard workers run on their own threads.
+class ShardedGraphPipeline : public TelemetrySink {
+ public:
+  ShardedGraphPipeline(PipelineOptions options,
+                       std::unordered_set<IpAddr> monitored);
+  ~ShardedGraphPipeline() override;
+
+  ShardedGraphPipeline(const ShardedGraphPipeline&) = delete;
+  ShardedGraphPipeline& operator=(const ShardedGraphPipeline&) = delete;
+
+  /// TelemetrySink hook: splits the batch across shards.
+  void on_batch(MinuteBucket time, const std::vector<ConnectionSummary>& batch) override;
+
+  /// Stops workers, merges shard windows, returns one graph per window.
+  /// After finish() the pipeline cannot be reused.
+  std::vector<CommGraph> finish();
+
+  const PipelineStats& stats() const { return stats_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<BoundedQueue<std::vector<ConnectionSummary>>> queue;
+    std::unique_ptr<GraphBuilder> builder;
+    std::thread worker;
+  };
+
+  std::size_t shard_of(const ConnectionSummary& record) const;
+
+  PipelineOptions options_;
+  std::vector<Shard> shards_;
+  std::vector<std::vector<ConnectionSummary>> pending_;  // per shard
+  PipelineStats stats_;
+  std::chrono::steady_clock::time_point started_;
+  bool finished_ = false;
+};
+
+}  // namespace ccg

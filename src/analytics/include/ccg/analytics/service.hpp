@@ -1,0 +1,90 @@
+// The analytics SaaS loop (paper Fig. 8) as one composable service.
+//
+// A TelemetrySink that runs the whole per-window pipeline the examples
+// wire by hand: stream -> graph builder -> (after a configurable training
+// period) spectral anomaly scoring, edge-level localization, segment
+// tracking, pattern census — one WindowReport per closed window, delivered
+// to a callback. This is what a customer-facing deployment would run per
+// subscription.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccg/graph/builder.hpp"
+#include "ccg/segmentation/tracker.hpp"
+#include "ccg/summarize/anomaly.hpp"
+#include "ccg/summarize/edge_anomaly.hpp"
+#include "ccg/summarize/patterns.hpp"
+#include "ccg/telemetry/collector.hpp"
+
+namespace ccg {
+
+struct WindowReport {
+  TimeWindow window;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint64_t bytes = 0;
+
+  bool trained = false;  // detectors were fitted before this window
+  std::optional<AnomalyScore> anomaly;      // absent during training
+  bool alert = false;
+  std::vector<EdgeAnomaly> anomalous_edges;  // localized, ranked
+  SegmentTransition segments;                // identity churn vs last window
+  PatternReport patterns;
+
+  std::string summary() const;
+};
+
+struct AnalyticsServiceOptions {
+  GraphBuildConfig graph;  // facet / window length / collapse
+  /// Windows used to fit the spectral baseline before scoring starts.
+  std::size_t training_windows = 3;
+  SpectralDetectorOptions spectral;
+  /// New-node edges (churn replacements, fresh clients) are suppressed at
+  /// the edge level by default — the spectral new-node-bytes signal and
+  /// the segment tracker own node arrivals.
+  EwmaDetectorOptions edge_detector{.suppress_new_node_edges = true};
+  SegmentationMethod segmentation = SegmentationMethod::kJaccardLouvain;
+  SegmentationOptions segmentation_options;
+};
+
+class AnalyticsService : public TelemetrySink {
+ public:
+  using ReportCallback = std::function<void(const WindowReport&)>;
+
+  AnalyticsService(AnalyticsServiceOptions options,
+                   std::unordered_set<IpAddr> monitored,
+                   ReportCallback on_report);
+
+  /// TelemetrySink hook. Window boundaries are detected from record
+  /// timestamps; each closed window produces one report via the callback.
+  void on_batch(MinuteBucket time, const std::vector<ConnectionSummary>& batch) override;
+
+  /// Closes the in-progress window and reports it.
+  void flush();
+
+  std::size_t windows_reported() const { return windows_reported_; }
+  const std::vector<WindowReport>& history() const { return history_; }
+
+ private:
+  void drain_closed_windows();
+  WindowReport analyze(const CommGraph& graph);
+
+  AnalyticsServiceOptions options_;
+  ReportCallback on_report_;
+  GraphBuilder builder_;
+  std::vector<const CommGraph*> training_refs_;  // into training_graphs_
+  std::vector<CommGraph> training_graphs_;
+  SpectralAnomalyDetector spectral_;
+  EwmaEdgeDetector edge_detector_;
+  SegmentTracker tracker_;
+  std::size_t windows_reported_ = 0;
+  std::vector<WindowReport> history_;
+};
+
+}  // namespace ccg

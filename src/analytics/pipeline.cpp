@@ -1,0 +1,117 @@
+#include "ccg/analytics/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+ShardedGraphPipeline::ShardedGraphPipeline(PipelineOptions options,
+                                           std::unordered_set<IpAddr> monitored)
+    : options_(options) {
+  CCG_EXPECT(options.shards >= 1);
+  CCG_EXPECT(options.shard_batch_size >= 1);
+
+  // Shard builders never collapse: a shard only sees its own edges, so
+  // traffic shares are meaningless locally. Collapse runs after the merge.
+  GraphBuildConfig shard_config = options_.graph;
+  shard_config.collapse_threshold = 0.0;
+
+  shards_.resize(options.shards);
+  pending_.resize(options.shards);
+  for (auto& shard : shards_) {
+    shard.queue = std::make_unique<BoundedQueue<std::vector<ConnectionSummary>>>(
+        options.queue_capacity);
+    shard.builder = std::make_unique<GraphBuilder>(shard_config, monitored);
+    GraphBuilder* builder = shard.builder.get();
+    auto* queue = shard.queue.get();
+    shard.worker = std::thread([builder, queue] {
+      while (auto batch = queue->pop()) {
+        for (const auto& record : *batch) builder->ingest(record);
+      }
+    });
+  }
+  started_ = std::chrono::steady_clock::now();
+}
+
+ShardedGraphPipeline::~ShardedGraphPipeline() {
+  if (!finished_) {
+    for (auto& shard : shards_) shard.queue->close();
+    for (auto& shard : shards_) {
+      if (shard.worker.joinable()) shard.worker.join();
+    }
+  }
+}
+
+std::size_t ShardedGraphPipeline::shard_of(const ConnectionSummary& record) const {
+  // Both orientations of a conversation must land in the same shard, so
+  // hash the canonical (unordered) endpoint pair.
+  const IpPair pair(record.flow.local_ip, record.flow.remote_ip);
+  std::uint64_t h = std::hash<IpPair>{}(pair);
+  if (options_.graph.facet == GraphFacet::kIpPort) {
+    h ^= (std::uint64_t{record.flow.local_port} + record.flow.remote_port) *
+         0x9E3779B97F4A7C15ull;
+  }
+  return h % shards_.size();
+}
+
+void ShardedGraphPipeline::on_batch(MinuteBucket time,
+                                    const std::vector<ConnectionSummary>& batch) {
+  CCG_EXPECT(!finished_);
+  ++stats_.batches;
+  for (const auto& record : batch) {
+    ConnectionSummary stamped = record;
+    stamped.time = time;
+    const std::size_t s = shard_of(stamped);
+    pending_[s].push_back(stamped);
+    if (pending_[s].size() >= options_.shard_batch_size) {
+      shards_[s].queue->push(std::move(pending_[s]));
+      pending_[s] = {};
+    }
+    ++stats_.records;
+  }
+  // Flush small leftovers each minute so shard windows close promptly.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!pending_[s].empty()) {
+      shards_[s].queue->push(std::move(pending_[s]));
+      pending_[s] = {};
+    }
+  }
+}
+
+std::vector<CommGraph> ShardedGraphPipeline::finish() {
+  CCG_EXPECT(!finished_);
+  finished_ = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!pending_[s].empty()) shards_[s].queue->push(std::move(pending_[s]));
+    shards_[s].queue->close();
+  }
+  for (auto& shard : shards_) shard.worker.join();
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
+          .count();
+
+  // Group shard windows by window start, merge, then collapse.
+  std::map<std::int64_t, std::vector<CommGraph>> by_window;
+  for (auto& shard : shards_) {
+    shard.builder->flush();
+    for (auto& g : shard.builder->take_graphs()) {
+      by_window[g.window().begin().index()].push_back(std::move(g));
+    }
+  }
+  std::vector<CommGraph> out;
+  out.reserve(by_window.size());
+  for (auto& [start, parts] : by_window) {
+    CommGraph merged = merge_graphs(parts);
+    if (options_.graph.collapse_threshold > 0.0) {
+      merged = collapse_heavy_hitters(merged, options_.graph.collapse_threshold,
+                                      options_.graph.collapse_monitored);
+    }
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace ccg

@@ -1,0 +1,2 @@
+// BoundedQueue is header-only (template); this TU anchors the target.
+#include "ccg/analytics/queue.hpp"

@@ -1,0 +1,103 @@
+#include "ccg/analytics/service.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+AnalyticsService::AnalyticsService(AnalyticsServiceOptions options,
+                                   std::unordered_set<IpAddr> monitored,
+                                   ReportCallback on_report)
+    : options_(options),
+      on_report_(std::move(on_report)),
+      builder_(options.graph, std::move(monitored)),
+      spectral_(options.spectral),
+      edge_detector_(options.edge_detector),
+      tracker_(options.segmentation, options.segmentation_options) {
+  CCG_EXPECT(options.training_windows >= 1);
+  CCG_EXPECT(on_report_ != nullptr);
+}
+
+void AnalyticsService::on_batch(MinuteBucket time,
+                                const std::vector<ConnectionSummary>& batch) {
+  builder_.on_batch(time, batch);
+  drain_closed_windows();
+}
+
+void AnalyticsService::flush() {
+  builder_.flush();
+  drain_closed_windows();
+}
+
+void AnalyticsService::drain_closed_windows() {
+  for (CommGraph& graph : builder_.take_graphs()) {
+    WindowReport report = analyze(graph);
+    history_.push_back(report);
+    ++windows_reported_;
+    on_report_(history_.back());
+  }
+}
+
+WindowReport AnalyticsService::analyze(const CommGraph& graph) {
+  WindowReport report;
+  report.window = graph.window();
+  report.nodes = graph.node_count();
+  report.edges = graph.edge_count();
+  report.bytes = graph.total_bytes();
+
+  // These run from window one: they carry their own baselines.
+  report.anomalous_edges = edge_detector_.observe(graph);
+  report.segments = tracker_.observe(graph);
+  report.patterns = mine_patterns(graph);
+
+  // The spectral detector needs a fitted subspace: accumulate training
+  // windows, fit once, then score everything after.
+  if (!spectral_.fitted()) {
+    training_graphs_.push_back(graph);
+    if (training_graphs_.size() >= options_.training_windows) {
+      training_refs_.clear();
+      for (const CommGraph& g : training_graphs_) training_refs_.push_back(&g);
+      spectral_.fit(training_refs_);
+    }
+    report.trained = false;
+    return report;
+  }
+
+  report.trained = true;
+  report.anomaly = spectral_.score(graph);
+  report.alert = spectral_.is_alert(*report.anomaly);
+  return report;
+}
+
+std::string WindowReport::summary() const {
+  // Edge anomalies by class: new conversations are routine in sparse
+  // graphs (the paper's Fig. 5 shows ~5% edge churn per hour); shifts and
+  // disappearances on established edges are the alarm-grade classes.
+  std::size_t new_edges = 0, shifts = 0, gone = 0;
+  for (const auto& e : anomalous_edges) {
+    if (e.new_edge) {
+      ++new_edges;
+    } else if (e.vanished) {
+      ++gone;
+    } else {
+      ++shifts;
+    }
+  }
+  char buf[340];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: %zu nodes / %zu edges / %llu bytes; %s%s; edges %zu new / %zu "
+      "shifted / %zu gone; segment churn %.1f%%; hubs %.0f%% cliques %.0f%% "
+      "of bytes",
+      window.to_string().c_str(), nodes, edges,
+      static_cast<unsigned long long>(bytes),
+      trained ? (alert ? "ALERT" : "ok") : "training",
+      trained && anomaly ? (" (z=" + std::to_string(anomaly->zscore) + ")").c_str()
+                         : "",
+      new_edges, shifts, gone, 100.0 * segments.label_churn,
+      100.0 * patterns.hub_byte_share, 100.0 * patterns.clique_byte_share);
+  return buf;
+}
+
+}  // namespace ccg

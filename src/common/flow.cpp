@@ -1,0 +1,38 @@
+#include "ccg/common/flow.hpp"
+
+namespace ccg {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kUdp: return "udp";
+    case Protocol::kIcmp: return "icmp";
+  }
+  return "proto" + std::to_string(static_cast<int>(p));
+}
+
+std::string FlowKey::to_string() const {
+  return ccg::to_string(protocol) + " " + local_ip.to_string() + ":" +
+         std::to_string(local_port) + " <-> " + remote_ip.to_string() + ":" +
+         std::to_string(remote_port);
+}
+
+}  // namespace ccg
+
+std::size_t std::hash<ccg::FlowKey>::operator()(const ccg::FlowKey& k) const noexcept {
+  // FNV-1a over the packed tuple: flows from the same VM differ only in a
+  // few low bits, so a byte-wise mix avoids clustering in the flow table.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix(k.local_ip.bits(), 4);
+  mix(k.local_port, 2);
+  mix(k.remote_ip.bits(), 4);
+  mix(k.remote_port, 2);
+  mix(static_cast<std::uint64_t>(k.protocol), 1);
+  return static_cast<std::size_t>(h);
+}

@@ -1,0 +1,39 @@
+// Lightweight contract checking for ccgraph.
+//
+// CCG_EXPECT enforces preconditions; CCG_ENSURE enforces postconditions and
+// internal invariants. Both throw ccg::ContractViolation so that tests can
+// assert on misuse and callers can recover. They are always on: the analyses
+// in this library run offline/near-line, so correctness beats the nanoseconds
+// a disabled assert would save.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccg {
+
+/// Thrown when a precondition or invariant stated in the API contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ccg
+
+#define CCG_EXPECT(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::ccg::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define CCG_ENSURE(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::ccg::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)

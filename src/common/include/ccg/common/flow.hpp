@@ -1,0 +1,59 @@
+// Flow identity types shared by the telemetry and graph layers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ccg/common/ip.hpp"
+
+namespace ccg {
+
+/// Transport protocol of a flow. The NSG/VPC flow-log schemas distinguish
+/// at least TCP and UDP; ICMP shows up in probe/attack traffic.
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+std::string to_string(Protocol p);
+
+/// Five-tuple identifying a flow as seen from the *local* VM, matching the
+/// orientation of the connection-summary schema (paper Table 2): counters
+/// are kept per (local endpoint, remote endpoint) pair.
+struct FlowKey {
+  IpAddr local_ip;
+  std::uint16_t local_port = 0;
+  IpAddr remote_ip;
+  std::uint16_t remote_port = 0;
+  Protocol protocol = Protocol::kTcp;
+
+  std::string to_string() const;
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Unordered pair of IPs: edge identity in the undirected IP-graph.
+/// Canonicalized so (a,b) and (b,a) compare equal.
+struct IpPair {
+  IpAddr a;
+  IpAddr b;
+
+  IpPair() = default;
+  IpPair(IpAddr x, IpAddr y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  friend constexpr auto operator<=>(const IpPair&, const IpPair&) = default;
+};
+
+}  // namespace ccg
+
+template <>
+struct std::hash<ccg::FlowKey> {
+  std::size_t operator()(const ccg::FlowKey& k) const noexcept;
+};
+
+template <>
+struct std::hash<ccg::IpPair> {
+  std::size_t operator()(const ccg::IpPair& p) const noexcept {
+    std::uint64_t v = (std::uint64_t{p.a.bits()} << 32) | p.b.bits();
+    v *= 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(v ^ (v >> 29));
+  }
+};

@@ -1,0 +1,121 @@
+// IPv4 address, CIDR prefix and endpoint types.
+//
+// The telemetry schema (paper Table 2) identifies flow endpoints by
+// (IP, port). Communication graphs are built over IPs or over (IP, port)
+// tuples ("multi-faceted" graphs, paper §1), so both need to be cheap,
+// hashable value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccg {
+
+/// An IPv4 address stored in host byte order.
+///
+/// Value type: totally ordered, hashable, formats as dotted quad.
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.0.1.2"). Returns nullopt on malformed
+  /// input (missing octets, out-of-range values, trailing junk).
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  /// True for RFC1918 private space (10/8, 172.16/12, 192.168/16).
+  constexpr bool is_private() const {
+    return octet(0) == 10 || (octet(0) == 172 && (octet(1) & 0xF0u) == 16) ||
+           (octet(0) == 192 && octet(1) == 168);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix such as 10.2.0.0/16. Used by workload topology specs to
+/// carve address space per role, and by the policy compiler to aggregate
+/// IP-level rules.
+class IpPrefix {
+ public:
+  constexpr IpPrefix() = default;
+
+  /// Constructs a prefix; the address is canonicalized (host bits zeroed).
+  /// Precondition: length <= 32.
+  IpPrefix(IpAddr base, int length);
+
+  /// Parses "a.b.c.d/len". Returns nullopt on malformed input.
+  static std::optional<IpPrefix> parse(std::string_view text);
+
+  constexpr IpAddr base() const { return base_; }
+  constexpr int length() const { return length_; }
+
+  /// Number of addresses covered (2^(32-length)); 0 means 2^32 for /0.
+  constexpr std::uint64_t size() const { return std::uint64_t{1} << (32 - length_); }
+
+  bool contains(IpAddr addr) const;
+  bool contains(const IpPrefix& other) const;
+
+  /// The i'th address inside the prefix. Precondition: i < size().
+  IpAddr at(std::uint64_t i) const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpPrefix&, const IpPrefix&) = default;
+
+ private:
+  IpAddr base_;
+  int length_ = 0;
+};
+
+/// Covers a set of addresses with the minimal list of CIDR blocks that
+/// match exactly those addresses (no over-match). Classic route/ACL
+/// aggregation: role instances are allocated near-contiguously, so a
+/// 40-member segment often compresses to a handful of blocks.
+/// Duplicates are tolerated.
+std::vector<IpPrefix> aggregate_cidrs(std::vector<IpAddr> addresses);
+
+/// Transport endpoint: (IP, port). Node identity in IP-port graphs.
+struct IpPort {
+  IpAddr ip;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  friend constexpr auto operator<=>(const IpPort&, const IpPort&) = default;
+};
+
+}  // namespace ccg
+
+template <>
+struct std::hash<ccg::IpAddr> {
+  std::size_t operator()(ccg::IpAddr a) const noexcept {
+    // Fibonacci scrambling: IPs allocated sequentially per role must not
+    // collide into the same buckets.
+    return static_cast<std::size_t>(a.bits()) * 0x9E3779B97F4A7C15ull >> 16;
+  }
+};
+
+template <>
+struct std::hash<ccg::IpPort> {
+  std::size_t operator()(const ccg::IpPort& e) const noexcept {
+    std::uint64_t v = (std::uint64_t{e.ip.bits()} << 16) | e.port;
+    return static_cast<std::size_t>(v * 0x9E3779B97F4A7C15ull >> 13);
+  }
+};

@@ -1,0 +1,79 @@
+// Deterministic random-number generation for workload synthesis.
+//
+// All stochastic components (traffic matrices, flow sizes, attack timing)
+// draw from Rng so that a (cluster preset, seed) pair reproduces the exact
+// same telemetry — experiments must be re-runnable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccg {
+
+/// xoshiro256** — fast, high-quality, and trivially seedable from a single
+/// 64-bit value via SplitMix64. Not cryptographic; this is simulation only.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDC0FFEEull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses Lemire rejection
+  /// to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi]. Precondition: lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(N(mu, sigma)). Models flow byte sizes, which are
+  /// heavy-tailed in datacenter traffic.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0: the classic elephant/mice
+  /// flow-size model.
+  double pareto(double xm, double alpha);
+
+  /// Poisson count with the given mean (mean >= 0); exact inversion for
+  /// small means, normal approximation above 64 to stay O(1).
+  std::uint64_t poisson(double mean);
+
+  /// Derives an independent child stream; used to give each simulated VM its
+  /// own stream so adding a VM does not perturb the others.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  // Spare normal deviate from the polar method.
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Zipf sampler over ranks {0, ..., n-1} with exponent s, built once and
+/// sampled in O(log n). Rank 0 is the most popular. Used for service
+/// popularity and remote-IP popularity: cloud traffic concentrates on few
+/// peers (paper Fig. 6).
+class ZipfSampler {
+ public:
+  /// Preconditions: n > 0, s >= 0.
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ccg

@@ -1,0 +1,84 @@
+// Time primitives for per-minute flow telemetry.
+//
+// The telemetry source aggregates flow counters at a fixed interval
+// (1 minute on Azure/AWS, 5s+ on GCP — paper Table 3). All analyses bucket
+// time by that interval, so we model time as integral minute indices from an
+// arbitrary epoch rather than wall-clock timestamps.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ccg {
+
+/// Index of a one-minute telemetry bucket since the simulation epoch.
+class MinuteBucket {
+ public:
+  constexpr MinuteBucket() = default;
+  constexpr explicit MinuteBucket(std::int64_t index) : index_(index) {}
+
+  constexpr std::int64_t index() const { return index_; }
+  constexpr std::int64_t hour() const { return index_ >= 0 ? index_ / 60 : (index_ - 59) / 60; }
+  constexpr int minute_of_hour() const {
+    auto m = index_ % 60;
+    return static_cast<int>(m < 0 ? m + 60 : m);
+  }
+
+  constexpr MinuteBucket next() const { return MinuteBucket(index_ + 1); }
+
+  /// "hH:mm" rendering, e.g. minute 75 -> "h1:15".
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(MinuteBucket, MinuteBucket) = default;
+  friend constexpr MinuteBucket operator+(MinuteBucket b, std::int64_t minutes) {
+    return MinuteBucket(b.index_ + minutes);
+  }
+  friend constexpr std::int64_t operator-(MinuteBucket a, MinuteBucket b) {
+    return a.index_ - b.index_;
+  }
+
+ private:
+  std::int64_t index_ = 0;
+};
+
+/// Half-open interval of minute buckets [begin, end).
+///
+/// Graph construction and all temporal analyses ("what changed between hour
+/// h and h+1?") are parameterized by a TimeWindow.
+class TimeWindow {
+ public:
+  constexpr TimeWindow() = default;
+  /// Precondition enforced lazily: empty() is true when end <= begin.
+  constexpr TimeWindow(MinuteBucket begin, MinuteBucket end) : begin_(begin), end_(end) {}
+
+  /// The window covering hour `h` (60 buckets).
+  static constexpr TimeWindow hour(std::int64_t h) {
+    return TimeWindow(MinuteBucket(h * 60), MinuteBucket((h + 1) * 60));
+  }
+  /// [start, start + n) minutes.
+  static constexpr TimeWindow minutes(std::int64_t start, std::int64_t n) {
+    return TimeWindow(MinuteBucket(start), MinuteBucket(start + n));
+  }
+
+  constexpr MinuteBucket begin() const { return begin_; }
+  constexpr MinuteBucket end() const { return end_; }
+  constexpr bool empty() const { return end_ <= begin_; }
+  constexpr std::int64_t length() const { return empty() ? 0 : end_ - begin_; }
+  constexpr bool contains(MinuteBucket b) const { return begin_ <= b && b < end_; }
+
+  /// The same-length window immediately after this one.
+  constexpr TimeWindow following() const {
+    return TimeWindow(end_, MinuteBucket(end_.index() + length()));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const TimeWindow&, const TimeWindow&) = default;
+
+ private:
+  MinuteBucket begin_;
+  MinuteBucket end_;
+};
+
+}  // namespace ccg

@@ -1,0 +1,128 @@
+#include "ccg/common/ip.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+// Parses one decimal octet from `text` starting at `pos`; advances pos past
+// the digits. Returns nullopt if no digits or value > 255.
+std::optional<std::uint32_t> parse_octet(std::string_view text, std::size_t& pos) {
+  std::uint32_t value = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+    if (value > 255) return std::nullopt;
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0 || digits > 3) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    auto octet = parse_octet(text, pos);
+    if (!octet) return std::nullopt;
+    bits = (bits << 8) | *octet;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IpAddr(bits);
+}
+
+std::string IpAddr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+IpPrefix::IpPrefix(IpAddr base, int length) : length_(length) {
+  CCG_EXPECT(length >= 0 && length <= 32);
+  const std::uint32_t mask =
+      length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  base_ = IpAddr(base.bits() & mask);
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IpAddr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = 0;
+  auto len_text = text.substr(slash + 1);
+  auto [ptr, ec] = std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+  if (length < 0 || length > 32) return std::nullopt;
+  return IpPrefix(*addr, length);
+}
+
+bool IpPrefix::contains(IpAddr addr) const {
+  const std::uint32_t mask =
+      length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - length_);
+  return (addr.bits() & mask) == base_.bits();
+}
+
+bool IpPrefix::contains(const IpPrefix& other) const {
+  return other.length_ >= length_ && contains(other.base_);
+}
+
+IpAddr IpPrefix::at(std::uint64_t i) const {
+  CCG_EXPECT(i < size());
+  return IpAddr(base_.bits() + static_cast<std::uint32_t>(i));
+}
+
+std::string IpPrefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+std::vector<IpPrefix> aggregate_cidrs(std::vector<IpAddr> addresses) {
+  std::vector<IpPrefix> blocks;
+  if (addresses.empty()) return blocks;
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+
+  std::size_t i = 0;
+  while (i < addresses.size()) {
+    const std::uint32_t base = addresses[i].bits();
+    // Length of the consecutive run starting here.
+    std::size_t run = 1;
+    while (i + run < addresses.size() &&
+           addresses[i + run].bits() == base + run &&
+           base + run != 0 /* wrap guard */) {
+      ++run;
+    }
+    // Largest aligned power-of-two block that fits in the run.
+    std::uint64_t size = 1;
+    while (size * 2 <= run && (base & (size * 2 - 1)) == 0 && size * 2 <= (1u << 31)) {
+      size *= 2;
+    }
+    int length = 32;
+    for (std::uint64_t s = size; s > 1; s >>= 1) --length;
+    blocks.emplace_back(addresses[i], length);
+    i += static_cast<std::size_t>(size);
+  }
+  return blocks;
+}
+
+std::string IpPort::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace ccg

@@ -1,0 +1,154 @@
+#include "ccg/common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the full 256-bit state from SplitMix64 per the xoshiro authors'
+  // recommendation; guarantees a non-zero state.
+  for (auto& s : state_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  CCG_EXPECT(bound > 0);
+  // Lemire's nearly-divisionless method with rejection.
+  while (true) {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  CCG_EXPECT(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  CCG_EXPECT(xm > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  CCG_EXPECT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform01();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform01();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for traffic
+  // volumes where mean >> stddev granularity.
+  double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+Rng Rng::fork() {
+  // A fresh generator seeded from this stream's output; streams are
+  // statistically independent for simulation purposes.
+  return Rng(next());
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  CCG_EXPECT(n > 0);
+  CCG_EXPECT(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  CCG_EXPECT(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace ccg

@@ -1,0 +1,17 @@
+#include "ccg/common/time.hpp"
+
+namespace ccg {
+
+std::string MinuteBucket::to_string() const {
+  std::string out = "h" + std::to_string(hour()) + ":";
+  int m = minute_of_hour();
+  if (m < 10) out.push_back('0');
+  out += std::to_string(m);
+  return out;
+}
+
+std::string TimeWindow::to_string() const {
+  return "[" + begin_.to_string() + ", " + end_.to_string() + ")";
+}
+
+}  // namespace ccg

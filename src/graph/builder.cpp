@@ -1,0 +1,287 @@
+#include "ccg/graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+GraphBuilder::GraphBuilder(GraphBuildConfig config,
+                           std::unordered_set<IpAddr> monitored)
+    : config_(config), monitored_(std::move(monitored)) {
+  CCG_EXPECT(config.window_minutes > 0);
+  CCG_EXPECT(config.collapse_threshold >= 0.0 && config.collapse_threshold < 1.0);
+}
+
+NodeKey GraphBuilder::node_key(const ConnectionSummary& r, bool local_side,
+                               bool local_is_client) const {
+  const IpAddr ip = local_side ? r.flow.local_ip : r.flow.remote_ip;
+  const std::uint16_t port = local_side ? r.flow.local_port : r.flow.remote_port;
+  switch (config_.facet) {
+    case GraphFacet::kIp:
+      return NodeKey::for_ip(ip);
+    case GraphFacet::kIpPort:
+      return NodeKey::for_ip_port(ip, port);
+    case GraphFacet::kService: {
+      const bool is_server = local_side ? !local_is_client : local_is_client;
+      return is_server ? NodeKey::for_ip_port(ip, port) : NodeKey::for_ip(ip);
+    }
+  }
+  return NodeKey::for_ip(ip);
+}
+
+void GraphBuilder::on_batch(MinuteBucket time,
+                            const std::vector<ConnectionSummary>& batch) {
+  for (const auto& record : batch) {
+    ConnectionSummary stamped = record;
+    stamped.time = time;
+    ingest(stamped);
+  }
+}
+
+void GraphBuilder::ingest(const ConnectionSummary& record) {
+  // Roll the window forward if this record is beyond it. Windows are
+  // aligned to multiples of window_minutes so "hour 3" means the same
+  // thing across builders.
+  if (!current_window_ || record.time >= current_window_->end()) {
+    if (current_window_ && !acc_.empty()) finalize_window();
+    const std::int64_t w = config_.window_minutes;
+    const std::int64_t idx = record.time.index() >= 0
+                                 ? record.time.index() / w
+                                 : (record.time.index() - (w - 1)) / w;
+    current_window_ = TimeWindow::minutes(idx * w, w);
+  }
+  CCG_EXPECT(record.time >= current_window_->begin());  // stream must be ordered
+
+  ++records_;
+  const std::int64_t minute = record.time.index();
+
+  // Who initiated this flow? The record's initiator bit (from the NIC flow
+  // state) is authoritative; unknown falls back to the ephemeral-port
+  // heuristic: the endpoint with the high/ephemeral port is the client.
+  constexpr std::uint16_t kEphemeralFloor = 32768;
+  const bool local_is_client =
+      record.initiator == Initiator::kLocal ||
+      (record.initiator == Initiator::kUnknown &&
+       (record.flow.local_port >= kEphemeralFloor ||
+        (record.flow.remote_port < kEphemeralFloor &&
+         record.flow.remote_port < record.flow.local_port)));
+
+  const NodeKey local = node_key(record, /*local_side=*/true, local_is_client);
+  const NodeKey remote = node_key(record, /*local_side=*/false, local_is_client);
+  if (local == remote) return;  // degenerate loopback summaries
+
+  const std::int32_t server_port =
+      local_is_client ? record.flow.remote_port : record.flow.local_port;
+
+  // local -> remote direction, witnessed by the sender.
+  {
+    DirAccum& a = acc_[DirKey{local, remote}];
+    a.src_bytes += record.counters.bytes_sent;
+    a.src_packets += record.counters.packets_sent;
+    a.src_flow_minutes += 1;
+    if (local_is_client) a.src_initiated_src_witness += 1;
+    if (a.server_port < 0) a.server_port = server_port;
+    a.touch(minute);
+  }
+  // remote -> local direction, witnessed by the receiver.
+  {
+    DirAccum& a = acc_[DirKey{remote, local}];
+    a.dst_bytes += record.counters.bytes_rcvd;
+    a.dst_packets += record.counters.packets_rcvd;
+    a.dst_flow_minutes += 1;
+    if (!local_is_client) a.src_initiated_dst_witness += 1;
+    a.touch(minute);
+  }
+}
+
+void GraphBuilder::flush() {
+  if (current_window_ && !acc_.empty()) finalize_window();
+}
+
+std::vector<CommGraph> GraphBuilder::take_graphs() {
+  return std::exchange(graphs_, {});
+}
+
+void GraphBuilder::finalize_window() {
+  struct EdgeAgg {
+    std::uint64_t bytes_ab, bytes_ba, packets_ab, packets_ba;
+    std::uint64_t conn_minutes;
+    std::uint32_t active_minutes;
+    std::uint64_t client_minutes_ab, client_minutes_ba;
+    std::int32_t server_port_hint = -1;
+  };
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeKey, NodeKey>& p) const noexcept {
+      return std::hash<NodeKey>{}(p.first) * 0x9E3779B97F4A7C15ull ^
+             std::hash<NodeKey>{}(p.second);
+    }
+  };
+
+  // 1. Merge the two directed accumulators of each pair. For each
+  //    direction take the max of the sender's and receiver's report —
+  //    identical in the clean case, and the larger survives sampling loss.
+  std::unordered_map<std::pair<NodeKey, NodeKey>, EdgeAgg, PairHash> merged;
+  merged.reserve(acc_.size() / 2 + 1);
+  for (const auto& [key, a] : acc_) {
+    const bool canonical = key.src < key.dst;
+    const auto pair_key = canonical ? std::make_pair(key.src, key.dst)
+                                    : std::make_pair(key.dst, key.src);
+    auto [it, inserted] = merged.try_emplace(pair_key, EdgeAgg{});
+    EdgeAgg& e = it->second;
+    const std::uint64_t bytes = std::max(a.src_bytes, a.dst_bytes);
+    const std::uint64_t packets = std::max(a.src_packets, a.dst_packets);
+    (canonical ? e.bytes_ab : e.bytes_ba) += bytes;
+    (canonical ? e.packets_ab : e.packets_ba) += packets;
+    // "src initiated" flow-minutes for this ordered direction, from the
+    // better-informed witness.
+    (canonical ? e.client_minutes_ab : e.client_minutes_ba) += std::max(
+        a.src_initiated_src_witness, a.src_initiated_dst_witness);
+    e.conn_minutes = std::max<std::uint64_t>(
+        e.conn_minutes, std::max(a.src_flow_minutes, a.dst_flow_minutes));
+    e.active_minutes = std::max(e.active_minutes, a.active_minutes);
+    if (e.server_port_hint < 0) e.server_port_hint = a.server_port;
+  }
+  acc_.clear();
+
+  // 2. Per-node contributions decide who survives collapsing.
+  struct NodeContribution {
+    std::uint64_t bytes = 0, packets = 0, conn_minutes = 0;
+  };
+  std::unordered_map<NodeKey, NodeContribution> contrib;
+  std::uint64_t total_bytes = 0, total_packets = 0, total_conn = 0;
+  for (const auto& [pk, e] : merged) {
+    const std::uint64_t bytes = e.bytes_ab + e.bytes_ba;
+    const std::uint64_t packets = e.packets_ab + e.packets_ba;
+    for (const NodeKey& k : {pk.first, pk.second}) {
+      auto& c = contrib[k];
+      c.bytes += bytes;
+      c.packets += packets;
+      c.conn_minutes += e.conn_minutes;
+    }
+    total_bytes += bytes;
+    total_packets += packets;
+    total_conn += e.conn_minutes;
+  }
+
+  const double threshold = config_.collapse_threshold;
+  auto survives = [&](const NodeKey& k) {
+    if (threshold <= 0.0) return true;
+    if (!config_.collapse_monitored && is_monitored(k)) return true;
+    const auto& c = contrib[k];
+    auto share = [](std::uint64_t part, std::uint64_t whole) {
+      return whole == 0 ? 0.0
+                        : static_cast<double>(part) / static_cast<double>(whole);
+    };
+    return share(c.bytes, total_bytes) >= threshold ||
+           share(c.packets, total_packets) >= threshold ||
+           share(c.conn_minutes, total_conn) >= threshold;
+  };
+
+  // 3. Materialize the graph.
+  CommGraph graph(*current_window_);
+  std::uint32_t collapsed_members = 0;
+  std::optional<NodeId> collapse_node;
+  auto resolve = [&](const NodeKey& k) -> NodeId {
+    if (survives(k)) {
+      const NodeId id = graph.add_node(k);
+      graph.set_monitored(id, is_monitored(k));
+      return id;
+    }
+    if (!collapse_node) collapse_node = graph.add_node(NodeKey::collapsed());
+    return *collapse_node;
+  };
+  // Count collapsed members once per distinct node, not per edge.
+  for (const auto& [k, c] : contrib) {
+    if (!survives(k)) ++collapsed_members;
+  }
+
+  for (const auto& [pk, e] : merged) {
+    const NodeId a = resolve(pk.first);
+    const NodeId b = resolve(pk.second);
+    if (a == b) continue;  // both endpoints collapsed: volume folds away
+    graph.add_edge_volume(a, b, e.bytes_ab, e.bytes_ba, e.packets_ab,
+                          e.packets_ba, e.conn_minutes, e.active_minutes,
+                          e.client_minutes_ab, e.client_minutes_ba,
+                          e.server_port_hint);
+  }
+  if (collapse_node) {
+    graph.note_collapsed_members(*collapse_node, collapsed_members);
+  }
+
+  graphs_.push_back(std::move(graph));
+}
+
+CommGraph merge_graphs(const std::vector<CommGraph>& parts) {
+  CommGraph merged(parts.empty() ? TimeWindow{} : parts.front().window());
+  for (const CommGraph& part : parts) {
+    for (NodeId i = 0; i < part.node_count(); ++i) {
+      const NodeId m = merged.add_node(part.key(i));
+      if (part.node_stats(i).monitored) merged.set_monitored(m, true);
+    }
+    for (const Edge& e : part.edges()) {
+      const NodeId ma = merged.add_node(part.key(e.a));
+      const NodeId mb = merged.add_node(part.key(e.b));
+      merged.add_edge_volume(ma, mb, e.stats.bytes_ab, e.stats.bytes_ba,
+                             e.stats.packets_ab, e.stats.packets_ba,
+                             e.stats.connection_minutes, e.stats.active_minutes,
+                             e.stats.client_minutes_ab, e.stats.client_minutes_ba,
+                             e.stats.server_port_hint);
+    }
+  }
+  return merged;
+}
+
+CommGraph collapse_heavy_hitters(const CommGraph& graph, double threshold,
+                                 bool collapse_monitored) {
+  CCG_EXPECT(threshold >= 0.0 && threshold < 1.0);
+  std::uint64_t total_bytes = 0, total_packets = 0, total_conn = 0;
+  for (const Edge& e : graph.edges()) {
+    total_bytes += e.stats.bytes();
+    total_packets += e.stats.packets();
+    total_conn += e.stats.connection_minutes;
+  }
+  auto share = [](std::uint64_t part, std::uint64_t whole) {
+    return whole == 0 ? 0.0
+                      : static_cast<double>(part) / static_cast<double>(whole);
+  };
+  auto survives = [&](NodeId i) {
+    if (threshold <= 0.0) return true;
+    const NodeStats& s = graph.node_stats(i);
+    if (!collapse_monitored && s.monitored) return true;
+    return share(s.bytes, total_bytes) >= threshold ||
+           share(s.packets, total_packets) >= threshold ||
+           share(s.connection_minutes, total_conn) >= threshold;
+  };
+
+  CommGraph out(graph.window());
+  std::optional<NodeId> other;
+  std::uint32_t collapsed_members = 0;
+  std::vector<NodeId> mapping(graph.node_count());
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    if (survives(i)) {
+      const NodeId m = out.add_node(graph.key(i));
+      out.set_monitored(m, graph.node_stats(i).monitored);
+      mapping[i] = m;
+    } else {
+      if (!other) other = out.add_node(NodeKey::collapsed());
+      mapping[i] = *other;
+      ++collapsed_members;
+    }
+  }
+  for (const Edge& e : graph.edges()) {
+    const NodeId a = mapping[e.a];
+    const NodeId b = mapping[e.b];
+    if (a == b) continue;
+    out.add_edge_volume(a, b, e.stats.bytes_ab, e.stats.bytes_ba,
+                        e.stats.packets_ab, e.stats.packets_ba,
+                        e.stats.connection_minutes, e.stats.active_minutes,
+                        e.stats.client_minutes_ab, e.stats.client_minutes_ba,
+                             e.stats.server_port_hint);
+  }
+  if (other) out.note_collapsed_members(*other, collapsed_members);
+  return out;
+}
+
+}  // namespace ccg

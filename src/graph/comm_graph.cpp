@@ -1,0 +1,136 @@
+#include "ccg/graph/comm_graph.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::string NodeKey::to_string() const {
+  if (is_collapsed()) return "<other>";
+  if (port == kIpLevel) return ip.to_string();
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+NodeId CommGraph::add_node(const NodeKey& node_key) {
+  if (auto it = index_.find(node_key); it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(keys_.size());
+  keys_.push_back(node_key);
+  node_stats_.emplace_back();
+  adjacency_.emplace_back();
+  index_.emplace(node_key, id);
+  return id;
+}
+
+std::optional<NodeId> CommGraph::find_node(const NodeKey& node_key) const {
+  auto it = index_.find(node_key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> CommGraph::find_edge(NodeId a, NodeId b) const {
+  // Scan the smaller adjacency list.
+  const NodeId probe = degree(a) <= degree(b) ? a : b;
+  const NodeId target = probe == a ? b : a;
+  for (const auto& [neighbor, edge_id] : adjacency_[probe]) {
+    if (neighbor == target) return edge_id;
+  }
+  return std::nullopt;
+}
+
+EdgeId CommGraph::add_edge_volume(NodeId a, NodeId b, std::uint64_t bytes_ab,
+                                  std::uint64_t bytes_ba,
+                                  std::uint64_t packets_ab,
+                                  std::uint64_t packets_ba,
+                                  std::uint64_t connection_minutes,
+                                  std::uint32_t active_minutes,
+                                  std::uint64_t client_minutes_ab,
+                                  std::uint64_t client_minutes_ba,
+                                  std::int32_t server_port_hint) {
+  CCG_EXPECT(a != b);
+  CCG_EXPECT(a < keys_.size() && b < keys_.size());
+  if (a > b) {
+    std::swap(a, b);
+    std::swap(bytes_ab, bytes_ba);
+    std::swap(packets_ab, packets_ba);
+    std::swap(client_minutes_ab, client_minutes_ba);
+  }
+
+  EdgeId edge_id;
+  if (auto existing = find_edge(a, b)) {
+    edge_id = *existing;
+  } else {
+    edge_id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{.a = a, .b = b, .stats = {}});
+    adjacency_[a].emplace_back(b, edge_id);
+    adjacency_[b].emplace_back(a, edge_id);
+  }
+
+  EdgeStats& s = edges_[edge_id].stats;
+  s.bytes_ab += bytes_ab;
+  s.bytes_ba += bytes_ba;
+  s.packets_ab += packets_ab;
+  s.packets_ba += packets_ba;
+  s.connection_minutes += connection_minutes;
+  s.active_minutes += active_minutes;
+  s.client_minutes_ab += client_minutes_ab;
+  s.client_minutes_ba += client_minutes_ba;
+  if (s.server_port_hint < 0) s.server_port_hint = server_port_hint;
+
+  const std::uint64_t bytes = bytes_ab + bytes_ba;
+  const std::uint64_t packets = packets_ab + packets_ba;
+  for (NodeId n : {a, b}) {
+    node_stats_[n].bytes += bytes;
+    node_stats_[n].packets += packets;
+    node_stats_[n].connection_minutes += connection_minutes;
+  }
+  total_bytes_ += bytes;
+  return edge_id;
+}
+
+CommGraph::EdgeRole CommGraph::edge_role(NodeId n, EdgeId e) const {
+  CCG_EXPECT(e < edges_.size());
+  const Edge& edge = edges_[e];
+  CCG_EXPECT(n == edge.a || n == edge.b);
+  const std::uint64_t mine = n == edge.a ? edge.stats.client_minutes_ab
+                                         : edge.stats.client_minutes_ba;
+  const std::uint64_t theirs = n == edge.a ? edge.stats.client_minutes_ba
+                                           : edge.stats.client_minutes_ab;
+  // A 2x majority decides; ties, near-ties and missing data are kMixed.
+  if (mine > 2 * theirs && mine > 0) return EdgeRole::kInitiator;
+  if (theirs > 2 * mine && theirs > 0) return EdgeRole::kResponder;
+  return EdgeRole::kMixed;
+}
+
+void CommGraph::set_monitored(NodeId n, bool monitored) {
+  CCG_EXPECT(n < node_stats_.size());
+  node_stats_[n].monitored = monitored;
+}
+
+void CommGraph::note_collapsed_members(NodeId n, std::uint32_t members) {
+  CCG_EXPECT(n < node_stats_.size());
+  node_stats_[n].collapsed_members = members;
+}
+
+std::vector<double> CommGraph::dense_byte_matrix(std::size_t max_nodes) const {
+  const std::size_t n = node_count();
+  CCG_EXPECT(n <= max_nodes);
+  std::vector<double> m(n * n, 0.0);
+  for (const Edge& e : edges_) {
+    const auto bytes = static_cast<double>(e.stats.bytes());
+    m[e.a * n + e.b] = bytes;
+    m[e.b * n + e.a] = bytes;
+  }
+  return m;
+}
+
+std::vector<NodeId> CommGraph::nodes_by_bytes() const {
+  std::vector<NodeId> order(node_count());
+  for (NodeId i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](NodeId x, NodeId y) {
+    return node_stats_[x].bytes > node_stats_[y].bytes;
+  });
+  return order;
+}
+
+}  // namespace ccg

@@ -1,0 +1,106 @@
+#include "ccg/graph/delta.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+struct PairHash {
+  std::size_t operator()(const std::pair<NodeKey, NodeKey>& p) const noexcept {
+    return std::hash<NodeKey>{}(p.first) * 0x9E3779B97F4A7C15ull ^
+           std::hash<NodeKey>{}(p.second);
+  }
+};
+
+using EdgeMap = std::unordered_map<std::pair<NodeKey, NodeKey>, std::uint64_t, PairHash>;
+
+EdgeMap edge_bytes_by_key(const CommGraph& g) {
+  EdgeMap out;
+  out.reserve(g.edge_count());
+  for (const Edge& e : g.edges()) {
+    NodeKey ka = g.key(e.a);
+    NodeKey kb = g.key(e.b);
+    if (kb < ka) std::swap(ka, kb);
+    out[{ka, kb}] += e.stats.bytes();
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphDelta diff_graphs(const CommGraph& before, const CommGraph& after,
+                       double volume_change_factor) {
+  CCG_EXPECT(volume_change_factor >= 1.0);
+  GraphDelta delta;
+
+  // Node sets.
+  std::unordered_set<NodeKey> before_nodes, after_nodes;
+  for (NodeId i = 0; i < before.node_count(); ++i) before_nodes.insert(before.key(i));
+  for (NodeId i = 0; i < after.node_count(); ++i) after_nodes.insert(after.key(i));
+  for (const auto& k : after_nodes) {
+    if (!before_nodes.contains(k)) delta.nodes_added.push_back(k);
+  }
+  for (const auto& k : before_nodes) {
+    if (!after_nodes.contains(k)) delta.nodes_removed.push_back(k);
+  }
+
+  // Edge sets keyed by endpoints.
+  const EdgeMap eb = edge_bytes_by_key(before);
+  const EdgeMap ea = edge_bytes_by_key(after);
+
+  std::size_t common = 0;
+  std::uint64_t after_total = 0, after_on_stable_edges = 0;
+  for (const auto& [key, bytes_after] : ea) {
+    after_total += bytes_after;
+    auto it = eb.find(key);
+    if (it == eb.end()) {
+      delta.edges_added.push_back(
+          {key.first, key.second, 0, bytes_after});
+      continue;
+    }
+    ++common;
+    after_on_stable_edges += bytes_after;
+    const std::uint64_t bytes_before = it->second;
+    const double hi = static_cast<double>(bytes_before) * volume_change_factor;
+    const double lo = static_cast<double>(bytes_before) / volume_change_factor;
+    const auto ba = static_cast<double>(bytes_after);
+    if (ba > hi || ba < lo) {
+      delta.edges_changed.push_back({key.first, key.second, bytes_before, bytes_after});
+    } else {
+      ++delta.edges_stable;
+    }
+  }
+  for (const auto& [key, bytes_before] : eb) {
+    if (!ea.contains(key)) {
+      delta.edges_removed.push_back({key.first, key.second, bytes_before, 0});
+    }
+  }
+
+  const std::size_t uni = eb.size() + ea.size() - common;
+  delta.edge_jaccard =
+      uni == 0 ? 1.0 : static_cast<double>(common) / static_cast<double>(uni);
+  delta.byte_weighted_overlap =
+      after_total == 0 ? 1.0
+                       : static_cast<double>(after_on_stable_edges) /
+                             static_cast<double>(after_total);
+  return delta;
+}
+
+std::string GraphDelta::summary() const {
+  std::string out;
+  out += "+" + std::to_string(nodes_added.size()) + "/-" +
+         std::to_string(nodes_removed.size()) + " nodes, ";
+  out += "+" + std::to_string(edges_added.size()) + "/-" +
+         std::to_string(edges_removed.size()) + " edges, ";
+  out += std::to_string(edges_changed.size()) + " changed, " +
+         std::to_string(edges_stable) + " stable";
+  out += " (edge-jaccard " + std::to_string(edge_jaccard) + ", byte-overlap " +
+         std::to_string(byte_weighted_overlap) + ")";
+  return out;
+}
+
+}  // namespace ccg

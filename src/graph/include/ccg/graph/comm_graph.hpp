@@ -1,0 +1,178 @@
+// The communication graph: nodes are IPs or (IP, port) tuples, undirected
+// edges carry byte/packet/connection volumes (paper §1, Fig. 1/2).
+//
+// One CommGraph summarizes one time window. Temporal analyses operate on a
+// series of CommGraphs (one per hour, say) or on GraphDelta between them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccg/common/ip.hpp"
+#include "ccg/common/time.hpp"
+
+namespace ccg {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Node identity across graph facets.
+///   port == kIpLevel  : node is an IP (IP-graph facet)
+///   port >= 0         : node is an (IP, port) tuple (IP-port facet)
+/// The heavy-hitter collapse node uses ip 0.0.0.0 / kIpLevel.
+struct NodeKey {
+  IpAddr ip;
+  std::int32_t port = kIpLevel;
+
+  static constexpr std::int32_t kIpLevel = -1;
+
+  static NodeKey for_ip(IpAddr a) { return {a, kIpLevel}; }
+  static NodeKey for_ip_port(IpAddr a, std::uint16_t p) { return {a, p}; }
+  static NodeKey collapsed() { return {IpAddr(0u), kIpLevel}; }
+
+  bool is_collapsed() const { return ip == IpAddr(0u); }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const NodeKey&, const NodeKey&) = default;
+};
+
+}  // namespace ccg
+
+template <>
+struct std::hash<ccg::NodeKey> {
+  std::size_t operator()(const ccg::NodeKey& k) const noexcept {
+    std::uint64_t v = (std::uint64_t{k.ip.bits()} << 17) ^
+                      static_cast<std::uint64_t>(k.port + 2);
+    v *= 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(v ^ (v >> 31));
+  }
+};
+
+namespace ccg {
+
+/// Undirected edge payload. `a` < `b` by NodeId; the *_ab fields carry the
+/// a-to-b direction.
+struct EdgeStats {
+  std::uint64_t bytes_ab = 0;
+  std::uint64_t bytes_ba = 0;
+  std::uint64_t packets_ab = 0;
+  std::uint64_t packets_ba = 0;
+  /// Flow-minutes: sum over minutes of concurrently-active flows. The
+  /// closest connection-count proxy recoverable from per-minute summaries.
+  std::uint64_t connection_minutes = 0;
+  /// Number of distinct minutes in which the edge saw traffic.
+  std::uint32_t active_minutes = 0;
+  /// Flow-minutes initiated by each side (the endpoint holding the
+  /// ephemeral port). Conversation *direction* is a role signal the flow
+  /// logs carry for free: a web tier initiates to its backends but is
+  /// initiated-to by clients.
+  std::uint64_t client_minutes_ab = 0;  // a connected to b
+  std::uint64_t client_minutes_ba = 0;  // b connected to a
+  /// Dominant server port of the conversations on this edge (-1 unknown).
+  /// Keeps the service identity the IP facet would otherwise lose — the
+  /// paper's "IP-port graphs may be more useful" without the node blowup.
+  std::int32_t server_port_hint = -1;
+
+  std::uint64_t bytes() const { return bytes_ab + bytes_ba; }
+  std::uint64_t packets() const { return packets_ab + packets_ba; }
+};
+
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  EdgeStats stats;
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+/// Per-node aggregate attributes (sums over incident edges).
+struct NodeStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t connection_minutes = 0;
+  bool monitored = false;  // one of the subscription's own resources
+  std::uint32_t collapsed_members = 0;  // >0 only on the collapse node
+};
+
+class CommGraph {
+ public:
+  CommGraph() = default;
+  explicit CommGraph(TimeWindow window) : window_(window) {}
+
+  // --- construction -------------------------------------------------------
+
+  /// Returns the node for `key`, adding it if absent.
+  NodeId add_node(const NodeKey& key);
+
+  /// Adds `delta` onto the (a, b) edge, creating it if absent.
+  /// `bytes/packets` are in the a-to-b direction. Precondition: a != b.
+  EdgeId add_edge_volume(NodeId a, NodeId b, std::uint64_t bytes_ab,
+                         std::uint64_t bytes_ba, std::uint64_t packets_ab,
+                         std::uint64_t packets_ba,
+                         std::uint64_t connection_minutes,
+                         std::uint32_t active_minutes,
+                         std::uint64_t client_minutes_ab = 0,
+                         std::uint64_t client_minutes_ba = 0,
+                         std::int32_t server_port_hint = -1);
+
+  /// How node `n` relates to the far end of edge `e` — who initiates the
+  /// conversations. kMixed also covers edges with no direction data.
+  enum class EdgeRole { kInitiator, kResponder, kMixed };
+  EdgeRole edge_role(NodeId n, EdgeId e) const;
+
+  void set_monitored(NodeId n, bool monitored);
+  void note_collapsed_members(NodeId n, std::uint32_t members);
+
+  // --- lookup -------------------------------------------------------------
+
+  std::size_t node_count() const { return keys_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  TimeWindow window() const { return window_; }
+
+  const NodeKey& key(NodeId n) const { return keys_[n]; }
+  const NodeStats& node_stats(NodeId n) const { return node_stats_[n]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  std::optional<NodeId> find_node(const NodeKey& key) const;
+
+  /// (neighbor, edge) pairs incident to n.
+  std::span<const std::pair<NodeId, EdgeId>> neighbors(NodeId n) const {
+    return adjacency_[n];
+  }
+  std::size_t degree(NodeId n) const { return adjacency_[n].size(); }
+
+  /// The edge between a and b if present.
+  std::optional<EdgeId> find_edge(NodeId a, NodeId b) const;
+
+  /// All edges (index == EdgeId).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Total bytes over all edges.
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  // --- exports ------------------------------------------------------------
+
+  /// Dense symmetric byte matrix over all nodes (row i = NodeId i), for the
+  /// PCA / adjacency-pattern analyses (Fig. 4). Precondition: node_count()
+  /// <= max_nodes (guards accidental O(n^2) blowups on IP-port graphs).
+  std::vector<double> dense_byte_matrix(std::size_t max_nodes = 20000) const;
+
+  /// Node IDs sorted by descending byte volume.
+  std::vector<NodeId> nodes_by_bytes() const;
+
+ private:
+  TimeWindow window_;
+  std::vector<NodeKey> keys_;
+  std::vector<NodeStats> node_stats_;
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adjacency_;
+  std::vector<Edge> edges_;
+  std::unordered_map<NodeKey, NodeId> index_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ccg

@@ -1,0 +1,57 @@
+// Graph deltas: "what changed?" between two windows (paper §1 'Dynamic'),
+// the primitive under temporal-stability analysis (Fig. 5) and the
+// higher-order policy checks of §2.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+
+/// One changed edge between two windows, identified by endpoint keys so the
+/// comparison is stable across graphs with different NodeId assignments.
+struct EdgeChange {
+  NodeKey a;
+  NodeKey b;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+
+  double ratio() const {
+    return bytes_before == 0
+               ? 0.0
+               : static_cast<double>(bytes_after) / static_cast<double>(bytes_before);
+  }
+};
+
+struct GraphDelta {
+  std::vector<NodeKey> nodes_added;
+  std::vector<NodeKey> nodes_removed;
+  std::vector<EdgeChange> edges_added;
+  std::vector<EdgeChange> edges_removed;
+  /// Edges present in both whose byte volume changed by more than the
+  /// comparison's volume_change_factor.
+  std::vector<EdgeChange> edges_changed;
+
+  std::size_t edges_stable = 0;  // present in both, within the factor
+
+  /// Jaccard similarity of the two edge sets: |common| / |union|. The
+  /// paper's Fig. 5 observation ("many patterns are consistent") shows up
+  /// as a high value hour over hour.
+  double edge_jaccard = 0.0;
+
+  /// Fraction of the 'after' graph's bytes carried on edges that already
+  /// existed in 'before' — volume-weighted stability.
+  double byte_weighted_overlap = 0.0;
+
+  std::string summary() const;
+};
+
+/// Compares two graphs of the same facet. `volume_change_factor` f flags an
+/// edge as changed when after > f * before or after < before / f.
+GraphDelta diff_graphs(const CommGraph& before, const CommGraph& after,
+                       double volume_change_factor = 4.0);
+
+}  // namespace ccg

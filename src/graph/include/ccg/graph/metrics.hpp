@@ -1,0 +1,38 @@
+// Whole-graph structural metrics: the numbers behind Fig. 2's qualitative
+// contrast between the four clusters (star vs mesh vs block-dense).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t monitored_nodes = 0;
+  double density = 0.0;           // edges / (n choose 2)
+  double mean_degree = 0.0;
+  std::size_t max_degree = 0;
+  std::size_t components = 0;     // connected components
+  std::size_t largest_component = 0;
+  double degree_gini = 0.0;       // hubbiness of the degree distribution
+  double clustering_coefficient = 0.0;  // global (transitivity), sampled
+  std::uint64_t total_bytes = 0;
+
+  std::string to_string() const;
+};
+
+GraphMetrics compute_metrics(const CommGraph& graph);
+
+/// Connected-component label per node (labels are 0..k-1).
+std::vector<std::uint32_t> connected_components(const CommGraph& graph);
+
+/// Top-k nodes by degree — hub candidates (paper §2.2: hubs are control
+/// plane components such as api servers or telemetry sinks).
+std::vector<NodeId> top_degree_nodes(const CommGraph& graph, std::size_t k);
+
+}  // namespace ccg

@@ -1,0 +1,36 @@
+// Persistence for communication graphs.
+//
+// Graphs are the system's working artifact (built once per window from
+// millions of records, then analyzed many times), so they serialize to a
+// compact line-oriented text format:
+//
+//   ccgraph-v1 <window_begin> <window_len> <node_count> <edge_count>
+//   n <ip> <port> <monitored> <collapsed_members>
+//   e <a> <b> <bytes_ab> <bytes_ba> <pkts_ab> <pkts_ba> <conn> <active>
+//     <client_min_ab> <client_min_ba> <port_hint>
+//
+// Also here: PGM image export of the byte adjacency matrix — the actual
+// Fig. 4 artifact, viewable in any image tool, zero dependencies.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+
+void write_graph(std::ostream& out, const CommGraph& graph);
+
+/// Returns nullopt on malformed/truncated input.
+std::optional<CommGraph> read_graph(std::istream& in);
+
+/// Renders the log-scale byte adjacency as a binary PGM (P5) image,
+/// `cells` x `cells`, nodes ordered by key (hours align pixel-for-pixel,
+/// like the paper's Fig. 5 timelapse). Returns false if the stream failed.
+bool write_pgm_heatmap(std::ostream& out, const CommGraph& graph,
+                       std::size_t cells = 256);
+
+}  // namespace ccg

@@ -1,0 +1,138 @@
+#include "ccg/graph/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ccg/common/stats.hpp"
+
+namespace ccg {
+
+std::vector<std::uint32_t> connected_components(const CommGraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint32_t> label(n, static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != static_cast<std::uint32_t>(-1)) continue;
+    label[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& [v, e] : graph.neighbors(u)) {
+        if (label[v] == static_cast<std::uint32_t>(-1)) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+GraphMetrics compute_metrics(const CommGraph& graph) {
+  GraphMetrics m;
+  m.nodes = graph.node_count();
+  m.edges = graph.edge_count();
+  m.total_bytes = graph.total_bytes();
+  if (m.nodes == 0) return m;
+
+  std::vector<double> degrees;
+  degrees.reserve(m.nodes);
+  for (NodeId i = 0; i < m.nodes; ++i) {
+    const std::size_t d = graph.degree(i);
+    degrees.push_back(static_cast<double>(d));
+    m.max_degree = std::max(m.max_degree, d);
+    if (graph.node_stats(i).monitored) ++m.monitored_nodes;
+  }
+  m.mean_degree = 2.0 * static_cast<double>(m.edges) / static_cast<double>(m.nodes);
+  m.density = m.nodes < 2 ? 0.0
+                          : static_cast<double>(m.edges) /
+                                (0.5 * static_cast<double>(m.nodes) *
+                                 static_cast<double>(m.nodes - 1));
+  m.degree_gini = gini_coefficient(degrees);
+
+  const auto labels = connected_components(graph);
+  std::vector<std::size_t> sizes;
+  for (auto l : labels) {
+    if (sizes.size() <= l) sizes.resize(l + 1, 0);
+    ++sizes[l];
+  }
+  m.components = sizes.size();
+  m.largest_component = sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+
+  // Global clustering (transitivity): closed wedges / all wedges. Exact
+  // counting is O(sum d^2); cap the per-node work on hub-heavy graphs by
+  // sampling wedges at high-degree nodes.
+  constexpr std::size_t kMaxWedgesPerNode = 2000;
+  std::uint64_t wedges = 0, closed = 0;
+  std::unordered_set<std::uint64_t> edge_set;
+  edge_set.reserve(graph.edge_count() * 2);
+  for (const Edge& e : graph.edges()) {
+    edge_set.insert((std::uint64_t{e.a} << 32) | e.b);
+    edge_set.insert((std::uint64_t{e.b} << 32) | e.a);
+  }
+  for (NodeId u = 0; u < m.nodes; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    const std::size_t d = nbrs.size();
+    if (d < 2) continue;
+    const std::size_t total_pairs = d * (d - 1) / 2;
+    if (total_pairs <= kMaxWedgesPerNode) {
+      for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = i + 1; j < d; ++j) {
+          ++wedges;
+          if (edge_set.contains((std::uint64_t{nbrs[i].first} << 32) | nbrs[j].first)) {
+            ++closed;
+          }
+        }
+      }
+    } else {
+      // Deterministic stride sampling of pairs, then scale up.
+      std::uint64_t sampled = 0, sampled_closed = 0;
+      const std::size_t stride = total_pairs / kMaxWedgesPerNode + 1;
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < d && sampled < kMaxWedgesPerNode; ++i) {
+        for (std::size_t j = i + 1; j < d && sampled < kMaxWedgesPerNode; ++j) {
+          if (idx++ % stride != 0) continue;
+          ++sampled;
+          if (edge_set.contains((std::uint64_t{nbrs[i].first} << 32) | nbrs[j].first)) {
+            ++sampled_closed;
+          }
+        }
+      }
+      if (sampled > 0) {
+        wedges += total_pairs;
+        closed += sampled_closed * total_pairs / sampled;
+      }
+    }
+  }
+  m.clustering_coefficient =
+      wedges == 0 ? 0.0 : static_cast<double>(closed) / static_cast<double>(wedges);
+  return m;
+}
+
+std::vector<NodeId> top_degree_nodes(const CommGraph& graph, std::size_t k) {
+  std::vector<NodeId> order(graph.node_count());
+  for (NodeId i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+std::string GraphMetrics::to_string() const {
+  std::string out;
+  out += "nodes=" + std::to_string(nodes);
+  out += " edges=" + std::to_string(edges);
+  out += " monitored=" + std::to_string(monitored_nodes);
+  out += " density=" + std::to_string(density);
+  out += " mean_deg=" + std::to_string(mean_degree);
+  out += " max_deg=" + std::to_string(max_degree);
+  out += " components=" + std::to_string(components);
+  out += " clustering=" + std::to_string(clustering_coefficient);
+  return out;
+}
+
+}  // namespace ccg

@@ -1,0 +1,111 @@
+#include "ccg/graph/serialize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace ccg {
+
+void write_graph(std::ostream& out, const CommGraph& graph) {
+  out << "ccgraph-v1 " << graph.window().begin().index() << ' '
+      << graph.window().length() << ' ' << graph.node_count() << ' '
+      << graph.edge_count() << '\n';
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    const NodeKey& key = graph.key(i);
+    const NodeStats& stats = graph.node_stats(i);
+    out << "n " << key.ip.bits() << ' ' << key.port << ' '
+        << (stats.monitored ? 1 : 0) << ' ' << stats.collapsed_members << '\n';
+  }
+  for (const Edge& e : graph.edges()) {
+    const EdgeStats& s = e.stats;
+    out << "e " << e.a << ' ' << e.b << ' ' << s.bytes_ab << ' ' << s.bytes_ba
+        << ' ' << s.packets_ab << ' ' << s.packets_ba << ' '
+        << s.connection_minutes << ' ' << s.active_minutes << ' '
+        << s.client_minutes_ab << ' ' << s.client_minutes_ba << ' '
+        << s.server_port_hint << '\n';
+  }
+}
+
+std::optional<CommGraph> read_graph(std::istream& in) {
+  std::string magic;
+  std::int64_t window_begin = 0, window_len = 0;
+  std::size_t node_count = 0, edge_count = 0;
+  if (!(in >> magic >> window_begin >> window_len >> node_count >> edge_count)) {
+    return std::nullopt;
+  }
+  if (magic != "ccgraph-v1") return std::nullopt;
+
+  CommGraph graph(TimeWindow::minutes(window_begin, window_len));
+  for (std::size_t i = 0; i < node_count; ++i) {
+    std::string tag;
+    std::uint32_t ip_bits = 0;
+    std::int32_t port = 0;
+    int monitored = 0;
+    std::uint32_t collapsed = 0;
+    if (!(in >> tag >> ip_bits >> port >> monitored >> collapsed) || tag != "n") {
+      return std::nullopt;
+    }
+    const NodeId id = graph.add_node(NodeKey{IpAddr(ip_bits), port});
+    if (id != i) return std::nullopt;  // duplicate node line
+    graph.set_monitored(id, monitored != 0);
+    if (collapsed > 0) graph.note_collapsed_members(id, collapsed);
+  }
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    std::string tag;
+    NodeId a = 0, b = 0;
+    std::uint64_t bytes_ab, bytes_ba, pkts_ab, pkts_ba, conn, cm_ab, cm_ba;
+    std::uint32_t active;
+    std::int32_t port_hint;
+    if (!(in >> tag >> a >> b >> bytes_ab >> bytes_ba >> pkts_ab >> pkts_ba >>
+          conn >> active >> cm_ab >> cm_ba >> port_hint) ||
+        tag != "e") {
+      return std::nullopt;
+    }
+    if (a >= node_count || b >= node_count || a == b) return std::nullopt;
+    graph.add_edge_volume(a, b, bytes_ab, bytes_ba, pkts_ab, pkts_ba, conn,
+                          active, cm_ab, cm_ba, port_hint);
+  }
+  return graph;
+}
+
+bool write_pgm_heatmap(std::ostream& out, const CommGraph& graph,
+                       std::size_t cells) {
+  const std::size_t n = graph.node_count();
+  const std::size_t grid = std::max<std::size_t>(1, std::min(cells, std::max<std::size_t>(n, 1)));
+
+  // Stable node order (by key), binned onto the grid.
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.key(a) < graph.key(b);
+  });
+  std::vector<std::size_t> cell_of(n, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    cell_of[order[rank]] = rank * grid / std::max<std::size_t>(n, 1);
+  }
+
+  std::vector<double> heat(grid * grid, 0.0);
+  for (const Edge& e : graph.edges()) {
+    const double v = std::log1p(static_cast<double>(e.stats.bytes()));
+    heat[cell_of[e.a] * grid + cell_of[e.b]] += v;
+    heat[cell_of[e.b] * grid + cell_of[e.a]] += v;
+  }
+  const double peak =
+      heat.empty() ? 0.0 : *std::max_element(heat.begin(), heat.end());
+
+  out << "P5\n" << grid << ' ' << grid << "\n255\n";
+  std::vector<unsigned char> row(grid);
+  for (std::size_t r = 0; r < grid; ++r) {
+    for (std::size_t c = 0; c < grid; ++c) {
+      const double frac = peak <= 0.0 ? 0.0 : heat[r * grid + c] / peak;
+      // White background, dark traffic — like the paper's figures.
+      row[c] = static_cast<unsigned char>(255.0 * (1.0 - frac));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(grid));
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace ccg

@@ -1,0 +1,137 @@
+#include "ccg/linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
+                                int max_sweeps) {
+  CCG_EXPECT(input.square());
+  CCG_EXPECT(input.is_symmetric(1e-6 * (1.0 + input.frobenius())));
+  const std::size_t n = input.rows();
+
+  Matrix a = input;            // working copy, driven to diagonal
+  Matrix v = Matrix::identity(n);  // accumulated rotations
+
+  const double frob = std::max(a.frobenius(), 1e-300);
+  const double threshold = tolerance * frob;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off = std::max(off, std::abs(a(p, q)));
+      }
+    }
+    if (off <= threshold) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= threshold * 1e-3) continue;
+
+        // Classical Jacobi rotation annihilating a(p,q).
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending |eigenvalue| — the order PCA truncates in.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return std::abs(diag[x]) > std::abs(diag[y]);
+  });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+PowerIterationResult power_iteration(const Matrix& m, int max_iterations,
+                                     double tolerance) {
+  CCG_EXPECT(m.square());
+  const std::size_t n = m.rows();
+  PowerIterationResult result;
+  if (n == 0) return result;
+
+  // Deterministic non-degenerate start.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 0.001 * static_cast<double>(i % 7);
+  }
+
+  double lambda = 0.0;
+  std::vector<double> y(n);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += m(i, j) * x[j];
+      y[i] = acc;
+    }
+    double norm = 0.0;
+    for (double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;  // x in the null space
+    for (std::size_t i = 0; i < n; ++i) y[i] /= norm;
+
+    // Rayleigh quotient.
+    double new_lambda = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += m(i, j) * y[j];
+      new_lambda += y[i] * acc;
+    }
+    result.iterations = iter + 1;
+    x = y;
+    if (std::abs(new_lambda - lambda) <= tolerance * (1.0 + std::abs(new_lambda))) {
+      lambda = new_lambda;
+      result.converged = true;
+      break;
+    }
+    lambda = new_lambda;
+  }
+  result.value = lambda;
+  result.vector = std::move(x);
+  return result;
+}
+
+}  // namespace ccg

@@ -1,0 +1,154 @@
+#include "ccg/linalg/ica.hpp"
+
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+#include "ccg/linalg/eigen.hpp"
+
+namespace ccg {
+
+namespace {
+
+// Symmetric decorrelation: W <- (W Wᵀ)^(-1/2) W, computed via the
+// eigendecomposition of the k x k Gram matrix.
+Matrix symmetric_decorrelate(const Matrix& w) {
+  const Matrix gram = w.multiply(w.transpose());  // k x k, symmetric
+  const EigenDecomposition eig = jacobi_eigen(gram);
+  const std::size_t k = gram.rows();
+  Matrix inv_sqrt(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double lambda = eig.values[j];
+        if (lambda <= 1e-12) continue;  // rank-deficient direction
+        acc += eig.vectors(a, j) * eig.vectors(b, j) / std::sqrt(lambda);
+      }
+      inv_sqrt(a, b) = acc;
+    }
+  }
+  return inv_sqrt.multiply(w);
+}
+
+}  // namespace
+
+IcaResult FastIca::fit(const Matrix& data, std::size_t k) const {
+  const std::size_t samples = data.rows();
+  const std::size_t vars = data.cols();
+  CCG_EXPECT(k >= 1);
+  CCG_EXPECT(k <= samples && k <= vars);
+
+  // 1. Center columns.
+  Matrix x = data;
+  std::vector<double> mean(vars, 0.0);
+  for (std::size_t c = 0; c < vars; ++c) {
+    for (std::size_t r = 0; r < samples; ++r) mean[c] += x(r, c);
+    mean[c] /= static_cast<double>(samples);
+    for (std::size_t r = 0; r < samples; ++r) x(r, c) -= mean[c];
+  }
+
+  // 2. Whiten with the top-k principal directions of the covariance.
+  Matrix cov(vars, vars);
+  for (std::size_t a = 0; a < vars; ++a) {
+    for (std::size_t b = a; b < vars; ++b) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < samples; ++r) acc += x(r, a) * x(r, b);
+      acc /= static_cast<double>(samples);
+      cov(a, b) = acc;
+      cov(b, a) = acc;
+    }
+  }
+  const EigenDecomposition ceig = jacobi_eigen(cov);
+
+  // Whitening matrix K: k x vars, rows = eigvecᵀ / sqrt(eigval).
+  Matrix whiten(k, vars);
+  Matrix dewhiten(vars, k);  // maps whitened coords back to variable space
+  for (std::size_t j = 0; j < k; ++j) {
+    const double lambda = std::max(ceig.values[j], 1e-12);
+    const double s = 1.0 / std::sqrt(lambda);
+    for (std::size_t a = 0; a < vars; ++a) {
+      whiten(j, a) = ceig.vectors(a, j) * s;
+      dewhiten(a, j) = ceig.vectors(a, j) * std::sqrt(lambda);
+    }
+  }
+  const Matrix z = x.multiply(whiten.transpose());  // samples x k, white
+
+  // 3. Symmetric FastICA with tanh contrast.
+  Rng rng(options_.seed);
+  Matrix w(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) w(a, b) = rng.normal();
+  }
+  w = symmetric_decorrelate(w);
+
+  IcaResult result;
+  const double inv_n = 1.0 / static_cast<double>(samples);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // wx = Z Wᵀ : samples x k projections.
+    const Matrix wx = z.multiply(w.transpose());
+    Matrix new_w(k, k);
+    for (std::size_t comp = 0; comp < k; ++comp) {
+      // E[z g(wᵀz)] − E[g'(wᵀz)] w  with g = tanh.
+      std::vector<double> ezg(k, 0.0);
+      double eg_prime = 0.0;
+      for (std::size_t r = 0; r < samples; ++r) {
+        const double u = wx(r, comp);
+        const double g = std::tanh(u);
+        eg_prime += 1.0 - g * g;
+        for (std::size_t a = 0; a < k; ++a) ezg[a] += z(r, a) * g;
+      }
+      eg_prime *= inv_n;
+      for (std::size_t a = 0; a < k; ++a) {
+        new_w(comp, a) = ezg[a] * inv_n - eg_prime * w(comp, a);
+      }
+    }
+    new_w = symmetric_decorrelate(new_w);
+
+    // Convergence: |diag(W_new Wᵀ)| all near 1.
+    double worst = 0.0;
+    for (std::size_t comp = 0; comp < k; ++comp) {
+      double dot = 0.0;
+      for (std::size_t a = 0; a < k; ++a) dot += new_w(comp, a) * w(comp, a);
+      worst = std::max(worst, std::abs(std::abs(dot) - 1.0));
+    }
+    w = std::move(new_w);
+    result.iterations = iter + 1;
+    if (worst < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // 4. Assemble outputs in the original variable space.
+  result.components = w.multiply(whiten);        // k x vars
+  result.sources = z.multiply(w.transpose());    // samples x k
+  result.mixing = dewhiten.multiply(w.transpose());  // vars x k
+  // Stash the column means in an extra row of mixing? No — reconstruction
+  // re-derives means; see reconstruction_error.
+  return result;
+}
+
+double FastIca::reconstruction_error(const Matrix& data, std::size_t k) const {
+  const IcaResult r = fit(data, k);
+  const std::size_t samples = data.rows();
+  const std::size_t vars = data.cols();
+
+  // X̂ = S Aᵀ + mean (A = mixing, vars x k).
+  const Matrix recon_centered = r.sources.multiply(r.mixing.transpose());
+  std::vector<double> mean(vars, 0.0);
+  for (std::size_t c = 0; c < vars; ++c) {
+    for (std::size_t row = 0; row < samples; ++row) mean[c] += data(row, c);
+    mean[c] /= static_cast<double>(samples);
+  }
+  double err = 0.0, total = 0.0;
+  for (std::size_t row = 0; row < samples; ++row) {
+    for (std::size_t c = 0; c < vars; ++c) {
+      err += std::abs(data(row, c) - (recon_centered(row, c) + mean[c]));
+      total += std::abs(data(row, c));
+    }
+  }
+  return total == 0.0 ? 0.0 : err / total;
+}
+
+}  // namespace ccg

@@ -1,0 +1,40 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and power iteration.
+//
+// Adjacency matrices of communication graphs are symmetric, so Jacobi is
+// exact, simple and robust; n is a few hundred after heavy-hitter collapse,
+// well inside Jacobi's comfort zone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ccg/linalg/matrix.hpp"
+
+namespace ccg {
+
+struct EigenDecomposition {
+  /// Eigenvalues sorted by descending |value|.
+  std::vector<double> values;
+  /// Column j of `vectors` is the eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix via cyclic Jacobi sweeps.
+/// Preconditions: m is square and symmetric. Converges when all
+/// off-diagonal magnitudes fall below `tolerance` (relative to the
+/// Frobenius norm) or `max_sweeps` is hit.
+EigenDecomposition jacobi_eigen(const Matrix& m, double tolerance = 1e-10,
+                                int max_sweeps = 64);
+
+/// Dominant eigenpair via power iteration (used for quick spectral radius
+/// estimates and as a cross-check on Jacobi).
+struct PowerIterationResult {
+  double value = 0.0;
+  std::vector<double> vector;
+  int iterations = 0;
+  bool converged = false;
+};
+PowerIterationResult power_iteration(const Matrix& m, int max_iterations = 1000,
+                                     double tolerance = 1e-10);
+
+}  // namespace ccg

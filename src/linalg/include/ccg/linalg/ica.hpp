@@ -1,0 +1,50 @@
+// FastICA — the paper's footnote 6 alternative to PCA's eigenvectors:
+// "Similar results hold when using independent components, e.g., FastICA,
+// instead of PCA's eigen vectors."
+//
+// We treat the adjacency matrix's rows as samples and columns as variables,
+// whiten with the top-k principal directions, then run symmetric FastICA
+// with the tanh contrast. Reconstruction maps the k independent components
+// back through the estimated mixing matrix, giving an error metric directly
+// comparable to PcaSummary::reconstruction_error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ccg/linalg/matrix.hpp"
+
+namespace ccg {
+
+struct IcaResult {
+  Matrix components;   // k x n_vars unmixing directions (in whitened space)
+  Matrix sources;      // n_samples x k independent components
+  Matrix mixing;       // n_vars x k estimated mixing matrix
+  int iterations = 0;
+  bool converged = false;
+};
+
+class FastIca {
+ public:
+  struct Options {
+    int max_iterations = 200;
+    double tolerance = 1e-6;
+    std::uint64_t seed = 7;
+  };
+
+  FastIca() : options_(Options{}) {}
+  explicit FastIca(Options options) : options_(options) {}
+
+  /// Extracts k independent components from data (samples x variables).
+  /// Preconditions: k >= 1, k <= min(samples, variables).
+  IcaResult fit(const Matrix& data, std::size_t k) const;
+
+  /// |X − X̂k|₁ / |X|₁ where X̂k reconstructs from k independent components.
+  double reconstruction_error(const Matrix& data, std::size_t k) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ccg

@@ -1,0 +1,36 @@
+// Lloyd's k-means with k-means++ seeding — the clustering half of
+// feature-based role inference (paper's RolX citation [51]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccg/linalg/matrix.hpp"
+
+namespace ccg {
+
+struct KMeansResult {
+  std::vector<std::uint32_t> labels;  // cluster per row of the input
+  Matrix centroids;                   // k x features
+  double inertia = 0.0;               // sum of squared distances
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;  // relative centroid movement to declare done
+  std::uint64_t seed = 23;
+  int restarts = 4;  // keep the best-inertia run
+};
+
+/// Clusters the rows of `data` into k groups.
+/// Preconditions: k >= 1, k <= rows, data non-empty.
+KMeansResult kmeans(const Matrix& data, std::size_t k, KMeansOptions options = {});
+
+/// Standardizes columns to zero mean / unit variance (constant columns
+/// become zero). Feature matrices should be scaled before kmeans so one
+/// large-magnitude feature cannot dominate the distance.
+Matrix standardize_columns(const Matrix& data);
+
+}  // namespace ccg

@@ -1,0 +1,80 @@
+#include "ccg/linalg/pca.hpp"
+
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+PcaSummary::PcaSummary(const Matrix& m)
+    : original_(m), eig_(jacobi_eigen(m)), original_abs_sum_(m.abs_sum()) {}
+
+Matrix PcaSummary::reconstruct(std::size_t k) const {
+  const std::size_t n = dimension();
+  CCG_EXPECT(k <= n);
+  Matrix out(n, n);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double lambda = eig_.values[j];
+    for (std::size_t r = 0; r < n; ++r) {
+      const double vr = eig_.vectors(r, j) * lambda;
+      if (vr == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        out(r, c) += vr * eig_.vectors(c, j);
+      }
+    }
+  }
+  return out;
+}
+
+double PcaSummary::reconstruction_error(std::size_t k) const {
+  if (original_abs_sum_ == 0.0) return 0.0;
+  return (original_ - reconstruct(k)).abs_sum() / original_abs_sum_;
+}
+
+std::vector<double> PcaSummary::error_curve(std::size_t max_k) const {
+  const std::size_t n = dimension();
+  CCG_EXPECT(max_k <= n);
+  std::vector<double> errors;
+  errors.reserve(max_k + 1);
+
+  // Incremental: maintain the residual M - Mk and subtract one rank-1 term
+  // per step, re-scanning for the L1 norm. O(n^2) per k.
+  Matrix residual = original_;
+  errors.push_back(original_abs_sum_ == 0.0
+                       ? 0.0
+                       : residual.abs_sum() / original_abs_sum_);
+  for (std::size_t j = 0; j < max_k; ++j) {
+    const double lambda = eig_.values[j];
+    for (std::size_t r = 0; r < n; ++r) {
+      const double vr = eig_.vectors(r, j) * lambda;
+      for (std::size_t c = 0; c < n; ++c) {
+        residual(r, c) -= vr * eig_.vectors(c, j);
+      }
+    }
+    errors.push_back(original_abs_sum_ == 0.0
+                         ? 0.0
+                         : residual.abs_sum() / original_abs_sum_);
+  }
+  return errors;
+}
+
+std::size_t PcaSummary::rank_for_error(double max_error) const {
+  const auto curve = error_curve(dimension());
+  for (std::size_t k = 0; k < curve.size(); ++k) {
+    if (curve[k] <= max_error) return k;
+  }
+  return dimension();
+}
+
+double PcaSummary::spectral_mass(std::size_t k) const {
+  CCG_EXPECT(k <= dimension());
+  double top = 0.0, total = 0.0;
+  for (std::size_t j = 0; j < eig_.values.size(); ++j) {
+    const double mag = std::abs(eig_.values[j]);
+    total += mag;
+    if (j < k) top += mag;
+  }
+  return total == 0.0 ? 1.0 : top / total;
+}
+
+}  // namespace ccg

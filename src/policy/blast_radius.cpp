@@ -1,0 +1,87 @@
+#include "ccg/policy/blast_radius.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::vector<std::size_t> transitive_reach_by_segment(
+    const SegmentMap& segments, const ReachabilityPolicy& policy) {
+  const std::size_t k = segments.segment_count();
+  const auto adjacency = policy.reachable_segments(k);
+  const auto members = segments.members();
+
+  std::vector<std::size_t> reach(k, 0);
+  std::vector<bool> visited(k);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < k; ++start) {
+    std::fill(visited.begin(), visited.end(), false);
+    visited[start] = true;
+    stack.assign(1, start);
+    std::size_t resources = 0;
+    while (!stack.empty()) {
+      const std::uint32_t s = stack.back();
+      stack.pop_back();
+      resources += members[s].size();
+      for (const std::uint32_t t : adjacency[s]) {
+        if (!visited[t]) {
+          visited[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+    // Exclude the breached resource itself.
+    reach[start] = resources > 0 ? resources - 1 : 0;
+  }
+  return reach;
+}
+
+BlastRadiusReport blast_radius(const SegmentMap& segments,
+                               const ReachabilityPolicy& policy) {
+  BlastRadiusReport report;
+  const std::size_t k = segments.segment_count();
+  const auto members = segments.members();
+  const auto adjacency = policy.reachable_segments(k);
+  const auto transitive = transitive_reach_by_segment(segments, policy);
+
+  std::size_t total_resources = 0;
+  for (const auto& m : members) total_resources += m.size();
+  report.resources = total_resources;
+  report.flat_radius = total_resources > 0 ? total_resources - 1 : 0;
+  if (total_resources == 0) return report;
+
+  double direct_sum = 0.0, transitive_sum = 0.0;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    // Direct: own segment peers + members of directly allowed segments.
+    std::size_t direct = members[s].empty() ? 0 : members[s].size() - 1;
+    for (const std::uint32_t t : adjacency[s]) {
+      if (t != s) direct += members[t].size();
+    }
+    for (std::size_t i = 0; i < members[s].size(); ++i) {
+      direct_sum += static_cast<double>(direct);
+      transitive_sum += static_cast<double>(transitive[s]);
+      report.max_direct = std::max(report.max_direct, direct);
+      report.max_transitive = std::max(report.max_transitive, transitive[s]);
+    }
+  }
+  report.mean_direct = direct_sum / static_cast<double>(total_resources);
+  report.mean_transitive = transitive_sum / static_cast<double>(total_resources);
+  report.reduction_factor =
+      report.mean_transitive <= 0.0
+          ? static_cast<double>(report.flat_radius)
+          : static_cast<double>(report.flat_radius) / report.mean_transitive;
+  return report;
+}
+
+std::string BlastRadiusReport::summary() const {
+  char buf[220];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu flat=%zu direct(mean=%.1f,max=%zu) "
+                "transitive(mean=%.1f,max=%zu) reduction=%.1fx",
+                resources, flat_radius, mean_direct, max_direct,
+                mean_transitive, max_transitive, reduction_factor);
+  return buf;
+}
+
+}  // namespace ccg

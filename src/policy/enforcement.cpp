@@ -1,0 +1,125 @@
+#include "ccg/policy/enforcement.hpp"
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+AllowRule rule_for_record(const SegmentMap& segments,
+                          const ConnectionSummary& record) {
+  const FlowEndpoints ep = classify_endpoints(record);
+  auto seg = [&](IpAddr ip) {
+    const std::uint32_t s = segments.segment_of(ip);
+    return s == kUnsegmented ? kExternalSegment : s;
+  };
+  return AllowRule{.from_segment = seg(ep.client_ip),
+                   .to_segment = seg(ep.server_ip),
+                   .server_port = ep.server_port};
+}
+
+bool VmRuleTable::allows(bool inbound, IpAddr peer_ip, std::uint32_t peer_tag,
+                         std::uint16_t server_port) const {
+  for (const DataPathRule& rule : rules_) {
+    if (rule.inbound != inbound || rule.server_port != server_port) continue;
+    switch (rule.peer) {
+      case DataPathRule::PeerMatch::kIp:
+        if (rule.peer_ip == peer_ip) return true;
+        break;
+      case DataPathRule::PeerMatch::kCidr:
+        if (rule.peer_block.contains(peer_ip)) return true;
+        break;
+      case DataPathRule::PeerMatch::kTag:
+        if (peer_tag != kUnsegmented && rule.peer_tag == peer_tag) return true;
+        break;
+      case DataPathRule::PeerMatch::kExternal:
+        if (peer_tag == kUnsegmented) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+EnforcementPlane::EnforcementPlane(const SegmentMap& segments,
+                                   const ReachabilityPolicy& policy,
+                                   RuleCompilerKind kind)
+    : segments_(&segments), kind_(kind) {
+  const std::size_t seg_count = segments.segment_count();
+  const auto members = segments.members();
+
+  // Group allow rules by client / server segment.
+  std::vector<std::vector<const AllowRule*>> outbound_for(seg_count),
+      inbound_for(seg_count);
+  for (const AllowRule& rule : policy.rules()) {
+    if (rule.from_segment < seg_count) outbound_for[rule.from_segment].push_back(&rule);
+    if (rule.to_segment < seg_count) inbound_for[rule.to_segment].push_back(&rule);
+  }
+
+  // Each segment's table is identical across its members: build once.
+  for (std::uint32_t s = 0; s < seg_count; ++s) {
+    VmRuleTable table;
+    auto add_peer_rules = [&](const AllowRule& rule, bool inbound,
+                              std::uint32_t peer_segment) {
+      DataPathRule base{};
+      base.inbound = inbound;
+      base.server_port = rule.server_port;
+      if (peer_segment >= seg_count) {
+        base.peer = DataPathRule::PeerMatch::kExternal;
+        table.add(base);
+      } else if (kind_ == RuleCompilerKind::kTagBased) {
+        base.peer = DataPathRule::PeerMatch::kTag;
+        base.peer_tag = peer_segment;
+        table.add(base);
+      } else if (kind_ == RuleCompilerKind::kCidrAggregated) {
+        base.peer = DataPathRule::PeerMatch::kCidr;
+        for (const IpPrefix& block : aggregate_cidrs(members[peer_segment])) {
+          base.peer_block = block;
+          table.add(base);
+        }
+      } else {
+        base.peer = DataPathRule::PeerMatch::kIp;
+        for (const IpAddr peer : members[peer_segment]) {
+          base.peer_ip = peer;
+          table.add(base);
+        }
+      }
+    };
+    for (const AllowRule* rule : outbound_for[s]) {
+      add_peer_rules(*rule, /*inbound=*/false, rule->to_segment);
+    }
+    for (const AllowRule* rule : inbound_for[s]) {
+      add_peer_rules(*rule, /*inbound=*/true, rule->from_segment);
+    }
+    for (const IpAddr vm : members[s]) {
+      tables_.emplace(vm, table);
+    }
+  }
+}
+
+EnforcementPlane::Verdict EnforcementPlane::check(
+    const ConnectionSummary& record) const {
+  auto it = tables_.find(record.flow.local_ip);
+  if (it == tables_.end()) return Verdict::kNoTable;
+
+  const FlowEndpoints ep = classify_endpoints(record);
+  const bool local_is_client = record.flow.local_ip == ep.client_ip;
+  const IpAddr peer = local_is_client ? ep.server_ip : ep.client_ip;
+  const std::uint32_t peer_tag = segments_->segment_of(peer);
+  // At the local NIC: outbound check when this VM initiated, inbound when
+  // it serves. The rule's port is always the server-side port.
+  const bool inbound = !local_is_client;
+  return it->second.allows(inbound, peer, peer_tag, ep.server_port)
+             ? Verdict::kAllow
+             : Verdict::kDeny;
+}
+
+const VmRuleTable* EnforcementPlane::table(IpAddr vm) const {
+  auto it = tables_.find(vm);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t EnforcementPlane::total_rules() const {
+  std::uint64_t total = 0;
+  for (const auto& [vm, table] : tables_) total += table.size();
+  return total;
+}
+
+}  // namespace ccg

@@ -1,0 +1,156 @@
+#include "ccg/policy/higher_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::vector<ClassifiedViolation> apply_similarity_policy(
+    const std::vector<Violation>& violations, const SegmentMap& segments,
+    SimilarityPolicyOptions options) {
+  CCG_EXPECT(options.segment_fraction > 0.0 && options.segment_fraction <= 1.0);
+
+  // Group by behaviour: (client segment, server segment, port) -> distinct
+  // client IPs exhibiting it.
+  struct Behaviour {
+    std::unordered_set<std::uint32_t> clients;  // distinct client IP bits
+  };
+  std::unordered_map<std::uint64_t, Behaviour> behaviours;
+  auto behaviour_key = [](const Violation& v) {
+    return (std::uint64_t{v.client_segment} << 40) ^
+           (std::uint64_t{v.server_segment} << 16) ^ v.server_port;
+  };
+  for (const Violation& v : violations) {
+    behaviours[behaviour_key(v)].clients.insert(v.client_ip.bits());
+  }
+
+  std::vector<ClassifiedViolation> out;
+  out.reserve(violations.size());
+  for (const Violation& v : violations) {
+    ClassifiedViolation cv{.violation = v};
+    if (v.client_segment != kUnsegmented && v.client_segment != kExternalSegment) {
+      const std::size_t segment_size = segments.segment_size(v.client_segment);
+      const std::size_t exhibiting = behaviours[behaviour_key(v)].clients.size();
+      if (segment_size > 0) {
+        cv.segment_coverage =
+            static_cast<double>(exhibiting) / static_cast<double>(segment_size);
+        cv.suppressed = exhibiting >= options.min_members &&
+                        cv.segment_coverage >= options.segment_fraction;
+      }
+    }
+    out.push_back(cv);
+  }
+  return out;
+}
+
+void SegmentVolumeMatrix::observe(const ConnectionSummary& record) {
+  const FlowEndpoints ep = classify_endpoints(record);
+  auto seg = [&](IpAddr ip) {
+    const std::uint32_t s = segments_->segment_of(ip);
+    return s == kUnsegmented ? kExternalSegment : s;
+  };
+  // Count each conversation once. Both endpoints of an intra-subscription
+  // flow report it; prefer the client-side record and accept the
+  // server-side one only when the client is outside the segmented estate
+  // (then the server's NIC holds the only copy).
+  const std::uint32_t from = seg(ep.client_ip);
+  const std::uint32_t to = seg(ep.server_ip);
+  const bool local_is_client = record.flow.local_ip == ep.client_ip;
+  if (!local_is_client && from != kExternalSegment) return;
+  volume_[key(from, to)] += record.counters.total_bytes();
+}
+
+void SegmentVolumeMatrix::observe_batch(const std::vector<ConnectionSummary>& batch) {
+  for (const auto& record : batch) observe(record);
+}
+
+std::uint64_t SegmentVolumeMatrix::volume(std::uint32_t from, std::uint32_t to) const {
+  auto it = volume_.find(key(from, to));
+  return it == volume_.end() ? 0 : it->second;
+}
+
+std::vector<VolumeAlert> apply_proportionality_policy(
+    const SegmentVolumeMatrix& baseline, const SegmentVolumeMatrix& current,
+    ProportionalityOptions options) {
+  CCG_EXPECT(options.growth_trigger >= 1.0);
+  CCG_EXPECT(options.disproportion_factor >= 1.0);
+
+  // Growth per client segment over edges with a usable baseline, plus the
+  // total inbound volume per server segment (for the flash-crowd chain).
+  std::unordered_map<std::uint32_t, std::vector<double>> growths_by_segment;
+  std::unordered_map<std::uint32_t, std::uint64_t> inbound_base, inbound_cur;
+  struct Candidate {
+    std::uint32_t from, to;
+    std::uint64_t base, cur;
+    double growth;
+  };
+  std::vector<Candidate> candidates;
+
+  for (const auto& [key, base_bytes] : baseline.volumes()) {
+    const auto from = static_cast<std::uint32_t>(key >> 32);
+    const auto to = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    const std::uint64_t cur_bytes = current.volume(from, to);
+    inbound_base[to] += base_bytes;
+    inbound_cur[to] += cur_bytes;
+    if (base_bytes < options.min_baseline_bytes) continue;
+    const double growth =
+        static_cast<double>(cur_bytes) / static_cast<double>(base_bytes);
+    growths_by_segment[from].push_back(growth);
+    if (growth >= options.growth_trigger) {
+      candidates.push_back({from, to, base_bytes, cur_bytes, growth});
+    }
+  }
+
+  auto median = [](std::vector<double> v) {
+    if (v.empty()) return 1.0;
+    // Lower-middle for even sizes: with few edges, the conservative pick
+    // keeps a single surging edge from becoming its own excuse.
+    const auto mid = static_cast<std::ptrdiff_t>((v.size() - 1) / 2);
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    return v[static_cast<std::size_t>(mid)];
+  };
+  std::unordered_map<std::uint32_t, double> median_by_segment;
+  for (const auto& [seg, growths] : growths_by_segment) {
+    median_by_segment[seg] = median(growths);
+  }
+
+  std::vector<VolumeAlert> alerts;
+  alerts.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    const double med = std::max(1.0, median_by_segment[c.from]);
+    // Flash-crowd chain: if the client segment itself received
+    // proportionally more traffic, its outbound surge is explained.
+    double in_growth = 1.0;
+    auto bit = inbound_base.find(c.from);
+    if (bit != inbound_base.end() && bit->second >= options.min_baseline_bytes) {
+      in_growth = static_cast<double>(inbound_cur[c.from]) /
+                  static_cast<double>(bit->second);
+    }
+    const double explanation = std::max({1.0, med, in_growth});
+    VolumeAlert alert{.client_segment = c.from,
+                      .server_segment = c.to,
+                      .baseline_bytes = c.base,
+                      .current_bytes = c.cur,
+                      .growth = c.growth,
+                      .segment_median_growth = med,
+                      .inbound_growth = in_growth,
+                      .flagged = c.growth > options.disproportion_factor * explanation};
+    alerts.push_back(alert);
+  }
+  return alerts;
+}
+
+std::string VolumeAlert::to_string() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "seg %u -> seg %u: %.1fx growth (outbound median %.1fx, "
+                "inbound %.1fx) %s",
+                client_segment, server_segment, growth, segment_median_growth,
+                inbound_growth, flagged ? "ALERT" : "explained");
+  return buf;
+}
+
+}  // namespace ccg

@@ -1,0 +1,50 @@
+// Blast-radius analysis: "we seek to limit which other resources may
+// become vulnerable due to the breach ... the blast radius of breaching a
+// resource reduces to only those that the resource must communicate with
+// during normal operation" (paper §2.1).
+//
+// Unsegmented cloud networks default to allow-all inside the subscription:
+// one breached VM can try every other resource (radius n-1). Under a
+// default-deny µsegment policy, an attacker can only move along allowed
+// (client segment -> server segment) channels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/policy/microsegment.hpp"
+#include "ccg/policy/reachability.hpp"
+
+namespace ccg {
+
+struct BlastRadiusReport {
+  std::size_t resources = 0;  // segmented resources analyzed
+  /// Direct radius: resources reachable in one hop from the breached
+  /// node's segment (lateral movement step 1).
+  double mean_direct = 0.0;
+  std::size_t max_direct = 0;
+  /// Transitive radius: resources reachable by chaining allowed channels
+  /// (a patient attacker's full reach).
+  double mean_transitive = 0.0;
+  std::size_t max_transitive = 0;
+  /// The unsegmented baseline: every resource reaches all others.
+  std::size_t flat_radius = 0;
+  /// flat_radius / mean_transitive — the headline mitigation factor.
+  double reduction_factor = 0.0;
+
+  std::string summary() const;
+};
+
+/// Computes the per-resource blast radius under a policy and aggregates.
+/// Reachability follows the client->server direction of allow rules
+/// (an attacker on a breached VM can initiate connections its segment is
+/// allowed to make, compromise a peer, and continue from there).
+BlastRadiusReport blast_radius(const SegmentMap& segments,
+                               const ReachabilityPolicy& policy);
+
+/// Per-segment transitive reach in resources (for drill-down displays).
+std::vector<std::size_t> transitive_reach_by_segment(
+    const SegmentMap& segments, const ReachabilityPolicy& policy);
+
+}  // namespace ccg

@@ -1,0 +1,101 @@
+// Higher-order policies (paper §2.1): beyond plain reachability.
+//
+// Similarity-based: "suppose a code change causes VMs in a µsegment to
+// begin speaking with a new service ... noticing that all of the VMs in the
+// µsegment continue to exhibit similar behavior may avoid the false
+// positive."
+//
+// Proportionality-based: "consider the amount of traffic between different
+// pairs of µsegments [to] distinguish changes that are explainable due to a
+// flash-crowd versus other changes."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccg/policy/microsegment.hpp"
+#include "ccg/policy/reachability.hpp"
+
+namespace ccg {
+
+// --- Similarity-based policy -------------------------------------------------
+
+struct SimilarityPolicyOptions {
+  /// A new behaviour is benign when at least this fraction of the client
+  /// segment's members exhibit it within the window.
+  double segment_fraction = 0.5;
+  /// ... and at least this many distinct members (guards tiny segments).
+  std::size_t min_members = 2;
+};
+
+struct ClassifiedViolation {
+  Violation violation;
+  bool suppressed = false;   // judged a coordinated (benign-looking) change
+  double segment_coverage = 0.0;  // fraction of segment exhibiting it
+};
+
+/// Post-filters a window's reachability violations: violations that nearly
+/// the whole client segment shares (same server segment + port) are
+/// suppressed as coordinated changes; lone-wolf violations stay alerts.
+std::vector<ClassifiedViolation> apply_similarity_policy(
+    const std::vector<Violation>& violations, const SegmentMap& segments,
+    SimilarityPolicyOptions options = {});
+
+// --- Proportionality-based policy ---------------------------------------------
+
+/// Byte volumes between segment pairs in one window, keyed by
+/// (client segment, server segment).
+class SegmentVolumeMatrix {
+ public:
+  explicit SegmentVolumeMatrix(const SegmentMap& segments) : segments_(&segments) {}
+
+  void observe(const ConnectionSummary& record);
+  void observe_batch(const std::vector<ConnectionSummary>& batch);
+
+  std::uint64_t volume(std::uint32_t from, std::uint32_t to) const;
+  const std::unordered_map<std::uint64_t, std::uint64_t>& volumes() const {
+    return volume_;
+  }
+
+ private:
+  static std::uint64_t key(std::uint32_t from, std::uint32_t to) {
+    return (std::uint64_t{from} << 32) | to;
+  }
+  const SegmentMap* segments_;
+  std::unordered_map<std::uint64_t, std::uint64_t> volume_;
+};
+
+struct ProportionalityOptions {
+  /// An edge is examined when its volume grew by more than this factor.
+  double growth_trigger = 3.0;
+  /// ... and alerts when its growth exceeds the best explanation by more
+  /// than this multiple. An edge (s -> t) is *explained* by either (a) the
+  /// inbound growth to s — a flash crowd propagates: more requests into
+  /// the web tier explain more traffic to its backends — or (b) the median
+  /// growth of s's outbound edges (the whole segment got busier together).
+  double disproportion_factor = 3.0;
+  /// Ignore edges below this baseline volume (too noisy to trend).
+  std::uint64_t min_baseline_bytes = 100'000;
+};
+
+struct VolumeAlert {
+  std::uint32_t client_segment = 0;
+  std::uint32_t server_segment = 0;
+  std::uint64_t baseline_bytes = 0;
+  std::uint64_t current_bytes = 0;
+  double growth = 0.0;
+  double segment_median_growth = 0.0;  // s's outbound median
+  double inbound_growth = 1.0;         // growth of traffic into s
+  bool flagged = false;  // true = alert; false = explained (proportional)
+
+  std::string to_string() const;
+};
+
+/// Compares a window against a baseline and classifies each grown edge.
+std::vector<VolumeAlert> apply_proportionality_policy(
+    const SegmentVolumeMatrix& baseline, const SegmentVolumeMatrix& current,
+    ProportionalityOptions options = {});
+
+}  // namespace ccg

@@ -1,0 +1,59 @@
+// µsegment assignment: the bridge from a graph Segmentation (NodeId labels)
+// to an IP-level map that policies, rule compilers and the breach simulator
+// consume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccg/common/ip.hpp"
+#include "ccg/graph/comm_graph.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+
+namespace ccg {
+
+inline constexpr std::uint32_t kUnsegmented = static_cast<std::uint32_t>(-1);
+
+/// IP -> µsegment assignment.
+class SegmentMap {
+ public:
+  SegmentMap() = default;
+
+  /// Builds from a segmentation of an IP-facet graph. Only monitored nodes
+  /// become segment members: remote/external IPs stay unsegmented (the
+  /// subscription cannot place tags on peers it doesn't own). Collapsed
+  /// nodes are skipped.
+  static SegmentMap from_segmentation(const CommGraph& graph,
+                                      const Segmentation& segmentation,
+                                      bool monitored_only = true);
+
+  /// Builds the ground-truth map: one segment per role (the "ideal
+  /// administrator labeling" upper bound).
+  static SegmentMap from_roles(
+      const std::unordered_map<IpAddr, std::string>& roles);
+
+  /// Segment of an IP, or kUnsegmented.
+  std::uint32_t segment_of(IpAddr ip) const;
+
+  void assign(IpAddr ip, std::uint32_t segment);
+
+  std::size_t segment_count() const { return segment_count_; }
+  std::size_t member_count() const { return assignment_.size(); }
+
+  /// Members per segment (index = segment id).
+  std::vector<std::vector<IpAddr>> members() const;
+  std::size_t segment_size(std::uint32_t segment) const;
+
+  const std::unordered_map<IpAddr, std::uint32_t>& assignments() const {
+    return assignment_;
+  }
+
+ private:
+  std::unordered_map<IpAddr, std::uint32_t> assignment_;
+  std::size_t segment_count_ = 0;
+};
+
+}  // namespace ccg

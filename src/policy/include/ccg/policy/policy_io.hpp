@@ -1,0 +1,43 @@
+// Policy persistence and diffing.
+//
+// Mined policies are review artifacts — an admin reads them, edits them,
+// versions them. So they serialize to a line format:
+//
+//   ccgpolicy-v1 <rule_count>
+//   allow <from_segment> <to_segment> <server_port>
+//
+// (from/to may be the literal `ext` for the external pseudo-segment), and
+// two policies diff into added/removed rules — the review unit when a new
+// window's mining run proposes changes.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ccg/policy/reachability.hpp"
+
+namespace ccg {
+
+void write_policy(std::ostream& out, const ReachabilityPolicy& policy);
+
+/// Returns nullopt on malformed input.
+std::optional<ReachabilityPolicy> read_policy(std::istream& in);
+
+struct PolicyDiff {
+  std::vector<AllowRule> added;    // in `next`, not in `prev`
+  std::vector<AllowRule> removed;  // in `prev`, not in `next`
+  std::size_t unchanged = 0;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  std::string summary() const;
+};
+
+PolicyDiff diff_policies(const ReachabilityPolicy& prev,
+                         const ReachabilityPolicy& next);
+
+std::string to_string(const AllowRule& rule);
+
+}  // namespace ccg

@@ -1,0 +1,149 @@
+// Reachability policies between µsegments (paper §2.1).
+//
+// "A pair of resources can communicate with each other only if explicitly
+// allowed by the policies; i.e., the default will be to deny." The miner
+// learns the allow set from a baseline window of telemetry; the checker
+// then flags any flow outside it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ccg/common/time.hpp"
+#include "ccg/policy/microsegment.hpp"
+#include "ccg/telemetry/record.hpp"
+
+namespace ccg {
+
+/// Pseudo-segment for endpoints outside the subscription (internet peers).
+inline constexpr std::uint32_t kExternalSegment = static_cast<std::uint32_t>(-2);
+
+/// Which endpoint of a summary is the server?
+struct FlowEndpoints {
+  IpAddr client_ip;
+  IpAddr server_ip;
+  std::uint16_t server_port;
+};
+
+/// Port-heuristic classification: the endpoint with a port below the
+/// ephemeral floor (32768) is serving. Misfires for services listening in
+/// the dynamic range (gRPC's 50051); prefer the record overload.
+FlowEndpoints classify_endpoints(const FlowKey& flow);
+
+/// Uses the record's initiator bit (authoritative, from the NIC flow
+/// state) and falls back to the port heuristic when unknown.
+FlowEndpoints classify_endpoints(const ConnectionSummary& record);
+
+/// One allowed channel: clients of `from` may reach servers of `to` on
+/// `server_port`.
+struct AllowRule {
+  std::uint32_t from_segment = 0;
+  std::uint32_t to_segment = 0;
+  std::uint16_t server_port = 0;
+
+  friend constexpr auto operator<=>(const AllowRule&, const AllowRule&) = default;
+};
+
+struct AllowRuleHash {
+  std::size_t operator()(const AllowRule& r) const noexcept {
+    std::uint64_t v = (std::uint64_t{r.from_segment} << 32) ^
+                      (std::uint64_t{r.to_segment} << 16) ^ r.server_port;
+    v *= 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(v ^ (v >> 29));
+  }
+};
+
+/// A default-deny reachability policy over µsegments.
+class ReachabilityPolicy {
+ public:
+  void allow(AllowRule rule) { rules_.insert(rule); }
+  bool allows(const AllowRule& rule) const { return rules_.contains(rule); }
+  std::size_t rule_count() const { return rules_.size(); }
+  const std::unordered_set<AllowRule, AllowRuleHash>& rules() const { return rules_; }
+
+  /// Segment-level adjacency ignoring ports: to[from] lists reachable
+  /// segments (used by blast-radius analysis).
+  std::vector<std::vector<std::uint32_t>> reachable_segments(
+      std::size_t segment_count) const;
+
+ private:
+  std::unordered_set<AllowRule, AllowRuleHash> rules_;
+};
+
+/// Learns the allow set from baseline telemetry.
+///
+/// Optionally with support counting across windows: a rule observed in
+/// only one of N baseline windows is weak evidence (a one-off batch job,
+/// or worse, attacker traffic inside the baseline); build(min_support)
+/// keeps only channels seen in at least min_support distinct windows.
+class PolicyMiner {
+ public:
+  explicit PolicyMiner(const SegmentMap& segments) : segments_(&segments) {}
+
+  void observe(const ConnectionSummary& record);
+  void observe_batch(const std::vector<ConnectionSummary>& batch);
+
+  /// Closes the current support window (call at hour boundaries when
+  /// mining across several windows). Without any calls, everything is one
+  /// window and build(1) == build().
+  void end_window();
+
+  /// The mined default-deny policy: rules supported by at least
+  /// `min_support` windows. Precondition: min_support >= 1.
+  ReachabilityPolicy build(std::size_t min_support = 1) const;
+
+  std::uint64_t records_observed() const { return records_; }
+  std::size_t windows_observed() const { return windows_; }
+
+ private:
+  const SegmentMap* segments_;
+  std::unordered_map<AllowRule, std::size_t, AllowRuleHash> support_;
+  std::unordered_set<AllowRule, AllowRuleHash> seen_this_window_;
+  std::size_t windows_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+/// A flagged flow.
+struct Violation {
+  MinuteBucket time;
+  IpAddr client_ip;
+  IpAddr server_ip;
+  std::uint16_t server_port = 0;
+  std::uint32_t client_segment = kUnsegmented;
+  std::uint32_t server_segment = kUnsegmented;
+
+  IpPair pair() const { return IpPair(client_ip, server_ip); }
+  std::string to_string() const;
+};
+
+/// Streams telemetry against a policy; collects violations. Duplicate
+/// (client, server, port) triples are reported once per window.
+class PolicyChecker {
+ public:
+  PolicyChecker(const SegmentMap& segments, ReachabilityPolicy policy);
+
+  /// Checks one record; returns the violation if it is one (also retained
+  /// internally).
+  std::optional<Violation> check(const ConnectionSummary& record);
+  void check_batch(const std::vector<ConnectionSummary>& batch);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::vector<Violation> take_violations();
+  std::uint64_t records_checked() const { return records_; }
+
+  /// Forgets the dedup set (call at window boundaries).
+  void reset_window();
+
+ private:
+  const SegmentMap* segments_;
+  ReachabilityPolicy policy_;
+  std::vector<Violation> violations_;
+  std::unordered_set<std::uint64_t> seen_;  // dedup per window
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace ccg

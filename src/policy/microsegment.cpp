@@ -1,0 +1,68 @@
+#include "ccg/policy/microsegment.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+SegmentMap SegmentMap::from_segmentation(const CommGraph& graph,
+                                         const Segmentation& segmentation,
+                                         bool monitored_only) {
+  CCG_EXPECT(segmentation.labels.size() == graph.node_count());
+  SegmentMap map;
+  // Renumber densely over the segments that actually gain members.
+  std::unordered_map<std::uint32_t, std::uint32_t> renumber;
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    const NodeKey& key = graph.key(i);
+    if (key.is_collapsed()) continue;
+    if (key.port != NodeKey::kIpLevel) continue;  // segment at IP granularity
+    if (monitored_only && !graph.node_stats(i).monitored) continue;
+    auto [it, inserted] = renumber.try_emplace(
+        segmentation.labels[i], static_cast<std::uint32_t>(renumber.size()));
+    map.assignment_.emplace(key.ip, it->second);
+  }
+  map.segment_count_ = renumber.size();
+  return map;
+}
+
+SegmentMap SegmentMap::from_roles(
+    const std::unordered_map<IpAddr, std::string>& roles) {
+  SegmentMap map;
+  std::unordered_map<std::string, std::uint32_t> role_ids;
+  for (const auto& [ip, role] : roles) {
+    auto [it, inserted] =
+        role_ids.try_emplace(role, static_cast<std::uint32_t>(role_ids.size()));
+    map.assignment_.emplace(ip, it->second);
+  }
+  map.segment_count_ = role_ids.size();
+  return map;
+}
+
+std::uint32_t SegmentMap::segment_of(IpAddr ip) const {
+  auto it = assignment_.find(ip);
+  return it == assignment_.end() ? kUnsegmented : it->second;
+}
+
+void SegmentMap::assign(IpAddr ip, std::uint32_t segment) {
+  assignment_[ip] = segment;
+  segment_count_ = std::max<std::size_t>(segment_count_, segment + 1);
+}
+
+std::vector<std::vector<IpAddr>> SegmentMap::members() const {
+  std::vector<std::vector<IpAddr>> out(segment_count_);
+  for (const auto& [ip, seg] : assignment_) {
+    out[seg].push_back(ip);
+  }
+  return out;
+}
+
+std::size_t SegmentMap::segment_size(std::uint32_t segment) const {
+  std::size_t count = 0;
+  for (const auto& [ip, seg] : assignment_) {
+    if (seg == segment) ++count;
+  }
+  return count;
+}
+
+}  // namespace ccg

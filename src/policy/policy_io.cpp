@@ -1,0 +1,89 @@
+#include "ccg/policy/policy_io.hpp"
+
+#include <algorithm>
+
+namespace ccg {
+
+namespace {
+
+std::string segment_token(std::uint32_t segment) {
+  return segment == kExternalSegment ? "ext" : std::to_string(segment);
+}
+
+std::optional<std::uint32_t> parse_segment(const std::string& token) {
+  if (token == "ext") return kExternalSegment;
+  std::uint32_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return token.empty() ? std::nullopt : std::make_optional(value);
+}
+
+std::vector<AllowRule> sorted_rules(const ReachabilityPolicy& policy) {
+  std::vector<AllowRule> rules(policy.rules().begin(), policy.rules().end());
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+}  // namespace
+
+std::string to_string(const AllowRule& rule) {
+  return "allow " + segment_token(rule.from_segment) + " -> " +
+         segment_token(rule.to_segment) + ":" + std::to_string(rule.server_port);
+}
+
+void write_policy(std::ostream& out, const ReachabilityPolicy& policy) {
+  out << "ccgpolicy-v1 " << policy.rule_count() << '\n';
+  // Deterministic order: diffs of diffs stay stable.
+  for (const AllowRule& rule : sorted_rules(policy)) {
+    out << "allow " << segment_token(rule.from_segment) << ' '
+        << segment_token(rule.to_segment) << ' ' << rule.server_port << '\n';
+  }
+}
+
+std::optional<ReachabilityPolicy> read_policy(std::istream& in) {
+  std::string magic;
+  std::size_t count = 0;
+  if (!(in >> magic >> count) || magic != "ccgpolicy-v1") return std::nullopt;
+
+  ReachabilityPolicy policy;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string tag, from, to;
+    std::uint32_t port = 0;
+    if (!(in >> tag >> from >> to >> port) || tag != "allow" || port > 0xFFFF) {
+      return std::nullopt;
+    }
+    const auto from_seg = parse_segment(from);
+    const auto to_seg = parse_segment(to);
+    if (!from_seg || !to_seg) return std::nullopt;
+    policy.allow({.from_segment = *from_seg,
+                  .to_segment = *to_seg,
+                  .server_port = static_cast<std::uint16_t>(port)});
+  }
+  return policy;
+}
+
+PolicyDiff diff_policies(const ReachabilityPolicy& prev,
+                         const ReachabilityPolicy& next) {
+  PolicyDiff diff;
+  for (const AllowRule& rule : sorted_rules(next)) {
+    if (prev.allows(rule)) {
+      ++diff.unchanged;
+    } else {
+      diff.added.push_back(rule);
+    }
+  }
+  for (const AllowRule& rule : sorted_rules(prev)) {
+    if (!next.allows(rule)) diff.removed.push_back(rule);
+  }
+  return diff;
+}
+
+std::string PolicyDiff::summary() const {
+  return "+" + std::to_string(added.size()) + " / -" +
+         std::to_string(removed.size()) + " rules (" +
+         std::to_string(unchanged) + " unchanged)";
+}
+
+}  // namespace ccg

@@ -1,0 +1,141 @@
+#include "ccg/policy/reachability.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+constexpr std::uint16_t kEphemeralFloor = 32768;
+
+std::uint32_t segment_or_external(const SegmentMap& segments, IpAddr ip) {
+  const std::uint32_t seg = segments.segment_of(ip);
+  return seg == kUnsegmented ? kExternalSegment : seg;
+}
+
+AllowRule rule_for(const SegmentMap& segments, const FlowEndpoints& ep) {
+  return AllowRule{.from_segment = segment_or_external(segments, ep.client_ip),
+                   .to_segment = segment_or_external(segments, ep.server_ip),
+                   .server_port = ep.server_port};
+}
+
+}  // namespace
+
+FlowEndpoints classify_endpoints(const ConnectionSummary& record) {
+  switch (record.initiator) {
+    case Initiator::kLocal:
+      return {.client_ip = record.flow.local_ip,
+              .server_ip = record.flow.remote_ip,
+              .server_port = record.flow.remote_port};
+    case Initiator::kRemote:
+      return {.client_ip = record.flow.remote_ip,
+              .server_ip = record.flow.local_ip,
+              .server_port = record.flow.local_port};
+    case Initiator::kUnknown:
+      break;
+  }
+  return classify_endpoints(record.flow);
+}
+
+FlowEndpoints classify_endpoints(const FlowKey& flow) {
+  const bool local_is_server =
+      flow.local_port < kEphemeralFloor &&
+      (flow.remote_port >= kEphemeralFloor || flow.local_port <= flow.remote_port);
+  if (local_is_server) {
+    return {.client_ip = flow.remote_ip,
+            .server_ip = flow.local_ip,
+            .server_port = flow.local_port};
+  }
+  return {.client_ip = flow.local_ip,
+          .server_ip = flow.remote_ip,
+          .server_port = flow.remote_port};
+}
+
+std::vector<std::vector<std::uint32_t>> ReachabilityPolicy::reachable_segments(
+    std::size_t segment_count) const {
+  std::vector<std::vector<std::uint32_t>> out(segment_count);
+  for (const AllowRule& r : rules_) {
+    if (r.from_segment >= segment_count) continue;  // external client
+    if (r.to_segment >= segment_count) continue;    // external server
+    auto& list = out[r.from_segment];
+    if (std::find(list.begin(), list.end(), r.to_segment) == list.end()) {
+      list.push_back(r.to_segment);
+    }
+  }
+  return out;
+}
+
+void PolicyMiner::observe(const ConnectionSummary& record) {
+  ++records_;
+  const AllowRule rule = rule_for(*segments_, classify_endpoints(record));
+  if (seen_this_window_.insert(rule).second) ++support_[rule];
+}
+
+void PolicyMiner::observe_batch(const std::vector<ConnectionSummary>& batch) {
+  for (const auto& record : batch) observe(record);
+}
+
+void PolicyMiner::end_window() {
+  ++windows_;
+  seen_this_window_.clear();
+}
+
+ReachabilityPolicy PolicyMiner::build(std::size_t min_support) const {
+  CCG_EXPECT(min_support >= 1);
+  ReachabilityPolicy policy;
+  for (const auto& [rule, support] : support_) {
+    if (support >= min_support) policy.allow(rule);
+  }
+  return policy;
+}
+
+PolicyChecker::PolicyChecker(const SegmentMap& segments, ReachabilityPolicy policy)
+    : segments_(&segments), policy_(std::move(policy)) {}
+
+std::optional<Violation> PolicyChecker::check(const ConnectionSummary& record) {
+  ++records_;
+  const FlowEndpoints ep = classify_endpoints(record);
+  const AllowRule rule = rule_for(*segments_, ep);
+  if (policy_.allows(rule)) return std::nullopt;
+
+  // One report per (client, server, port) per window.
+  const std::uint64_t dedup_key =
+      (std::uint64_t{ep.client_ip.bits()} << 32) ^
+      (std::uint64_t{ep.server_ip.bits()} << 8) ^ ep.server_port;
+  if (!seen_.insert(dedup_key).second) return std::nullopt;
+
+  Violation v{.time = record.time,
+              .client_ip = ep.client_ip,
+              .server_ip = ep.server_ip,
+              .server_port = ep.server_port,
+              .client_segment = rule.from_segment,
+              .server_segment = rule.to_segment};
+  violations_.push_back(v);
+  return v;
+}
+
+void PolicyChecker::check_batch(const std::vector<ConnectionSummary>& batch) {
+  for (const auto& record : batch) check(record);
+}
+
+std::vector<Violation> PolicyChecker::take_violations() {
+  return std::exchange(violations_, {});
+}
+
+void PolicyChecker::reset_window() { seen_.clear(); }
+
+std::string Violation::to_string() const {
+  return time.to_string() + " " + client_ip.to_string() + " (seg " +
+         (client_segment == kExternalSegment ? std::string("ext")
+                                             : std::to_string(client_segment)) +
+         ") -> " + server_ip.to_string() + ":" + std::to_string(server_port) +
+         " (seg " +
+         (server_segment == kExternalSegment ? std::string("ext")
+                                             : std::to_string(server_segment)) +
+         ")";
+}
+
+}  // namespace ccg

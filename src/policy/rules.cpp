@@ -1,0 +1,162 @@
+#include "ccg/policy/rules.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::string to_string(RuleCompilerKind kind) {
+  switch (kind) {
+    case RuleCompilerKind::kIpUnrolled: return "ip-unrolled";
+    case RuleCompilerKind::kCidrAggregated: return "cidr-aggregated";
+    case RuleCompilerKind::kTagBased: return "tag-based";
+  }
+  return "unknown";
+}
+
+CompiledRuleSet compile_rules(const SegmentMap& segments,
+                              const ReachabilityPolicy& policy,
+                              RuleCompilerKind kind,
+                              std::size_t per_vm_budget) {
+  CompiledRuleSet out;
+  out.kind = kind;
+  out.budget = per_vm_budget;
+
+  const auto members = segments.members();
+  const std::size_t seg_count = segments.segment_count();
+
+  // CIDR compiler: one rule per aggregated block of the peer segment.
+  std::vector<std::size_t> cidr_blocks(seg_count, 0);
+  if (kind == RuleCompilerKind::kCidrAggregated) {
+    for (std::uint32_t s = 0; s < seg_count; ++s) {
+      cidr_blocks[s] = aggregate_cidrs(members[s]).size();
+    }
+  }
+
+  // Group rules by client segment and by server segment for O(rules) work.
+  // outbound_for[s]: allows with from_segment == s (target size or 1 if ext)
+  // inbound_for[t]:  allows with to_segment == t
+  std::vector<std::vector<const AllowRule*>> outbound_for(seg_count),
+      inbound_for(seg_count);
+  std::size_t external_out = 0;  // rules with external destination, per seg? no:
+  (void)external_out;
+  std::vector<std::size_t> ext_out_count(seg_count, 0), ext_in_count(seg_count, 0);
+  for (const AllowRule& r : policy.rules()) {
+    const bool from_internal = r.from_segment < seg_count;
+    const bool to_internal = r.to_segment < seg_count;
+    if (from_internal && to_internal) {
+      outbound_for[r.from_segment].push_back(&r);
+      inbound_for[r.to_segment].push_back(&r);
+    } else if (from_internal) {
+      ++ext_out_count[r.from_segment];  // to external: one CIDR rule
+    } else if (to_internal) {
+      ++ext_in_count[r.to_segment];  // from external: one CIDR rule
+    }
+  }
+
+  // Per-VM counts depend only on the VM's segment; compute once per segment.
+  auto peer_rule_count = [&](std::uint32_t peer_segment) -> std::size_t {
+    switch (kind) {
+      case RuleCompilerKind::kTagBased: return 1;
+      case RuleCompilerKind::kCidrAggregated: return cidr_blocks[peer_segment];
+      case RuleCompilerKind::kIpUnrolled: return members[peer_segment].size();
+    }
+    return members[peer_segment].size();
+  };
+  std::vector<std::size_t> seg_outbound(seg_count, 0), seg_inbound(seg_count, 0);
+  for (std::uint32_t s = 0; s < seg_count; ++s) {
+    std::size_t outbound = ext_out_count[s];
+    for (const AllowRule* r : outbound_for[s]) {
+      outbound += peer_rule_count(r->to_segment);
+    }
+    std::size_t inbound = ext_in_count[s];
+    for (const AllowRule* r : inbound_for[s]) {
+      inbound += peer_rule_count(r->from_segment);
+    }
+    seg_outbound[s] = outbound;
+    seg_inbound[s] = inbound;
+  }
+
+  for (std::uint32_t s = 0; s < seg_count; ++s) {
+    for (const IpAddr vm : members[s]) {
+      VmRuleLoad load{.vm = vm,
+                      .inbound_rules = seg_inbound[s],
+                      .outbound_rules = seg_outbound[s]};
+      out.total_rules += load.total();
+      out.max_per_vm = std::max(out.max_per_vm, load.total());
+      if (load.total() > per_vm_budget) ++out.vms_over_budget;
+      out.per_vm.push_back(load);
+    }
+  }
+  out.mean_per_vm = out.per_vm.empty()
+                        ? 0.0
+                        : static_cast<double>(out.total_rules) /
+                              static_cast<double>(out.per_vm.size());
+  return out;
+}
+
+ChurnCost churn_cost_of_replacement(const SegmentMap& segments,
+                                    const ReachabilityPolicy& policy,
+                                    std::uint32_t churned_segment,
+                                    RuleCompilerKind kind) {
+  ChurnCost cost;
+  const std::size_t seg_count = segments.segment_count();
+  CCG_EXPECT(churned_segment < seg_count);
+  const auto members = segments.members();
+
+  if (kind == RuleCompilerKind::kTagBased) {
+    // Only the replacement VM's own table is programmed; peers match on the
+    // tag, which is unchanged.
+    cost.vm_tables_touched = 1;
+    std::size_t own_rules = 0;
+    for (const AllowRule& r : policy.rules()) {
+      if (r.from_segment == churned_segment || r.to_segment == churned_segment) {
+        ++own_rules;
+      }
+    }
+    cost.rules_rewritten = own_rules;
+    return cost;
+  }
+
+  // IP-unrolled: every VM in a segment that may talk to (or be reached by)
+  // the churned segment holds the old IP in a rule and needs an update —
+  // plus the new VM's full table.
+  std::vector<bool> touched(seg_count, false);
+  touched[churned_segment] = true;
+  for (const AllowRule& r : policy.rules()) {
+    if (r.from_segment < seg_count && r.to_segment == churned_segment) {
+      touched[r.from_segment] = true;
+    }
+    if (r.to_segment < seg_count && r.from_segment == churned_segment) {
+      touched[r.to_segment] = true;
+    }
+  }
+  for (std::uint32_t s = 0; s < seg_count; ++s) {
+    if (!touched[s]) continue;
+    cost.vm_tables_touched += members[s].size();
+    // One rule rewritten per peer VM (the entry naming the replaced IP);
+    // the new VM re-installs its whole compiled table.
+    cost.rules_rewritten += members[s].size();
+  }
+  const CompiledRuleSet own = compile_rules(segments, policy, kind);
+  for (const auto& load : own.per_vm) {
+    if (segments.segment_of(load.vm) == churned_segment) {
+      cost.rules_rewritten += load.total();
+      break;  // all members of a segment share the same table size
+    }
+  }
+  return cost;
+}
+
+std::string CompiledRuleSet::summary() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%s: total=%llu mean/VM=%.1f max/VM=%zu over-budget(%zu)=%zu VMs",
+                to_string(kind).c_str(),
+                static_cast<unsigned long long>(total_rules), mean_per_vm,
+                max_per_vm, budget, vms_over_budget);
+  return buf;
+}
+
+}  // namespace ccg

@@ -1,0 +1,125 @@
+#include "ccg/segmentation/cluster_metrics.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+double comb2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+ClusterAgreement compare_labelings(const std::vector<std::uint32_t>& predicted,
+                                   const std::vector<std::uint32_t>& truth,
+                                   const std::vector<bool>& mask) {
+  CCG_EXPECT(predicted.size() == truth.size());
+  CCG_EXPECT(mask.empty() || mask.size() == predicted.size());
+
+  // Contingency table over the masked items.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> table;
+  std::unordered_map<std::uint32_t, std::size_t> pred_sizes, truth_sizes;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    ++n;
+    ++table[{predicted[i], truth[i]}];
+    ++pred_sizes[predicted[i]];
+    ++truth_sizes[truth[i]];
+  }
+
+  ClusterAgreement out;
+  out.items = n;
+  out.clusters_predicted = pred_sizes.size();
+  out.clusters_truth = truth_sizes.size();
+  if (n == 0) return out;
+
+  // --- ARI ---
+  double sum_comb_cells = 0.0;
+  for (const auto& [key, count] : table) {
+    sum_comb_cells += comb2(static_cast<double>(count));
+  }
+  double sum_comb_pred = 0.0, sum_comb_truth = 0.0;
+  for (const auto& [c, s] : pred_sizes) sum_comb_pred += comb2(static_cast<double>(s));
+  for (const auto& [c, s] : truth_sizes) sum_comb_truth += comb2(static_cast<double>(s));
+  const double total_pairs = comb2(static_cast<double>(n));
+  if (total_pairs > 0.0) {
+    const double expected = sum_comb_pred * sum_comb_truth / total_pairs;
+    const double max_index = 0.5 * (sum_comb_pred + sum_comb_truth);
+    const double denom = max_index - expected;
+    out.ari = denom == 0.0 ? 1.0 : (sum_comb_cells - expected) / denom;
+  } else {
+    out.ari = 1.0;
+  }
+
+  // --- NMI (sqrt normalization) ---
+  const double dn = static_cast<double>(n);
+  double mi = 0.0;
+  for (const auto& [key, count] : table) {
+    const double pij = static_cast<double>(count) / dn;
+    const double pi = static_cast<double>(pred_sizes.at(key.first)) / dn;
+    const double pj = static_cast<double>(truth_sizes.at(key.second)) / dn;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  double h_pred = 0.0, h_truth = 0.0;
+  for (const auto& [c, s] : pred_sizes) {
+    const double p = static_cast<double>(s) / dn;
+    h_pred -= p * std::log(p);
+  }
+  for (const auto& [c, s] : truth_sizes) {
+    const double p = static_cast<double>(s) / dn;
+    h_truth -= p * std::log(p);
+  }
+  const double norm = std::sqrt(h_pred * h_truth);
+  out.nmi = norm <= 0.0 ? (h_pred == h_truth ? 1.0 : 0.0) : mi / norm;
+
+  // --- Purity ---
+  std::unordered_map<std::uint32_t, std::size_t> best_in_cluster;
+  for (const auto& [key, count] : table) {
+    auto& best = best_in_cluster[key.first];
+    best = std::max(best, count);
+  }
+  std::size_t majority_total = 0;
+  for (const auto& [c, best] : best_in_cluster) majority_total += best;
+  out.purity = static_cast<double>(majority_total) / dn;
+
+  return out;
+}
+
+GroundTruthLabels ground_truth_labels(
+    const CommGraph& graph,
+    const std::unordered_map<IpAddr, std::string>& roles,
+    bool monitored_only) {
+  GroundTruthLabels out;
+  const std::size_t n = graph.node_count();
+  out.labels.assign(n, 0);
+  out.mask.assign(n, false);
+
+  std::unordered_map<std::string, std::uint32_t> role_ids;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeKey& key = graph.key(i);
+    if (key.is_collapsed()) continue;
+    if (monitored_only && !graph.node_stats(i).monitored) continue;
+    auto it = roles.find(key.ip);
+    if (it == roles.end()) continue;
+    auto [rit, inserted] =
+        role_ids.try_emplace(it->second, static_cast<std::uint32_t>(role_ids.size()));
+    if (inserted) out.role_names.push_back(it->second);
+    out.labels[i] = rit->second;
+    out.mask[i] = true;
+  }
+  return out;
+}
+
+std::string ClusterAgreement::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ARI=%.3f NMI=%.3f purity=%.3f (n=%zu, k_pred=%zu, k_truth=%zu)",
+                ari, nmi, purity, items, clusters_predicted, clusters_truth);
+  return buf;
+}
+
+}  // namespace ccg

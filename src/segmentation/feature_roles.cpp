@@ -1,0 +1,95 @@
+#include "ccg/segmentation/feature_roles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::vector<std::string> node_feature_names() {
+  return {"log_degree",        "log_bytes",      "log_conn_minutes",
+          "initiator_share",   "responder_share", "log_distinct_ports",
+          "top_edge_share",    "send_balance"};
+}
+
+Matrix node_feature_matrix(const CommGraph& graph, bool recursive) {
+  const std::size_t n = graph.node_count();
+  const std::size_t base_features = node_feature_names().size();
+  Matrix base(n, base_features);
+
+  for (NodeId i = 0; i < n; ++i) {
+    const auto nbrs = graph.neighbors(i);
+    const NodeStats& stats = graph.node_stats(i);
+
+    std::size_t initiator = 0, responder = 0;
+    std::unordered_set<std::int32_t> ports;
+    std::uint64_t top_edge = 0;
+    std::uint64_t sent = 0, received = 0;
+    for (const auto& [peer, edge_id] : nbrs) {
+      switch (graph.edge_role(i, edge_id)) {
+        case CommGraph::EdgeRole::kInitiator: ++initiator; break;
+        case CommGraph::EdgeRole::kResponder: ++responder; break;
+        case CommGraph::EdgeRole::kMixed: break;
+      }
+      const Edge& e = graph.edge(edge_id);
+      if (e.stats.server_port_hint >= 0) ports.insert(e.stats.server_port_hint);
+      top_edge = std::max(top_edge, e.stats.bytes());
+      sent += i == e.a ? e.stats.bytes_ab : e.stats.bytes_ba;
+      received += i == e.a ? e.stats.bytes_ba : e.stats.bytes_ab;
+    }
+
+    const double degree = static_cast<double>(nbrs.size());
+    base(i, 0) = std::log1p(degree);
+    base(i, 1) = std::log1p(static_cast<double>(stats.bytes));
+    base(i, 2) = std::log1p(static_cast<double>(stats.connection_minutes));
+    base(i, 3) = degree > 0 ? static_cast<double>(initiator) / degree : 0.0;
+    base(i, 4) = degree > 0 ? static_cast<double>(responder) / degree : 0.0;
+    base(i, 5) = std::log1p(static_cast<double>(ports.size()));
+    base(i, 6) = stats.bytes > 0 ? static_cast<double>(top_edge) /
+                                       static_cast<double>(stats.bytes)
+                                 : 0.0;
+    const double traffic = static_cast<double>(sent + received);
+    base(i, 7) = traffic > 0 ? static_cast<double>(sent) / traffic : 0.5;
+  }
+
+  if (!recursive) return base;
+
+  // One ReFeX round: append the mean of each neighbor's base features —
+  // "who do I look like" becomes "who do my neighbors look like".
+  Matrix out(n, base_features * 2);
+  for (NodeId i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < base_features; ++f) out(i, f) = base(i, f);
+    const auto nbrs = graph.neighbors(i);
+    if (nbrs.empty()) continue;
+    for (const auto& [peer, edge_id] : nbrs) {
+      for (std::size_t f = 0; f < base_features; ++f) {
+        out(i, base_features + f) += base(peer, f);
+      }
+    }
+    for (std::size_t f = 0; f < base_features; ++f) {
+      out(i, base_features + f) /= static_cast<double>(nbrs.size());
+    }
+  }
+  return out;
+}
+
+Segmentation feature_role_segmentation(const CommGraph& graph, std::size_t k,
+                                       FeatureRoleOptions options) {
+  CCG_EXPECT(graph.node_count() > 0);
+  CCG_EXPECT(k >= 1 && k <= graph.node_count());
+
+  const Matrix features =
+      standardize_columns(node_feature_matrix(graph, options.recursive));
+  const KMeansResult km = kmeans(features, k, options.kmeans);
+
+  Segmentation out;
+  out.method = SegmentationMethod::kJaccardLouvain;  // closest enum; see label
+  out.labels = km.labels;
+  out.segment_count = k;
+  out.objective_modularity = 0.0;  // k-means has no modularity objective
+  return out;
+}
+
+}  // namespace ccg

@@ -1,0 +1,56 @@
+// Clustering agreement metrics.
+//
+// The paper could only eyeball Fig. 1 vs Fig. 3 ("the results clearly
+// differ") and cite developer interviews. Our synthetic clusters carry
+// exact ground-truth roles, so segmentation quality is quantified with
+// standard external metrics: Adjusted Rand Index, Normalized Mutual
+// Information, and purity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+
+struct ClusterAgreement {
+  double ari = 0.0;     // adjusted Rand index, 1 = identical, ~0 = random
+  double nmi = 0.0;     // normalized mutual information (sqrt normalization)
+  double purity = 0.0;  // fraction of items in their cluster's majority class
+  std::size_t items = 0;
+  std::size_t clusters_predicted = 0;
+  std::size_t clusters_truth = 0;
+
+  std::string to_string() const;
+};
+
+/// Compares predicted labels against truth labels. Items where mask[i] is
+/// false are skipped (e.g. nodes without ground truth). Preconditions: all
+/// three vectors the same length (mask may be empty = all true).
+ClusterAgreement compare_labelings(const std::vector<std::uint32_t>& predicted,
+                                   const std::vector<std::uint32_t>& truth,
+                                   const std::vector<bool>& mask = {});
+
+/// Converts per-IP ground-truth role names into dense integer labels
+/// aligned with a graph's NodeIds. Nodes with no ground truth (external
+/// peers whose role we still know get labels too — pass them in `roles`;
+/// collapsed/unknown nodes get mask=false).
+struct GroundTruthLabels {
+  std::vector<std::uint32_t> labels;           // per NodeId (0 where masked)
+  std::vector<bool> mask;                      // true where truth is known
+  std::vector<std::string> role_names;         // label -> role name
+};
+
+/// `monitored_only` restricts the mask to the subscription's own resources
+/// — the honest scoring population for µsegmentation (external clients all
+/// share one trivial pattern and would inflate agreement).
+GroundTruthLabels ground_truth_labels(
+    const CommGraph& graph,
+    const std::unordered_map<IpAddr, std::string>& roles,
+    bool monitored_only = false);
+
+}  // namespace ccg

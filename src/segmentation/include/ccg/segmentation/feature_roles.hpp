@@ -1,0 +1,44 @@
+// Feature-based structural role inference — a RolX-style baseline
+// (Henderson et al., KDD'12; the paper's citation [51] for "the role
+// inference problem in graph mining literature").
+//
+// Each node gets a vector of local structural features plus one round of
+// recursive neighborhood aggregation (the ReFeX idea), and roles come from
+// k-means over the standardized feature matrix. Unlike the similarity-
+// clique methods this needs k up front — which is exactly the practical
+// drawback the comparison benches surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+#include "ccg/linalg/kmeans.hpp"
+#include "ccg/linalg/matrix.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+
+namespace ccg {
+
+/// Names of the base features, in column order (doc + debugging).
+std::vector<std::string> node_feature_names();
+
+/// Base structural features per node (rows align with NodeIds):
+///   log degree, log bytes, log connection-minutes, initiator share,
+///   responder share, log distinct server ports, top-edge byte share,
+///   send/receive byte balance.
+/// With `recursive`, one round of neighbor-mean aggregation doubles the
+/// feature count.
+Matrix node_feature_matrix(const CommGraph& graph, bool recursive = true);
+
+struct FeatureRoleOptions {
+  bool recursive = true;
+  KMeansOptions kmeans;
+};
+
+/// Clusters nodes into `k` roles by structural features.
+/// Precondition: 1 <= k <= node_count.
+Segmentation feature_role_segmentation(const CommGraph& graph, std::size_t k,
+                                       FeatureRoleOptions options = {});
+
+}  // namespace ccg

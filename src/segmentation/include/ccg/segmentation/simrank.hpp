@@ -1,0 +1,36 @@
+// SimRank (Jeh & Widom, KDD'02) and SimRank++ (Antonellis et al., VLDB'08).
+//
+// The paper evaluates both as alternative similarity bases for
+// µsegmentation (Fig. 3(a)/(b)): recursive scores can surface roles not
+// visible from one-hop neighborhoods, at higher cost — and in the paper's
+// experiments they "did not yield higher quality results".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+#include "ccg/segmentation/louvain.hpp"
+
+namespace ccg {
+
+struct SimRankOptions {
+  double decay = 0.8;     // C in the classic formulation
+  int iterations = 5;     // fixed-point iterations (error decays as C^k)
+  /// Scores below this are dropped when exporting the similarity clique.
+  double min_score = 0.02;
+  /// SimRank++ extensions: evidence factor + weighted transition.
+  bool plus_plus = false;
+};
+
+/// Dense pairwise SimRank scores; entry (a, b) in row-major order.
+/// Cost O(iterations * Σ_a Σ_b d_a d_b / 2) time and O(n²) memory —
+/// the "higher complexity than the simple segmentation" the paper notes.
+/// Precondition: graph.node_count() <= 3000 (memory guard).
+std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions options = {});
+
+/// The similarity clique (same shape as similarity_clique()) built from
+/// SimRank scores, ready for Louvain.
+WeightedGraph simrank_clique(const CommGraph& graph, SimRankOptions options = {});
+
+}  // namespace ccg

@@ -1,0 +1,281 @@
+#include "ccg/segmentation/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+// Above this node count, all-pairs exact scoring (the paper's
+// "super-quadratic complexity" open issue) is replaced by MinHash
+// sketching with LSH candidate generation (cf. the paper's citation of
+// SuperMinHash for Jaccard estimation).
+constexpr std::size_t kExactPairLimit = 2500;
+
+constexpr int kMinHashFunctions = 96;
+constexpr int kLshBandSize = 4;  // 24 bands of 4 -> catches J >~ 0.25 pairs
+
+/// Direction tag of a neighbor, from the owning node's perspective.
+using Tag = std::uint8_t;
+constexpr Tag kTagInitiator = 0;  // I connect to this neighbor
+constexpr Tag kTagResponder = 1;  // this neighbor connects to me
+constexpr Tag kTagMixed = 2;
+
+Tag tag_of(const CommGraph& g, NodeId owner, EdgeId e) {
+  switch (g.edge_role(owner, e)) {
+    case CommGraph::EdgeRole::kInitiator: return kTagInitiator;
+    case CommGraph::EdgeRole::kResponder: return kTagResponder;
+    case CommGraph::EdgeRole::kMixed: return kTagMixed;
+  }
+  return kTagMixed;
+}
+
+struct TaggedNeighbor {
+  std::uint32_t id;
+  Tag tag;
+  std::int32_t port;  // the edge's server-port hint (-1 unknown)
+};
+
+std::vector<std::vector<TaggedNeighbor>> tagged_neighbors(const CommGraph& g,
+                                                          bool use_direction) {
+  std::vector<std::vector<TaggedNeighbor>> out(g.node_count());
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    out[i].reserve(g.degree(i));
+    for (const auto& [peer, edge] : g.neighbors(i)) {
+      // The service identity of the conversation distinguishes roles that
+      // plain IP-level sets cannot: a db (reached on 5432) and a cache
+      // (reached on 6379) may otherwise have identical neighbor sets.
+      out[i].push_back({peer, use_direction ? tag_of(g, i, edge) : kTagMixed,
+                        use_direction ? g.edge(edge).stats.server_port_hint
+                                      : -1});
+    }
+    std::sort(out[i].begin(), out[i].end(),
+              [](const TaggedNeighbor& a, const TaggedNeighbor& b) {
+                return a.id < b.id;
+              });
+  }
+  return out;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// State for scoring pairs (a, *): a's neighborhood stamped into arrays.
+struct StampedView {
+  std::vector<std::uint32_t> stamp;  // stamp[x] == version  <=>  x ∈ N(a)
+  std::vector<Tag> tag;              // a's direction tag for x
+  std::vector<std::int32_t> port;    // server-port hint of the (a, x) edge
+  std::vector<double> weight;        // a's log-byte weight for x
+  std::uint32_t version = 0;
+
+  explicit StampedView(std::size_t n)
+      : stamp(n, 0), tag(n, 0), port(n, -1), weight(n, 0.0) {}
+};
+
+double score_pair(const CommGraph& graph,
+                  const std::vector<TaggedNeighbor>& nbrs_b,
+                  const StampedView& view, std::uint32_t a, std::uint32_t b,
+                  std::size_t deg_a, const SimilarityOptions& options) {
+  const bool exclude_self = options.exclude_self_edges;
+  switch (options.kind) {
+    case SimilarityKind::kJaccard: {
+      std::size_t inter = 0, deg_b = 0;
+      for (const TaggedNeighbor& x : nbrs_b) {
+        if (exclude_self && x.id == a) continue;
+        ++deg_b;
+        if (view.stamp[x.id] == view.version &&
+            (!options.use_direction ||
+             (view.tag[x.id] == x.tag && view.port[x.id] == x.port))) {
+          ++inter;
+        }
+      }
+      const std::size_t uni = deg_a + deg_b - inter;
+      return uni == 0 ? 0.0
+                      : static_cast<double>(inter) / static_cast<double>(uni);
+    }
+    case SimilarityKind::kWeightedJaccard: {
+      // Ruzicka: Σ min(wa, wb) / Σ max(wa, wb) over the neighbor union,
+      // where missing neighbors have weight 0.
+      double sum_min = 0.0, sum_max_matched = 0.0;
+      double b_total = 0.0, matched_a = 0.0, matched_b = 0.0;
+      for (const auto& [x, e] : graph.neighbors(b)) {
+        if (exclude_self && x == a) continue;
+        const double wb =
+            std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
+        b_total += wb;
+        if (view.stamp[x] == view.version) {
+          const double wa = view.weight[x];
+          sum_min += std::min(wa, wb);
+          sum_max_matched += std::max(wa, wb);
+          matched_a += wa;
+          matched_b += wb;
+        }
+      }
+      double a_total = 0.0;
+      for (const auto& [x, e] : graph.neighbors(a)) {
+        if (exclude_self && x == b) continue;
+        a_total += view.weight[x];
+      }
+      const double sum_max =
+          sum_max_matched + (a_total - matched_a) + (b_total - matched_b);
+      return sum_max <= 0.0 ? 0.0 : sum_min / sum_max;
+    }
+    case SimilarityKind::kCosine: {
+      double dot = 0.0, norm_b = 0.0;
+      for (const auto& [x, e] : graph.neighbors(b)) {
+        if (exclude_self && x == a) continue;
+        const double wb =
+            std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
+        norm_b += wb * wb;
+        if (view.stamp[x] == view.version) dot += view.weight[x] * wb;
+      }
+      double norm_a = 0.0;
+      for (const auto& [x, e] : graph.neighbors(a)) {
+        if (exclude_self && x == b) continue;
+        norm_a += view.weight[x] * view.weight[x];
+      }
+      const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+      return denom <= 0.0 ? 0.0 : dot / denom;
+    }
+  }
+  return 0.0;
+}
+
+/// Stamps node a's neighborhood into the view; returns |N(a)|.
+std::size_t stamp_node(const CommGraph& graph,
+                       const std::vector<TaggedNeighbor>& nbrs_a, NodeId a,
+                       StampedView& view) {
+  ++view.version;
+  std::size_t deg = 0;
+  std::size_t idx = 0;
+  for (const auto& [x, e] : graph.neighbors(a)) {
+    view.stamp[x] = view.version;
+    view.weight[x] = std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
+    ++deg;
+  }
+  // Tags/ports come from the sorted tagged list (same contents).
+  for (; idx < nbrs_a.size(); ++idx) {
+    view.tag[nbrs_a[idx].id] = nbrs_a[idx].tag;
+    view.port[nbrs_a[idx].id] = nbrs_a[idx].port;
+  }
+  return deg;
+}
+
+}  // namespace
+
+double node_similarity(const CommGraph& graph, NodeId a, NodeId b,
+                       SimilarityOptions options) {
+  CCG_EXPECT(a < graph.node_count() && b < graph.node_count());
+  if (a == b) return 1.0;
+  const auto nbrs = tagged_neighbors(graph, options.use_direction);
+  StampedView view(graph.node_count());
+  std::size_t deg_a = stamp_node(graph, nbrs[a], a, view);
+  if (options.exclude_self_edges && view.stamp[b] == view.version) {
+    view.stamp[b] = 0;
+    --deg_a;
+  }
+  return score_pair(graph, nbrs[b], view, a, b, deg_a, options);
+}
+
+WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions options) {
+  const std::size_t n = graph.node_count();
+  WeightedGraph clique(n);
+  if (n < 2) return clique;
+
+  const auto nbrs = tagged_neighbors(graph, options.use_direction);
+
+  // Candidate pairs: exact all-pairs for small graphs, MinHash LSH beyond.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;
+  if (n <= kExactPairLimit) {
+    candidates.reserve(n * (n - 1) / 2);
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        candidates.emplace_back(a, b);
+      }
+    }
+  } else {
+    // MinHash signatures over (neighbor, direction-tag) features.
+    std::vector<std::vector<std::uint64_t>> sig(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      auto& s = sig[v];
+      s.assign(kMinHashFunctions, ~std::uint64_t{0});
+      for (const TaggedNeighbor& x : nbrs[v]) {
+        const std::uint64_t feature =
+            ((std::uint64_t{x.id} << 2) | x.tag) ^
+            (static_cast<std::uint64_t>(x.port + 1) << 40);
+        for (int h = 0; h < kMinHashFunctions; ++h) {
+          const std::uint64_t hv =
+              mix64((feature << 8) ^ static_cast<std::uint64_t>(h * 0x9E3779B9u));
+          s[h] = std::min(s[h], hv);
+        }
+      }
+    }
+    // LSH banding.
+    std::unordered_set<std::uint64_t> seen_pairs;
+    const int bands = kMinHashFunctions / kLshBandSize;
+    for (int band = 0; band < bands; ++band) {
+      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (nbrs[v].empty()) continue;
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (int j = 0; j < kLshBandSize; ++j) {
+          h = mix64(h ^ sig[v][band * kLshBandSize + j]);
+        }
+        buckets[h].push_back(v);
+      }
+      for (const auto& [hash, members] : buckets) {
+        if (members.size() < 2 || members.size() > 4096) continue;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          for (std::size_t j = i + 1; j < members.size(); ++j) {
+            const std::uint64_t key =
+                (std::uint64_t{members[i]} << 32) | members[j];
+            if (seen_pairs.insert(key).second) {
+              candidates.emplace_back(members[i], members[j]);
+            }
+          }
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  // Exact scoring of candidates, grouped by the first endpoint so the
+  // stamp arrays are rebuilt once per node.
+  StampedView view(n);
+  std::uint32_t current_a = static_cast<std::uint32_t>(n);  // invalid
+  std::size_t deg_a_full = 0;
+
+  for (const auto& [a, b] : candidates) {
+    if (a != current_a) {
+      current_a = a;
+      deg_a_full = stamp_node(graph, nbrs[a], a, view);
+    }
+    // Exclude a direct a~b edge from both neighborhoods.
+    std::size_t deg_a = deg_a_full;
+    const bool b_in_a = view.stamp[b] == view.version;
+    const std::uint32_t saved = view.stamp[b];
+    if (options.exclude_self_edges && b_in_a) {
+      view.stamp[b] = 0;
+      --deg_a;
+    }
+
+    const double score = score_pair(graph, nbrs[b], view, a, b, deg_a, options);
+    if (options.exclude_self_edges && b_in_a) view.stamp[b] = saved;
+
+    if (score >= options.min_score) clique.add_edge(a, b, score);
+  }
+  return clique;
+}
+
+}  // namespace ccg

@@ -1,0 +1,134 @@
+#include "ccg/segmentation/simrank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+/// Normalized edge weights for SimRank++: w(a,x) = log1p(bytes) scaled so
+/// Σ_x w(a,x) = 1 per node (a random-surfer transition distribution).
+std::vector<std::vector<std::pair<std::uint32_t, double>>> transition_weights(
+    const CommGraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> out(n);
+  for (NodeId a = 0; a < n; ++a) {
+    double total = 0.0;
+    for (const auto& [x, e] : graph.neighbors(a)) {
+      total += std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
+    }
+    if (total <= 0.0) continue;
+    out[a].reserve(graph.degree(a));
+    for (const auto& [x, e] : graph.neighbors(a)) {
+      const double w =
+          std::log1p(static_cast<double>(graph.edge(e).stats.bytes())) / total;
+      out[a].emplace_back(x, w);
+    }
+  }
+  return out;
+}
+
+/// SimRank++ evidence factor: ev(a,b) = Σ_{i=1..|N(a)∩N(b)|} 2^-i
+///                                    = 1 − 2^-|common|.
+double evidence(std::size_t common) {
+  if (common == 0) return 0.0;
+  return 1.0 - std::pow(0.5, static_cast<double>(common));
+}
+
+}  // namespace
+
+std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions options) {
+  const std::size_t n = graph.node_count();
+  CCG_EXPECT(n <= 3000);
+  CCG_EXPECT(options.decay > 0.0 && options.decay < 1.0);
+  CCG_EXPECT(options.iterations >= 1);
+
+  std::vector<double> s(n * n, 0.0);
+  std::vector<double> next(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) s[i * n + i] = 1.0;
+
+  const auto weights =
+      options.plus_plus ? transition_weights(graph)
+                        : std::vector<std::vector<std::pair<std::uint32_t, double>>>{};
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (std::size_t a = 0; a < n; ++a) {
+      next[a * n + a] = 1.0;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        double acc = 0.0;
+        if (!options.plus_plus) {
+          const auto na = graph.neighbors(static_cast<NodeId>(a));
+          const auto nb = graph.neighbors(static_cast<NodeId>(b));
+          if (na.empty() || nb.empty()) {
+            next[a * n + b] = next[b * n + a] = 0.0;
+            continue;
+          }
+          for (const auto& [i, ei] : na) {
+            const double* row = &s[std::size_t{i} * n];
+            for (const auto& [j, ej] : nb) {
+              acc += row[j];
+            }
+          }
+          acc *= options.decay /
+                 (static_cast<double>(na.size()) * static_cast<double>(nb.size()));
+        } else {
+          const auto& wa = weights[a];
+          const auto& wb = weights[b];
+          if (wa.empty() || wb.empty()) {
+            next[a * n + b] = next[b * n + a] = 0.0;
+            continue;
+          }
+          for (const auto& [i, wi] : wa) {
+            const double* row = &s[std::size_t{i} * n];
+            for (const auto& [j, wj] : wb) {
+              acc += wi * wj * row[j];
+            }
+          }
+          acc *= options.decay;
+        }
+        next[a * n + b] = acc;
+        next[b * n + a] = acc;
+      }
+    }
+    std::swap(s, next);
+  }
+
+  if (options.plus_plus) {
+    // Scale by the evidence factor, which damps scores supported by very
+    // few common neighbors.
+    std::vector<std::uint32_t> stamp(n, 0);
+    for (std::size_t a = 0; a < n; ++a) {
+      const auto va = static_cast<std::uint32_t>(a + 1);
+      for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(a))) {
+        stamp[x] = va;
+      }
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        std::size_t common = 0;
+        for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(b))) {
+          if (stamp[x] == va) ++common;
+        }
+        s[a * n + b] *= evidence(common);
+      }
+    }
+  }
+  return s;
+}
+
+WeightedGraph simrank_clique(const CommGraph& graph, SimRankOptions options) {
+  const std::size_t n = graph.node_count();
+  const auto scores = simrank_scores(graph, options);
+  WeightedGraph clique(n);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      const double score = scores[std::size_t{a} * n + b];
+      if (score >= options.min_score) clique.add_edge(a, b, score);
+    }
+  }
+  return clique;
+}
+
+}  // namespace ccg

@@ -1,0 +1,115 @@
+#include "ccg/segmentation/tracker.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+SegmentTracker::SegmentTracker(SegmentationMethod method,
+                               SegmentationOptions options, double match_overlap)
+    : method_(method), options_(options), match_overlap_(match_overlap) {
+  CCG_EXPECT(match_overlap > 0.0 && match_overlap <= 1.0);
+}
+
+SegmentTransition SegmentTracker::observe(const CommGraph& window) {
+  const Segmentation seg = auto_segment(window, method_, options_);
+
+  // Member IPs per raw segment (monitored, non-collapsed only: those are
+  // the resources whose tag assignments matter).
+  std::vector<std::vector<IpAddr>> members(seg.segment_count);
+  for (NodeId i = 0; i < window.node_count(); ++i) {
+    const NodeKey& key = window.key(i);
+    if (key.is_collapsed() || key.port != NodeKey::kIpLevel) continue;
+    if (!window.node_stats(i).monitored) continue;
+    members[seg.labels[i]].push_back(key.ip);
+  }
+
+  // Score every (new segment, old stable id) overlap.
+  struct Candidate {
+    std::size_t raw;           // new segment index
+    std::uint32_t stable;      // previous stable id
+    std::size_t overlap;       // shared members
+    double jaccard;
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_map<std::uint32_t, std::size_t> old_sizes;
+  for (const auto& [ip, stable] : assignment_) ++old_sizes[stable];
+  for (std::size_t raw = 0; raw < members.size(); ++raw) {
+    std::unordered_map<std::uint32_t, std::size_t> overlap;
+    for (const IpAddr ip : members[raw]) {
+      auto it = assignment_.find(ip);
+      if (it != assignment_.end()) ++overlap[it->second];
+    }
+    for (const auto& [stable, count] : overlap) {
+      const std::size_t uni = members[raw].size() + old_sizes[stable] - count;
+      candidates.push_back({raw, stable, count,
+                            uni == 0 ? 0.0
+                                     : static_cast<double>(count) /
+                                           static_cast<double>(uni)});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.jaccard > b.jaccard;
+            });
+
+  // Greedy one-to-one matching above the overlap threshold.
+  std::vector<std::int64_t> raw_to_stable(members.size(), -1);
+  std::unordered_set<std::uint32_t> stable_taken;
+  for (const Candidate& c : candidates) {
+    if (c.jaccard < match_overlap_) break;
+    if (raw_to_stable[c.raw] >= 0 || stable_taken.contains(c.stable)) continue;
+    raw_to_stable[c.raw] = c.stable;
+    stable_taken.insert(c.stable);
+  }
+
+  SegmentTransition transition;
+  for (std::size_t raw = 0; raw < members.size(); ++raw) {
+    if (members[raw].empty()) continue;  // no monitored members: not tracked
+    if (raw_to_stable[raw] >= 0) {
+      ++transition.matched_segments;
+    } else {
+      raw_to_stable[raw] = next_stable_id_++;
+      if (windows_ > 0) ++transition.new_segments;
+    }
+  }
+  transition.retired_segments =
+      windows_ > 0 ? old_sizes.size() - stable_taken.size() : 0;
+
+  // New assignment + churn over IPs present in both windows.
+  std::unordered_map<IpAddr, std::uint32_t> next_assignment;
+  for (std::size_t raw = 0; raw < members.size(); ++raw) {
+    for (const IpAddr ip : members[raw]) {
+      const auto stable = static_cast<std::uint32_t>(raw_to_stable[raw]);
+      next_assignment.emplace(ip, stable);
+      auto it = assignment_.find(ip);
+      if (it != assignment_.end()) {
+        ++transition.tracked_nodes;
+        if (it->second != stable) ++transition.relabeled_nodes;
+      }
+    }
+  }
+  transition.label_churn =
+      transition.tracked_nodes == 0
+          ? 0.0
+          : static_cast<double>(transition.relabeled_nodes) /
+                static_cast<double>(transition.tracked_nodes);
+
+  assignment_ = std::move(next_assignment);
+  ++windows_;
+  return transition;
+}
+
+std::string SegmentTransition::to_string() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "segments: %zu matched, %zu new, %zu retired; nodes: %zu/%zu "
+                "relabeled (churn %.1f%%)",
+                matched_segments, new_segments, retired_segments,
+                relabeled_nodes, tracked_nodes, 100.0 * label_churn);
+  return buf;
+}
+
+}  // namespace ccg

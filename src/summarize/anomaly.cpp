@@ -1,0 +1,104 @@
+#include "ccg/summarize/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/graph/delta.hpp"
+#include "ccg/linalg/eigen.hpp"
+
+namespace ccg {
+
+SpectralAnomalyDetector::SpectralAnomalyDetector(SpectralDetectorOptions options)
+    : options_(options) {
+  CCG_EXPECT(options.rank >= 1);
+}
+
+void SpectralAnomalyDetector::fit(const std::vector<const CommGraph*>& baseline) {
+  CCG_EXPECT(!baseline.empty());
+  index_ = NodeIndex::from_graphs(baseline);
+  const std::size_t n = index_.size();
+  const std::size_t k = std::min(options_.rank, n);
+
+  // Mean baseline matrix -> top-k eigenbasis.
+  Matrix mean(n, n);
+  for (const CommGraph* g : baseline) {
+    const Matrix m = adjacency_matrix(*g, index_, options_.adjacency);
+    mean = mean + m;
+  }
+  mean = mean.scaled(1.0 / static_cast<double>(baseline.size()));
+  const EigenDecomposition eig = jacobi_eigen(mean);
+
+  basis_ = Matrix(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) basis_(i, j) = eig.vectors(i, j);
+  }
+  fitted_ = true;
+
+  // Baseline self-scores give the alert threshold scale.
+  double sum = 0.0, sum2 = 0.0;
+  for (const CommGraph* g : baseline) {
+    const double e = subspace_error(adjacency_matrix(*g, index_, options_.adjacency));
+    sum += e;
+    sum2 += e * e;
+  }
+  const double count = static_cast<double>(baseline.size());
+  baseline_mean_ = sum / count;
+  const double var = std::max(0.0, sum2 / count - baseline_mean_ * baseline_mean_);
+  // Floor the deviation, relatively AND absolutely: with very few fit
+  // windows (or near-identical ones) the empirical variance is ~0, and the
+  // reconstruction error itself is only meaningful to a couple of percent —
+  // sub-percent wiggles between quiet hours must not become 20-sigma events.
+  baseline_std_ = std::max({std::sqrt(var), 0.05 * baseline_mean_, 0.01});
+  previous_.reset();
+}
+
+double SpectralAnomalyDetector::subspace_error(const Matrix& m) const {
+  // M̂ = B (Bᵀ M B) Bᵀ — the closest matrix to M whose row/column spaces
+  // lie in the baseline subspace.
+  const Matrix bt = basis_.transpose();          // k x n
+  const Matrix t = bt.multiply(m);               // k x n
+  const Matrix s = t.multiply(basis_);           // k x k
+  const Matrix recon = basis_.multiply(s).multiply(bt);  // n x n
+  const double denom = m.abs_sum();
+  return denom == 0.0 ? 0.0 : (m - recon).abs_sum() / denom;
+}
+
+AnomalyScore SpectralAnomalyDetector::score(const CommGraph& window) {
+  CCG_EXPECT(fitted_);
+  AnomalyScore out;
+
+  std::uint64_t unindexed = 0;
+  const Matrix m = adjacency_matrix(window, index_, options_.adjacency, &unindexed);
+  out.spectral_error = subspace_error(m);
+  out.baseline_mean = baseline_mean_;
+  out.baseline_std = baseline_std_;
+  out.zscore = (out.spectral_error - baseline_mean_) / baseline_std_;
+
+  const std::uint64_t total = window.total_bytes();
+  out.new_node_byte_share =
+      total == 0 ? 0.0 : static_cast<double>(unindexed) / static_cast<double>(total);
+
+  if (previous_.has_value()) {
+    out.edge_jaccard_vs_prev = diff_graphs(*previous_, window).edge_jaccard;
+  }
+  previous_ = window;
+  return out;
+}
+
+bool SpectralAnomalyDetector::is_alert(const AnomalyScore& score) const {
+  return score.zscore >= options_.zscore_alert ||
+         score.new_node_byte_share >= options_.new_node_share_alert;
+}
+
+std::string AnomalyScore::to_string() const {
+  char buf[220];
+  std::snprintf(buf, sizeof(buf),
+                "spectral=%.4f (baseline %.4f±%.4f, z=%.2f) new-node-bytes=%.2f%% "
+                "edge-jaccard-prev=%.3f",
+                spectral_error, baseline_mean, baseline_std, zscore,
+                100.0 * new_node_byte_share, edge_jaccard_vs_prev);
+  return buf;
+}
+
+}  // namespace ccg

@@ -1,0 +1,133 @@
+#include "ccg/summarize/edge_anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+EwmaEdgeDetector::EwmaEdgeDetector(EwmaDetectorOptions options)
+    : options_(options) {
+  CCG_EXPECT(options.alpha > 0.0 && options.alpha <= 1.0);
+  CCG_EXPECT(options.k_sigma > 0.0);
+  CCG_EXPECT(options.relative_sigma_floor >= 0.0);
+  CCG_EXPECT(options.initial_relative_sigma >= 0.0);
+}
+
+std::vector<EdgeAnomaly> EwmaEdgeDetector::observe(const CommGraph& window) {
+  std::vector<EdgeAnomaly> alerts;
+  const bool training = windows_ == 0;
+
+  for (auto& [key, st] : state_) st.seen_this_window = false;
+
+  for (const Edge& e : window.edges()) {
+    NodeKey ka = window.key(e.a);
+    NodeKey kb = window.key(e.b);
+    if (kb < ka) std::swap(ka, kb);
+    const std::uint64_t bytes = e.stats.bytes();
+
+    auto it = state_.find({ka, kb});
+    if (it == state_.end()) {
+      // Brand-new conversation.
+      const bool new_node =
+          !known_nodes_.contains(ka) || !known_nodes_.contains(kb);
+      if (!training && bytes >= options_.min_bytes &&
+          !(new_node && options_.suppress_new_node_edges)) {
+        alerts.push_back(EdgeAnomaly{.a = ka,
+                                     .b = kb,
+                                     .observed_bytes = bytes,
+                                     .expected_bytes = 0.0,
+                                     .new_edge = true,
+                                     .involves_new_node = new_node});
+      }
+      const double prior_sigma =
+          options_.initial_relative_sigma * static_cast<double>(bytes);
+      state_.emplace(std::make_pair(ka, kb),
+                     EdgeState{.mean = static_cast<double>(bytes),
+                               .variance = prior_sigma * prior_sigma,
+                               .seen_this_window = true});
+      continue;
+    }
+
+    EdgeState& st = it->second;
+    st.seen_this_window = true;
+    const double obs = static_cast<double>(bytes);
+    const double floor = options_.relative_sigma_floor * std::max(st.mean, 1.0);
+    const double sigma = std::max(std::sqrt(st.variance), floor);
+    const double deviation = std::abs(obs - st.mean) / sigma;
+    if (!training && deviation > options_.k_sigma &&
+        std::max<double>(obs, st.mean) >= static_cast<double>(options_.min_bytes)) {
+      alerts.push_back(EdgeAnomaly{.a = ka,
+                                   .b = kb,
+                                   .observed_bytes = bytes,
+                                   .expected_bytes = st.mean,
+                                   .deviation_sigma = deviation});
+    }
+    // Fold into the baseline (EWMA mean + EWM variance).
+    const double delta = obs - st.mean;
+    st.mean += options_.alpha * delta;
+    st.variance =
+        (1.0 - options_.alpha) * (st.variance + options_.alpha * delta * delta);
+  }
+
+  // Tracked edges that disappeared: decay toward zero; alert once when a
+  // substantial edge vanishes outright.
+  for (auto& [key, st] : state_) {
+    if (st.seen_this_window) continue;
+    const double floor = options_.relative_sigma_floor * std::max(st.mean, 1.0);
+    const double sigma = std::max(std::sqrt(st.variance), floor);
+    const double deviation = st.mean / sigma;
+    // >= : with a pure relative-sigma floor, a total disappearance scores
+    // exactly mean / (floor * mean); it must still alert.
+    if (!training && deviation >= options_.k_sigma &&
+        st.mean >= static_cast<double>(options_.min_bytes)) {
+      alerts.push_back(EdgeAnomaly{.a = key.first,
+                                   .b = key.second,
+                                   .observed_bytes = 0,
+                                   .expected_bytes = st.mean,
+                                   .deviation_sigma = deviation,
+                                   .vanished = true});
+    }
+    const double delta = -st.mean;
+    st.mean += options_.alpha * delta;
+    st.variance =
+        (1.0 - options_.alpha) * (st.variance + options_.alpha * delta * delta);
+  }
+
+  // Every node seen this window becomes known for the next.
+  for (NodeId i = 0; i < window.node_count(); ++i) {
+    known_nodes_.insert(window.key(i));
+  }
+
+  std::sort(alerts.begin(), alerts.end(),
+            [](const EdgeAnomaly& x, const EdgeAnomaly& y) {
+              if (x.new_edge != y.new_edge) return x.new_edge;
+              if (x.new_edge) return x.observed_bytes > y.observed_bytes;
+              return x.deviation_sigma > y.deviation_sigma;
+            });
+  ++windows_;
+  return alerts;
+}
+
+std::string EdgeAnomaly::to_string() const {
+  char buf[240];
+  if (new_edge) {
+    std::snprintf(buf, sizeof(buf), "NEW %s <-> %s (%llu bytes)%s",
+                  a.to_string().c_str(), b.to_string().c_str(),
+                  static_cast<unsigned long long>(observed_bytes),
+                  involves_new_node ? " [new node]" : "");
+  } else if (vanished) {
+    std::snprintf(buf, sizeof(buf), "GONE %s <-> %s (expected ~%.0f bytes)",
+                  a.to_string().c_str(), b.to_string().c_str(), expected_bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "SHIFT %s <-> %s (%llu bytes vs ~%.0f, %.1f sigma)",
+                  a.to_string().c_str(), b.to_string().c_str(),
+                  static_cast<unsigned long long>(observed_bytes),
+                  expected_bytes, deviation_sigma);
+  }
+  return buf;
+}
+
+}  // namespace ccg

@@ -1,0 +1,63 @@
+#include "ccg/summarize/graph_pca.hpp"
+
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+NodeIndex NodeIndex::from_graphs(const std::vector<const CommGraph*>& graphs) {
+  NodeIndex idx;
+  for (const CommGraph* g : graphs) {
+    CCG_EXPECT(g != nullptr);
+    idx.extend(*g);
+  }
+  return idx;
+}
+
+NodeIndex NodeIndex::from_graph(const CommGraph& graph) {
+  return from_graphs({&graph});
+}
+
+std::size_t NodeIndex::row_of(const NodeKey& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? npos : it->second;
+}
+
+void NodeIndex::extend(const CommGraph& graph) {
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    const NodeKey& k = graph.key(i);
+    if (index_.try_emplace(k, keys_.size()).second) {
+      keys_.push_back(k);
+    }
+  }
+}
+
+Matrix adjacency_matrix(const CommGraph& graph, const NodeIndex& index,
+                        AdjacencyOptions options,
+                        std::uint64_t* unindexed_bytes) {
+  const std::size_t n = index.size();
+  Matrix m(n, n);
+  std::uint64_t missed = 0;
+  for (const Edge& e : graph.edges()) {
+    const std::size_t ra = index.row_of(graph.key(e.a));
+    const std::size_t rb = index.row_of(graph.key(e.b));
+    if (ra == NodeIndex::npos || rb == NodeIndex::npos) {
+      missed += e.stats.bytes();
+      continue;
+    }
+    const double raw = static_cast<double>(e.stats.bytes());
+    const double v = options.log_scale ? std::log1p(raw) : raw;
+    m(ra, rb) += v;
+    m(rb, ra) += v;
+  }
+  if (unindexed_bytes != nullptr) *unindexed_bytes = missed;
+  return m;
+}
+
+PcaSummary pca_of_graph(const CommGraph& graph, AdjacencyOptions options) {
+  const NodeIndex index = NodeIndex::from_graph(graph);
+  return PcaSummary(adjacency_matrix(graph, index, options));
+}
+
+}  // namespace ccg

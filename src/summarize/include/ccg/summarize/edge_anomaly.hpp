@@ -1,0 +1,92 @@
+// Edge-level anomaly localization.
+//
+// The spectral detector (anomaly.hpp) answers the paper's "identify when
+// the patterns change"; an operator's next question is *which
+// conversations* changed. A per-edge EWMA control chart over window
+// volumes answers it: each (a, b) pair carries an exponentially weighted
+// mean/variance of its byte volume, and a window's observation far outside
+// the band — or a heavy brand-new edge — is localized and ranked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+
+struct EdgeAnomaly {
+  NodeKey a;
+  NodeKey b;
+  std::uint64_t observed_bytes = 0;
+  double expected_bytes = 0.0;   // EWMA mean before this window
+  double deviation_sigma = 0.0;  // |obs - mean| / sigma (0 for new edges)
+  bool new_edge = false;         // never seen before this window
+  /// For new edges: at least one endpoint was itself never seen before.
+  /// New edges between two *known* nodes are the lateral-movement shape;
+  /// new-node edges are usually churn replacements or new clients (the
+  /// node-level signals own those).
+  bool involves_new_node = false;
+  bool vanished = false;         // tracked edge fell to zero
+
+  std::string to_string() const;
+};
+
+struct EwmaDetectorOptions {
+  /// EWMA smoothing factor (weight of the newest window).
+  double alpha = 0.3;
+  /// Alert when |observed - mean| exceeds this many sigmas.
+  double k_sigma = 4.0;
+  /// Sigma floor as a fraction of the mean. Low-rate edges (a handful of
+  /// Poisson connections per window times heavy-tailed sizes) jitter by
+  /// tens of percent in steady state; the floor keeps them quiet until
+  /// the EWM variance has learned their real spread.
+  double relative_sigma_floor = 0.25;
+  /// Ignore edges (and new-edge alerts) below this volume.
+  std::uint64_t min_bytes = 10'000;
+  /// Drop new-edge reports that involve a never-seen node (churn
+  /// replacements, freshly active clients). Keeps the alert stream to the
+  /// lateral-movement shape; node-level detectors cover new nodes.
+  bool suppress_new_node_edges = false;
+  /// Prior on a fresh edge's volume spread, as a fraction of its first
+  /// observation: the EWM variance starts at (this * bytes)^2 and tightens
+  /// as real window-to-window spread is learned — without it, every edge's
+  /// natural jitter alarms until the variance warms up.
+  double initial_relative_sigma = 0.5;
+};
+
+class EwmaEdgeDetector {
+ public:
+  explicit EwmaEdgeDetector(EwmaDetectorOptions options = {});
+
+  /// Scores a window against the learned per-edge baselines, then folds
+  /// the window into them. The first window only trains (no alerts).
+  /// Alerts are ranked by deviation (new edges first, by volume).
+  std::vector<EdgeAnomaly> observe(const CommGraph& window);
+
+  std::size_t tracked_edges() const { return state_.size(); }
+  std::size_t windows_observed() const { return windows_; }
+
+ private:
+  struct PairKeyHash {
+    std::size_t operator()(const std::pair<NodeKey, NodeKey>& p) const noexcept {
+      return std::hash<NodeKey>{}(p.first) * 0x9E3779B97F4A7C15ull ^
+             std::hash<NodeKey>{}(p.second);
+    }
+  };
+  struct EdgeState {
+    double mean = 0.0;
+    double variance = 0.0;
+    bool seen_this_window = false;
+  };
+
+  EwmaDetectorOptions options_;
+  std::unordered_map<std::pair<NodeKey, NodeKey>, EdgeState, PairKeyHash> state_;
+  std::unordered_set<NodeKey> known_nodes_;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace ccg

@@ -1,0 +1,176 @@
+#include "ccg/summarize/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/segmentation/louvain.hpp"
+
+namespace ccg {
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kHubAndSpoke: return "hub-and-spoke";
+    case PatternKind::kChattyClique: return "chatty-clique";
+    case PatternKind::kBackground: return "background";
+  }
+  return "unknown";
+}
+
+PatternReport mine_patterns(const CommGraph& graph, PatternMinerOptions options) {
+  PatternReport report;
+  const std::size_t n = graph.node_count();
+  const std::uint64_t total_bytes = graph.total_bytes();
+  if (n == 0 || total_bytes == 0) return report;
+
+  std::vector<bool> edge_claimed(graph.edge_count(), false);
+  std::vector<bool> node_is_hub(n, false);
+
+  // --- 1. Hubs: degree far above the median --------------------------------
+  std::vector<std::size_t> degrees(n);
+  for (NodeId i = 0; i < n; ++i) degrees[i] = graph.degree(i);
+  std::vector<std::size_t> sorted_deg = degrees;
+  std::nth_element(sorted_deg.begin(),
+                   sorted_deg.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                   sorted_deg.end());
+  const double median_degree = static_cast<double>(std::max<std::size_t>(1, sorted_deg[n / 2]));
+  const double hub_cut =
+      std::max(static_cast<double>(options.min_hub_degree),
+               options.hub_degree_factor * median_degree);
+
+  std::vector<NodeId> hubs;
+  for (NodeId i = 0; i < n; ++i) {
+    if (static_cast<double>(degrees[i]) >= hub_cut) hubs.push_back(i);
+  }
+  std::sort(hubs.begin(), hubs.end(),
+            [&](NodeId a, NodeId b) { return degrees[a] > degrees[b]; });
+
+  for (const NodeId hub : hubs) {
+    CommunicationPattern p;
+    p.kind = PatternKind::kHubAndSpoke;
+    p.members.push_back(hub);
+    for (const auto& [spoke, edge_id] : graph.neighbors(hub)) {
+      if (edge_claimed[edge_id]) continue;
+      edge_claimed[edge_id] = true;
+      ++p.edge_count;
+      p.bytes += graph.edge(edge_id).stats.bytes();
+      p.members.push_back(spoke);
+    }
+    if (p.edge_count == 0) continue;
+    node_is_hub[hub] = true;
+    p.byte_share = static_cast<double>(p.bytes) / static_cast<double>(total_bytes);
+    report.hub_byte_share += p.byte_share;
+    report.patterns.push_back(std::move(p));
+  }
+
+  // --- 2. Chatty cliques: dense byte-weighted communities ------------------
+  WeightedGraph residual(n);
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    if (edge_claimed[e]) continue;
+    const Edge& edge = graph.edge(e);
+    if (node_is_hub[edge.a] || node_is_hub[edge.b]) continue;
+    residual.add_edge(edge.a, edge.b,
+                      std::log1p(static_cast<double>(edge.stats.bytes())));
+  }
+  const LouvainResult communities =
+      louvain_cluster(residual, {.seed = options.seed});
+
+  std::vector<std::vector<NodeId>> groups(communities.community_count);
+  for (NodeId i = 0; i < n; ++i) {
+    if (residual.neighbors(i).empty()) continue;  // isolated in residual
+    groups[communities.labels[i]].push_back(i);
+  }
+
+  for (const auto& group : groups) {
+    if (group.size() < options.min_clique_size) continue;
+    // Internal density & bytes over unclaimed edges.
+    std::vector<bool> in_group(n, false);
+    for (const NodeId v : group) in_group[v] = true;
+    std::uint64_t bytes = 0;
+    std::size_t internal_edges = 0;
+    std::vector<EdgeId> internal;
+    for (const NodeId v : group) {
+      for (const auto& [peer, edge_id] : graph.neighbors(v)) {
+        if (peer <= v || !in_group[peer] || edge_claimed[edge_id]) continue;
+        ++internal_edges;
+        bytes += graph.edge(edge_id).stats.bytes();
+        internal.push_back(edge_id);
+      }
+    }
+    const double possible =
+        0.5 * static_cast<double>(group.size()) * static_cast<double>(group.size() - 1);
+    const double density = possible == 0.0 ? 0.0 : static_cast<double>(internal_edges) / possible;
+    if (density < options.min_clique_density) continue;
+    if (internal_edges <= group.size()) continue;  // a tree or bare cycle
+
+    for (const EdgeId e : internal) edge_claimed[e] = true;
+    CommunicationPattern p;
+    p.kind = PatternKind::kChattyClique;
+    p.members = group;
+    p.edge_count = internal_edges;
+    p.bytes = bytes;
+    p.byte_share = static_cast<double>(bytes) / static_cast<double>(total_bytes);
+    p.internal_density = density;
+    report.clique_byte_share += p.byte_share;
+    report.patterns.push_back(std::move(p));
+  }
+
+  // --- 3. Background --------------------------------------------------------
+  CommunicationPattern background;
+  background.kind = PatternKind::kBackground;
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    if (edge_claimed[e]) continue;
+    ++background.edge_count;
+    background.bytes += graph.edge(e).stats.bytes();
+  }
+  background.byte_share =
+      static_cast<double>(background.bytes) / static_cast<double>(total_bytes);
+  report.background_byte_share = background.byte_share;
+  report.patterns.push_back(std::move(background));
+
+  std::sort(report.patterns.begin(), report.patterns.end(),
+            [](const CommunicationPattern& a, const CommunicationPattern& b) {
+              return a.bytes > b.bytes;
+            });
+  return report;
+}
+
+std::string CommunicationPattern::describe(const CommGraph& graph) const {
+  char buf[240];
+  switch (kind) {
+    case PatternKind::kHubAndSpoke:
+      std::snprintf(buf, sizeof(buf),
+                    "%4.1f%% of bytes: hub-and-spoke around %s (%zu spokes)",
+                    100.0 * byte_share,
+                    members.empty() ? "?" : graph.key(members[0]).to_string().c_str(),
+                    edge_count);
+      break;
+    case PatternKind::kChattyClique:
+      std::snprintf(buf, sizeof(buf),
+                    "%4.1f%% of bytes: chatty clique of %zu nodes "
+                    "(density %.2f, %zu edges)",
+                    100.0 * byte_share, members.size(), internal_density,
+                    edge_count);
+      break;
+    case PatternKind::kBackground:
+      std::snprintf(buf, sizeof(buf),
+                    "%4.1f%% of bytes: unpatterned background (%zu edges)",
+                    100.0 * byte_share, edge_count);
+      break;
+  }
+  return buf;
+}
+
+std::string PatternReport::executive_summary(const CommGraph& graph,
+                                             std::size_t top) const {
+  std::string out;
+  std::size_t shown = 0;
+  for (const auto& p : patterns) {
+    if (shown++ >= top) break;
+    out += p.describe(graph);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ccg

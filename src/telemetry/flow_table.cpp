@@ -1,0 +1,78 @@
+#include "ccg/telemetry/flow_table.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+FlowTable::FlowTable(std::size_t capacity) : capacity_(capacity) {
+  CCG_EXPECT(capacity > 0);
+}
+
+ConnectionSummary FlowTable::make_summary(const Entry& e, MinuteBucket t) const {
+  return ConnectionSummary{.time = t,
+                           .flow = e.key,
+                           .counters = e.counters,
+                           .initiator = e.initiator};
+}
+
+void FlowTable::observe(const FlowKey& key, const TrafficCounters& delta,
+                        MinuteBucket now,
+                        std::vector<ConnectionSummary>& overflow,
+                        Initiator initiator) {
+  ++stats_.updates;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    it->second->counters += delta;
+    it->second->touched_this_interval = true;
+    if (it->second->initiator == Initiator::kUnknown) {
+      it->second->initiator = initiator;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+
+  if (entries_.size() >= capacity_) {
+    // Export-on-evict: the victim's partial interval is emitted now so the
+    // counters are delayed, not lost.
+    Entry& victim = lru_.back();
+    if (!victim.counters.empty()) {
+      overflow.push_back(make_summary(victim, now));
+      ++stats_.records_emitted;
+    }
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+
+  lru_.push_front(Entry{.key = key,
+                        .counters = delta,
+                        .initiator = initiator,
+                        .touched_this_interval = true});
+  entries_.emplace(key, lru_.begin());
+  ++stats_.flows_inserted;
+  stats_.peak_occupancy = std::max(stats_.peak_occupancy, entries_.size());
+}
+
+std::vector<ConnectionSummary> FlowTable::flush(MinuteBucket now) {
+  std::vector<ConnectionSummary> out;
+  out.reserve(entries_.size());
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (!it->counters.empty()) {
+      out.push_back(make_summary(*it, now));
+      ++stats_.records_emitted;
+    }
+    if (it->touched_this_interval) {
+      // Keep the entry for the next interval but zero its counters.
+      it->counters = TrafficCounters{};
+      it->touched_this_interval = false;
+      ++it;
+    } else {
+      entries_.erase(it->key);
+      it = lru_.erase(it);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccg

@@ -1,0 +1,84 @@
+// SmartNIC flow-table simulator (paper Fig. 7 / §3.1).
+//
+// In production, connection summaries are recorded on the programmable NIC
+// attached to each host: the NIC already keeps per-flow state for network
+// virtualization, so adding a few counters per flow is a small burden. An
+// agent periodically pulls the counters and forwards them. Crucially this is
+// invisible to the guest VM and tamper-proof even when the VM is breached.
+//
+// We simulate that NIC: a bounded per-host table of (FlowKey -> counters)
+// that the workload layer feeds with per-interval flow activity and that a
+// Collector flushes each minute. The capacity bound models limited SmartNIC
+// memory; overflow triggers eviction (the evicted flow's partial counters
+// are emitted immediately rather than lost, mirroring how real flow caches
+// export on eviction).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "ccg/common/flow.hpp"
+#include "ccg/telemetry/record.hpp"
+
+namespace ccg {
+
+/// Cumulative health counters for one flow table.
+struct FlowTableStats {
+  std::uint64_t updates = 0;          // counter-update operations applied
+  std::uint64_t flows_inserted = 0;   // distinct flow entries created
+  std::uint64_t evictions = 0;        // entries evicted for capacity
+  std::uint64_t records_emitted = 0;  // summaries produced by flushes
+  std::size_t peak_occupancy = 0;     // max concurrent flow entries
+};
+
+/// Per-host flow table with LRU eviction.
+class FlowTable {
+ public:
+  /// `capacity` is the max number of concurrent flow entries (SmartNIC
+  /// memory budget). Precondition: capacity > 0.
+  explicit FlowTable(std::size_t capacity = 1 << 16);
+
+  /// Applies one interval's activity for a flow (creates the entry if new).
+  /// Eagerly-evicted summaries, if any, are appended to `overflow`.
+  /// `initiator` is latched on first sight of the flow (the NIC sees the
+  /// handshake exactly once).
+  void observe(const FlowKey& key, const TrafficCounters& delta,
+               MinuteBucket now, std::vector<ConnectionSummary>& overflow,
+               Initiator initiator = Initiator::kUnknown);
+
+  /// Emits one ConnectionSummary per flow with non-empty counters for the
+  /// interval ending now, resets counters, and drops flows that were idle
+  /// this interval (they re-insert on next activity — this is how real flow
+  /// caches keep memory proportional to *concurrent* flows).
+  std::vector<ConnectionSummary> flush(MinuteBucket now);
+
+  std::size_t occupancy() const { return entries_.size(); }
+  const FlowTableStats& stats() const { return stats_; }
+
+  /// Estimated SmartNIC memory footprint: key + 4 counters + bookkeeping.
+  std::size_t memory_bytes() const { return entries_.size() * kBytesPerEntry; }
+
+  static constexpr std::size_t kBytesPerEntry = 64;
+
+ private:
+  struct Entry {
+    FlowKey key;
+    TrafficCounters counters;
+    Initiator initiator = Initiator::kUnknown;
+    bool touched_this_interval = false;
+  };
+
+  // LRU order: most-recently-updated at front.
+  using LruList = std::list<Entry>;
+
+  ConnectionSummary make_summary(const Entry& e, MinuteBucket t) const;
+
+  std::size_t capacity_;
+  LruList lru_;
+  std::unordered_map<FlowKey, LruList::iterator> entries_;
+  FlowTableStats stats_;
+};
+
+}  // namespace ccg

@@ -1,0 +1,78 @@
+// Cloud-provider telemetry profiles (paper Table 3).
+//
+//             Azure            AWS              GCP
+//   Name      NSG Flow Logs    VPC Flow Logs    VPC Flow Logs
+//   Interval  1 min            1 min            5 s or higher
+//   Sampling  none             none             3% of packets, 50% of flows
+//   Price     ~0.5 $/GB collected
+//
+// A profile transforms the ideal per-minute summaries a FlowTable would
+// produce into what that provider actually exports: it may sample flows
+// (drop whole flows), sample packets (thin counters), and re-bucket time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/common/rng.hpp"
+#include "ccg/telemetry/record.hpp"
+
+namespace ccg {
+
+/// Static description of one provider's flow-log offering.
+struct ProviderProfile {
+  std::string name;
+  std::string product;
+  int aggregation_seconds = 60;   // export interval
+  double packet_sample_rate = 1.0;  // fraction of packets counted
+  double flow_sample_rate = 1.0;    // fraction of flows logged at all
+  double price_per_gb = 0.5;        // $ per GB of collected logs
+
+  bool samples() const { return packet_sample_rate < 1.0 || flow_sample_rate < 1.0; }
+
+  static ProviderProfile azure();
+  static ProviderProfile aws();
+  static ProviderProfile gcp();
+  static std::vector<ProviderProfile> all();
+};
+
+/// Statistics of one sampling pass, for the fidelity ablation.
+struct SamplingStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t bytes_in = 0;    // sum of byte counters before sampling
+  std::uint64_t bytes_out = 0;   // sum after (scaled-up estimates)
+};
+
+/// Applies a provider's sampling model to a batch of ideal summaries.
+///
+/// Flow sampling: each *flow* (not record) is kept with probability
+/// flow_sample_rate, decided by a seeded hash of the FlowKey so a flow is
+/// consistently kept or dropped across intervals (GCP semantics).
+/// Packet sampling: counters are binomially thinned at packet_sample_rate
+/// and then scaled back up by 1/rate, matching how providers report
+/// estimated totals from sampled counts.
+class ProviderSampler {
+ public:
+  ProviderSampler(ProviderProfile profile, std::uint64_t seed);
+
+  std::vector<ConnectionSummary> apply(const std::vector<ConnectionSummary>& in);
+
+  const ProviderProfile& profile() const { return profile_; }
+  const SamplingStats& stats() const { return stats_; }
+
+ private:
+  bool keep_flow(const FlowKey& key) const;
+  std::uint64_t thin_and_scale(std::uint64_t count, double mean_unit, Rng& rng);
+
+  ProviderProfile profile_;
+  std::uint64_t seed_;
+  Rng rng_;
+  SamplingStats stats_;
+};
+
+/// Cost of collecting `records` summaries at `price_per_gb` (paper: ~0.5$/GB).
+double collection_cost_dollars(std::uint64_t records, double price_per_gb);
+
+}  // namespace ccg

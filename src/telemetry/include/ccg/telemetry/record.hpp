@@ -1,0 +1,70 @@
+// The connection-summary record: the single telemetry primitive everything
+// else consumes.
+//
+// Matches the schema of paper Table 2:
+//   Time | Local IP, Port | Remote IP, Port | #Packets sent/rcvd | #Bytes sent/rcvd
+//
+// One record summarizes one flow's activity within one aggregation interval
+// as observed at the *local* VM's NIC. A flow active for k minutes yields k
+// records. Both endpoints of an intra-subscription flow each emit a record
+// (the graph builder deduplicates).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "ccg/common/flow.hpp"
+#include "ccg/common/ip.hpp"
+#include "ccg/common/time.hpp"
+
+namespace ccg {
+
+/// Per-direction traffic counters within one aggregation interval.
+struct TrafficCounters {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_rcvd = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_rcvd = 0;
+
+  TrafficCounters& operator+=(const TrafficCounters& o) {
+    packets_sent += o.packets_sent;
+    packets_rcvd += o.packets_rcvd;
+    bytes_sent += o.bytes_sent;
+    bytes_rcvd += o.bytes_rcvd;
+    return *this;
+  }
+
+  std::uint64_t total_packets() const { return packets_sent + packets_rcvd; }
+  std::uint64_t total_bytes() const { return bytes_sent + bytes_rcvd; }
+  bool empty() const { return total_packets() == 0 && total_bytes() == 0; }
+
+  friend constexpr auto operator<=>(const TrafficCounters&, const TrafficCounters&) = default;
+};
+
+/// Which endpoint opened the connection. Paper Table 2 omits direction,
+/// but the SmartNIC's per-flow state machine saw the handshake and knows it
+/// authoritatively; we carry that one byte because the ephemeral-port
+/// heuristic misfires on services listening in the dynamic range (gRPC's
+/// 50051 etc.). kUnknown falls back to the port heuristic downstream.
+enum class Initiator : std::uint8_t { kUnknown = 0, kLocal = 1, kRemote = 2 };
+
+/// One row of the Table 2 schema (plus the initiator bit, see above).
+struct ConnectionSummary {
+  MinuteBucket time;
+  FlowKey flow;          // local/remote endpoints + protocol
+  TrafficCounters counters;
+  Initiator initiator = Initiator::kUnknown;
+
+  IpAddr local_ip() const { return flow.local_ip; }
+  IpAddr remote_ip() const { return flow.remote_ip; }
+
+  /// Approximate serialized size: used by the COGS model ($/GB, Table 3).
+  static constexpr std::size_t kWireBytes = 40;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const ConnectionSummary&, const ConnectionSummary&) = default;
+};
+
+}  // namespace ccg

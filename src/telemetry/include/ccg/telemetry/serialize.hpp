@@ -1,0 +1,48 @@
+// Serialization of connection summaries.
+//
+// Two encodings:
+//  * CSV — the shape customers see in NSG/VPC flow-log exports; good for
+//    interop with external tooling.
+//  * A compact binary framing — what the agent would actually ship to the
+//    cloud store; its size drives the $/GB COGS model.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ccg/telemetry/record.hpp"
+
+namespace ccg {
+
+/// Header row matching paper Table 2 column order.
+std::string csv_header();
+
+/// One record as a CSV row (no trailing newline).
+std::string to_csv(const ConnectionSummary& rec);
+
+/// Parses a row produced by to_csv. Returns nullopt on malformed input.
+std::optional<ConnectionSummary> from_csv(std::string_view line);
+
+/// Writes a batch as CSV with header.
+void write_csv(std::ostream& out, const std::vector<ConnectionSummary>& batch);
+
+/// Reads a whole CSV stream (header optional); malformed rows are skipped
+/// and counted in *dropped if provided.
+std::vector<ConnectionSummary> read_csv(std::istream& in, std::size_t* dropped = nullptr);
+
+/// Compact binary encoding: varint-delta framing. Records are grouped by
+/// minute; within a batch IPs/ports compress well because flows from one
+/// host share the local IP.
+std::vector<std::uint8_t> encode_binary(const std::vector<ConnectionSummary>& batch);
+
+/// Decodes a buffer produced by encode_binary. Returns nullopt if the
+/// buffer is truncated or corrupt.
+std::optional<std::vector<ConnectionSummary>> decode_binary(
+    const std::vector<std::uint8_t>& buffer);
+
+}  // namespace ccg

@@ -1,0 +1,108 @@
+// Streaming sketches for NIC/collector-side summarization (paper §3.1
+// open issue: "pushing sketches into programmable NICs may be needed";
+// §3.2: "one potential mitigation is to focus on the heavy hitters").
+//
+// Two classics, implemented for the fixed-memory regime a SmartNIC or a
+// per-core collector shard lives in:
+//   * CountMinSketch — point estimates of per-key volume with a one-sided
+//     error bound (never under-estimates).
+//   * SpaceSaving — the top-k heavy hitters with deterministic guarantees:
+//     any key with true count > N/capacity is present.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ccg/common/ip.hpp"
+
+namespace ccg {
+
+class CountMinSketch {
+ public:
+  /// width counters per row, depth independent rows. Error: estimates
+  /// exceed truth by at most ~ (total added / width) with probability
+  /// 1 - 2^-depth. Preconditions: width >= 8, 1 <= depth <= 16.
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed = 1);
+
+  void add(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Never less than the true count of `key`.
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  std::uint64_t total() const { return total_; }
+  std::size_t memory_bytes() const { return counters_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::size_t index(std::size_t row, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> counters_;  // depth x width, row-major
+  std::uint64_t total_ = 0;
+};
+
+/// SpaceSaving (Metwally et al.): top-k under a hard entry budget.
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;      // upper bound on the true count
+    std::uint64_t overestimate = 0;  // count - overestimate <= truth <= count
+  };
+
+  /// Precondition: capacity >= 1.
+  explicit SpaceSaving(std::size_t capacity);
+
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  /// Tracked entries, heaviest first.
+  std::vector<Entry> entries() const;
+
+  /// Keys whose *guaranteed* count (count - overestimate) is at least
+  /// `threshold_share` of the stream total — no false positives.
+  std::vector<Entry> heavy_hitters(double threshold_share) const;
+
+  std::uint64_t total() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t memory_bytes() const { return capacity_ * sizeof(Entry) * 2; }
+
+ private:
+  std::size_t capacity_;
+  // Flat storage; capacity is small (hundreds to thousands), and the min
+  // scan is O(capacity) only on replacement of an untracked key.
+  std::vector<Entry> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::uint64_t total_ = 0;
+};
+
+/// Convenience: one pass of SpaceSaving over per-remote-IP byte volumes —
+/// the §3.2 heavy-hitter question ("remote IPs ... that do not individually
+/// account for a sizable share of traffic are collapsed") answered in
+/// O(capacity) memory instead of one counter per remote.
+class RemoteHeavyHitterSketch {
+ public:
+  explicit RemoteHeavyHitterSketch(std::size_t capacity) : sketch_(capacity) {}
+
+  void observe(IpAddr remote, std::uint64_t bytes) {
+    sketch_.add(remote.bits(), bytes);
+  }
+
+  /// Remote IPs guaranteed to carry at least `share` of observed bytes.
+  std::vector<IpAddr> survivors(double share) const {
+    std::vector<IpAddr> out;
+    for (const auto& e : sketch_.heavy_hitters(share)) {
+      out.push_back(IpAddr(static_cast<std::uint32_t>(e.key)));
+    }
+    return out;
+  }
+
+  const SpaceSaving& sketch() const { return sketch_; }
+
+ private:
+  SpaceSaving sketch_;
+};
+
+}  // namespace ccg

@@ -1,0 +1,124 @@
+#include "ccg/telemetry/provider.hpp"
+
+#include <cmath>
+
+namespace ccg {
+
+ProviderProfile ProviderProfile::azure() {
+  return {.name = "Azure",
+          .product = "NSG Flow Logs",
+          .aggregation_seconds = 60,
+          .packet_sample_rate = 1.0,
+          .flow_sample_rate = 1.0,
+          .price_per_gb = 0.5};
+}
+
+ProviderProfile ProviderProfile::aws() {
+  return {.name = "AWS",
+          .product = "VPC Flow Logs",
+          .aggregation_seconds = 60,
+          .packet_sample_rate = 1.0,
+          .flow_sample_rate = 1.0,
+          .price_per_gb = 0.5};
+}
+
+ProviderProfile ProviderProfile::gcp() {
+  return {.name = "GCP",
+          .product = "VPC Flow Logs",
+          .aggregation_seconds = 5,
+          .packet_sample_rate = 0.03,  // 3% of packets
+          .flow_sample_rate = 0.50,    // 50% of flows
+          .price_per_gb = 0.5};
+}
+
+std::vector<ProviderProfile> ProviderProfile::all() {
+  return {azure(), aws(), gcp()};
+}
+
+ProviderSampler::ProviderSampler(ProviderProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed), rng_(seed ^ 0xA5A5A5A5ull) {}
+
+bool ProviderSampler::keep_flow(const FlowKey& key) const {
+  if (profile_.flow_sample_rate >= 1.0) return true;
+  // Seeded hash keeps the keep/drop decision stable across intervals for
+  // the same flow, as GCP's flow sampling does. Finalize with a strong
+  // mixer: FNV's high bits alone are too correlated for a fair coin.
+  std::uint64_t h = std::hash<FlowKey>{}(key) ^ seed_;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return u < profile_.flow_sample_rate;
+}
+
+std::uint64_t ProviderSampler::thin_and_scale(std::uint64_t count,
+                                              double rate, Rng& rng) {
+  if (rate >= 1.0 || count == 0) return count;
+  // Binomial thinning via the normal approximation for large counts and
+  // exact Bernoulli trials for small ones, then inverse-rate scale-up.
+  std::uint64_t sampled;
+  if (count > 256) {
+    const double mean = static_cast<double>(count) * rate;
+    const double sd = std::sqrt(mean * (1.0 - rate));
+    const double draw = rng.normal(mean, sd);
+    sampled = draw <= 0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+    sampled = std::min(sampled, count);
+  } else {
+    sampled = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (rng.chance(rate)) ++sampled;
+    }
+  }
+  return static_cast<std::uint64_t>(static_cast<double>(sampled) / rate + 0.5);
+}
+
+std::vector<ConnectionSummary> ProviderSampler::apply(
+    const std::vector<ConnectionSummary>& in) {
+  std::vector<ConnectionSummary> out;
+  out.reserve(in.size());
+  for (const auto& rec : in) {
+    ++stats_.records_in;
+    stats_.bytes_in += rec.counters.total_bytes();
+    if (!keep_flow(rec.flow)) continue;
+
+    ConnectionSummary sampled = rec;
+    const double rate = profile_.packet_sample_rate;
+    if (rate < 1.0) {
+      // Packet counters are binomially thinned and scaled back up. Bytes
+      // ride on the sampled packets (homogeneous packet sizes within one
+      // flow-interval): scale bytes by the packet estimate ratio, so a
+      // direction whose packets all went unsampled reports zero bytes.
+      auto thin_direction = [&](std::uint64_t packets, std::uint64_t bytes,
+                                std::uint64_t& out_packets,
+                                std::uint64_t& out_bytes) {
+        out_packets = thin_and_scale(packets, rate, rng_);
+        out_bytes = packets == 0
+                        ? 0
+                        : static_cast<std::uint64_t>(
+                              static_cast<double>(bytes) *
+                                  static_cast<double>(out_packets) /
+                                  static_cast<double>(packets) +
+                              0.5);
+      };
+      thin_direction(rec.counters.packets_sent, rec.counters.bytes_sent,
+                     sampled.counters.packets_sent, sampled.counters.bytes_sent);
+      thin_direction(rec.counters.packets_rcvd, rec.counters.bytes_rcvd,
+                     sampled.counters.packets_rcvd, sampled.counters.bytes_rcvd);
+      if (sampled.counters.empty()) continue;  // flow invisible this interval
+    }
+    stats_.bytes_out += sampled.counters.total_bytes();
+    ++stats_.records_out;
+    out.push_back(sampled);
+  }
+  return out;
+}
+
+double collection_cost_dollars(std::uint64_t records, double price_per_gb) {
+  const double gb = static_cast<double>(records) *
+                    static_cast<double>(ConnectionSummary::kWireBytes) / 1e9;
+  return gb * price_per_gb;
+}
+
+}  // namespace ccg

@@ -1,0 +1,13 @@
+#include "ccg/telemetry/record.hpp"
+
+namespace ccg {
+
+std::string ConnectionSummary::to_string() const {
+  return time.to_string() + " " + flow.to_string() + " pkts " +
+         std::to_string(counters.packets_sent) + "/" +
+         std::to_string(counters.packets_rcvd) + " bytes " +
+         std::to_string(counters.bytes_sent) + "/" +
+         std::to_string(counters.bytes_rcvd);
+}
+
+}  // namespace ccg

@@ -1,0 +1,97 @@
+#include "ccg/telemetry/sketch.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed), counters_(width * depth, 0) {
+  CCG_EXPECT(width >= 8);
+  CCG_EXPECT(depth >= 1 && depth <= 16);
+}
+
+std::size_t CountMinSketch::index(std::size_t row, std::uint64_t key) const {
+  const std::uint64_t h =
+      mix64(key ^ (seed_ + 0x9E3779B97F4A7C15ull * (row + 1)));
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[index(row, key)] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[index(row, key)]);
+  }
+  return best == ~std::uint64_t{0} ? 0 : best;
+}
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  CCG_EXPECT(capacity >= 1);
+  slots_.reserve(capacity);
+}
+
+void SpaceSaving::add(std::uint64_t key, std::uint64_t weight) {
+  total_ += weight;
+  if (auto it = index_.find(key); it != index_.end()) {
+    slots_[it->second].count += weight;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    index_.emplace(key, slots_.size());
+    slots_.push_back({key, weight, 0});
+    return;
+  }
+  // Replace the minimum-count entry; the newcomer inherits its count as
+  // the classic SpaceSaving over-estimate.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[victim].count) victim = i;
+  }
+  index_.erase(slots_[victim].key);
+  const std::uint64_t inherited = slots_[victim].count;
+  slots_[victim] = {key, inherited + weight, inherited};
+  index_.emplace(key, victim);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::entries() const {
+  std::vector<Entry> out = slots_;
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::heavy_hitters(
+    double threshold_share) const {
+  CCG_EXPECT(threshold_share >= 0.0 && threshold_share <= 1.0);
+  const double cut = threshold_share * static_cast<double>(total_);
+  std::vector<Entry> out;
+  for (const Entry& e : entries()) {
+    if (static_cast<double>(e.count - e.overestimate) >= cut) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ccg

@@ -1,0 +1,243 @@
+#include "ccg/workload/attacks.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+namespace {
+
+std::uint16_t random_ephemeral(Rng& rng) {
+  return static_cast<std::uint16_t>(32768 + rng.uniform(60999 - 32768));
+}
+
+FlowActivity make_activity(IpAddr src, std::uint16_t sport, IpAddr dst,
+                           std::uint16_t dport, Protocol proto,
+                           std::uint64_t bytes_sent, std::uint64_t bytes_rcvd,
+                           bool malicious) {
+  auto packets = [](std::uint64_t bytes) {
+    return bytes == 0 ? std::uint64_t{0}
+                      : std::max<std::uint64_t>(1, bytes / 1000);
+  };
+  return FlowActivity{
+      .flow = FlowKey{.local_ip = src,
+                      .local_port = sport,
+                      .remote_ip = dst,
+                      .remote_port = dport,
+                      .protocol = proto},
+      .counters = TrafficCounters{.packets_sent = packets(bytes_sent),
+                                  .packets_rcvd = packets(bytes_rcvd),
+                                  .bytes_sent = bytes_sent,
+                                  .bytes_rcvd = bytes_rcvd},
+      .malicious = malicious};
+}
+
+}  // namespace
+
+// --- ScanAttack -----------------------------------------------------------
+
+ScanAttack::ScanAttack(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void ScanAttack::inject(Cluster& cluster, MinuteBucket minute,
+                        std::vector<FlowActivity>& out) {
+  if (!config_.active.contains(minute)) return;
+  if (!source_) source_ = cluster.random_monitored_ip(rng_);
+
+  static constexpr std::uint16_t kProbedPorts[] = {22,   80,   443, 3389,
+                                                   5432, 6379, 8080, 9432};
+  const auto& space = cluster.spec().internal_space;
+  for (std::size_t t = 0; t < config_.targets_per_minute; ++t) {
+    // Scans sweep the address space: most probes hit live VMs, some hit
+    // dark addresses (which still appear in the victim-side flow logs of
+    // nobody — only the scanner's own NIC records them).
+    const IpAddr target = rng_.chance(1.0 - config_.dark_space_fraction)
+                              ? cluster.random_monitored_ip(rng_)
+                              : space.at(rng_.uniform(space.size()));
+    if (target == *source_) continue;
+    for (std::size_t p = 0; p < config_.ports_per_target; ++p) {
+      const std::uint16_t port =
+          kProbedPorts[rng_.uniform(std::size(kProbedPorts))];
+      // SYN probe: one small packet out, at most a RST back.
+      out.push_back(make_activity(*source_, random_ephemeral(rng_), target,
+                                  port, Protocol::kTcp, 64,
+                                  rng_.chance(0.5) ? 64 : 0,
+                                  /*malicious=*/true));
+    }
+  }
+}
+
+// --- LateralMovementAttack --------------------------------------------------
+
+LateralMovementAttack::LateralMovementAttack(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void LateralMovementAttack::inject(Cluster& cluster, MinuteBucket minute,
+                                   std::vector<FlowActivity>& out) {
+  if (!config_.active.contains(minute)) return;
+  if (compromised_.empty()) {
+    compromised_.push_back(cluster.random_monitored_ip(rng_));
+  }
+
+  // Each compromised VM probes a few potential next hops...
+  const auto monitored = cluster.monitored_ips();
+  std::unordered_set<IpAddr> owned(compromised_.begin(), compromised_.end());
+  for (const IpAddr bot : compromised_) {
+    const std::size_t probes = 2 + rng_.uniform(4);
+    for (std::size_t i = 0; i < probes; ++i) {
+      const IpAddr target = monitored[rng_.uniform(monitored.size())];
+      if (owned.contains(target)) continue;
+      out.push_back(make_activity(bot, random_ephemeral(rng_), target,
+                                  config_.admin_port, Protocol::kTcp, 256, 128,
+                                  /*malicious=*/true));
+    }
+  }
+
+  // ...and occasionally one succeeds: payload transfer, set grows.
+  const std::uint64_t new_victims = rng_.poisson(config_.spread_per_minute);
+  for (std::uint64_t v = 0; v < new_victims && owned.size() < monitored.size(); ++v) {
+    IpAddr victim;
+    do {
+      victim = monitored[rng_.uniform(monitored.size())];
+    } while (owned.contains(victim));
+    const IpAddr via = compromised_[rng_.uniform(compromised_.size())];
+    out.push_back(make_activity(via, random_ephemeral(rng_), victim,
+                                config_.admin_port, Protocol::kTcp,
+                                2'000'000 + rng_.uniform(8'000'000), 4096,
+                                /*malicious=*/true));
+    compromised_.push_back(victim);
+    owned.insert(victim);
+  }
+}
+
+// --- ExfiltrationAttack -----------------------------------------------------
+
+ExfiltrationAttack::ExfiltrationAttack(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void ExfiltrationAttack::inject(Cluster& cluster, MinuteBucket minute,
+                                std::vector<FlowActivity>& out) {
+  if (!config_.active.contains(minute)) return;
+  if (!source_) {
+    source_ = cluster.random_monitored_ip(rng_);
+    sink_ = cluster.allocate_external_ip();
+  }
+  const auto bytes = static_cast<std::uint64_t>(
+      config_.mbytes_per_minute * 1e6 * std::max(0.1, 1.0 + rng_.normal(0.0, 0.2)));
+  // Split across a handful of parallel TLS-looking flows to blend in.
+  const std::size_t flows = 2 + rng_.uniform(3);
+  for (std::size_t i = 0; i < flows; ++i) {
+    out.push_back(make_activity(*source_, random_ephemeral(rng_), *sink_, 443,
+                                Protocol::kTcp, bytes / flows, 2048,
+                                /*malicious=*/true));
+  }
+}
+
+// --- TunnelExfiltrationAttack -------------------------------------------------
+
+TunnelExfiltrationAttack::TunnelExfiltrationAttack(Config config,
+                                                   std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+void TunnelExfiltrationAttack::inject(Cluster& cluster, MinuteBucket minute,
+                                      std::vector<FlowActivity>& out) {
+  if (!config_.active.contains(minute)) return;
+  const auto sources = cluster.ips_of_role(config_.source_role);
+  const auto sinks = cluster.ips_of_role(config_.sink_role);
+  if (sources.empty() || sinks.empty()) return;
+  if (!source_) source_ = sources[rng_.uniform(sources.size())];
+
+  const auto bytes = static_cast<std::uint64_t>(
+      config_.mbytes_per_minute * 1e6 *
+      std::max(0.1, 1.0 + rng_.normal(0.0, 0.2)));
+  // Blend in: several small-ish flows to the legitimate sink, on its real
+  // service port, from the one breached instance.
+  const std::size_t flows = 4 + rng_.uniform(4);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const IpAddr sink = sinks[rng_.uniform(sinks.size())];
+    out.push_back(make_activity(*source_, random_ephemeral(rng_), sink,
+                                config_.sink_port, Protocol::kTcp,
+                                bytes / flows, 1024,
+                                /*malicious=*/true));
+  }
+}
+
+// --- CodeChangeScenario -----------------------------------------------------
+
+CodeChangeScenario::CodeChangeScenario(Config config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+void CodeChangeScenario::inject(Cluster& cluster, MinuteBucket minute,
+                                std::vector<FlowActivity>& out) {
+  if (!config_.active.contains(minute)) return;
+  const auto clients = cluster.ips_of_role(config_.role);
+  const auto servers = cluster.ips_of_role(config_.new_server_role);
+  if (clients.empty() || servers.empty()) return;
+
+  // Key property: *every* instance of the role changes identically — the
+  // deployment rolled out new code, so within-segment similarity persists.
+  for (const IpAddr client : clients) {
+    const std::uint64_t conns = rng_.poisson(config_.connections_per_minute);
+    for (std::uint64_t k = 0; k < conns; ++k) {
+      const IpAddr server = servers[rng_.uniform(servers.size())];
+      out.push_back(make_activity(
+          client, random_ephemeral(rng_), server, config_.server_port,
+          Protocol::kTcp, 1024 + rng_.uniform(4096), 4096 + rng_.uniform(16384),
+          /*malicious=*/false));
+    }
+  }
+}
+
+// --- FlashCrowdScenario -----------------------------------------------------
+
+FlashCrowdScenario::FlashCrowdScenario(Config config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+void FlashCrowdScenario::inject(Cluster& cluster, MinuteBucket minute,
+                                std::vector<FlowActivity>& out) {
+  if (!config_.active.contains(minute)) return;
+  CCG_EXPECT(config_.multiplier >= 1.0);
+  const double extra = config_.multiplier - 1.0;
+  if (extra <= 0.0) return;
+
+  // Amplify the request chain in proportion: inbound surges, and each
+  // tier's downstream calls surge with it. That proportionality is exactly
+  // what §2.1's proportionality policies are meant to recognize as benign.
+  auto in_scope = [&](const TrafficPattern& pattern) {
+    if (config_.scope_roles.empty()) {
+      return pattern.server_role == config_.role ||
+             pattern.client_role == config_.role;
+    }
+    auto contains = [&](const std::string& r) {
+      return std::find(config_.scope_roles.begin(), config_.scope_roles.end(),
+                       r) != config_.scope_roles.end();
+    };
+    return contains(pattern.client_role) && contains(pattern.server_role);
+  };
+  for (const auto& pattern : cluster.spec().patterns) {
+    if (!in_scope(pattern)) continue;
+
+    const auto clients = cluster.ips_of_role(pattern.client_role);
+    const auto servers = cluster.ips_of_role(pattern.server_role);
+    if (clients.empty() || servers.empty()) continue;
+
+    const double mean_extra =
+        extra * pattern.connections_per_minute * static_cast<double>(clients.size());
+    const std::uint64_t conns = rng_.poisson(mean_extra);
+    for (std::uint64_t k = 0; k < conns; ++k) {
+      const IpAddr client = clients[rng_.uniform(clients.size())];
+      const IpAddr server = servers[rng_.uniform(servers.size())];
+      const auto req = static_cast<std::uint64_t>(
+          std::max(64.0, rng_.lognormal(pattern.bytes_mu, pattern.bytes_sigma)));
+      const auto rep =
+          static_cast<std::uint64_t>(static_cast<double>(req) * pattern.reply_factor);
+      out.push_back(make_activity(client, random_ephemeral(rng_), server,
+                                  pattern.server_port, pattern.protocol, req,
+                                  rep, /*malicious=*/false));
+    }
+  }
+}
+
+}  // namespace ccg

@@ -1,0 +1,71 @@
+#include "ccg/workload/driver.hpp"
+
+namespace ccg {
+
+SimulationDriver::SimulationDriver(Cluster& cluster, TelemetryHub& hub)
+    : cluster_(cluster), hub_(hub) {
+  for (const IpAddr ip : cluster_.monitored_ips()) hub_.add_host(ip);
+}
+
+void SimulationDriver::add_injector(std::unique_ptr<Injector> injector) {
+  injectors_.push_back(std::move(injector));
+}
+
+void SimulationDriver::observe_both_sides(const FlowActivity& activity,
+                                          MinuteBucket minute) {
+  // Client-side NIC (if the client is a monitored VM). The NIC saw the
+  // handshake, so the initiator bit is authoritative.
+  hub_.observe(activity.flow, activity.counters, minute, Initiator::kLocal);
+
+  // Server-side NIC sees the mirrored flow: endpoints swapped, directions
+  // swapped. Both records describe the same conversation — the graph
+  // builder deduplicates by undirected pair.
+  const FlowKey mirrored{.local_ip = activity.flow.remote_ip,
+                         .local_port = activity.flow.remote_port,
+                         .remote_ip = activity.flow.local_ip,
+                         .remote_port = activity.flow.local_port,
+                         .protocol = activity.flow.protocol};
+  const TrafficCounters swapped{.packets_sent = activity.counters.packets_rcvd,
+                                .packets_rcvd = activity.counters.packets_sent,
+                                .bytes_sent = activity.counters.bytes_rcvd,
+                                .bytes_rcvd = activity.counters.bytes_sent};
+  hub_.observe(mirrored, swapped, minute, Initiator::kRemote);
+}
+
+std::vector<ConnectionSummary> SimulationDriver::step(MinuteBucket minute) {
+  // Churned instances come up with fresh IPs that need NIC agents.
+  const auto churned = cluster_.apply_churn(minute);
+  stats_.churn_events += churned.size();
+  if (!churned.empty()) {
+    for (const IpAddr ip : cluster_.monitored_ips()) hub_.add_host(ip);
+  }
+
+  scratch_.clear();
+  cluster_.generate_minute(minute, scratch_);
+  for (auto& injector : injectors_) {
+    injector->inject(cluster_, minute, scratch_);
+  }
+
+  last_step_malicious_.clear();
+  for (const auto& activity : scratch_) {
+    observe_both_sides(activity, minute);
+    ++stats_.activities;
+    if (activity.malicious) {
+      ++stats_.malicious_activities;
+      const IpPair pair(activity.flow.local_ip, activity.flow.remote_ip);
+      malicious_pairs_.insert(pair);
+      last_step_malicious_.insert(pair);
+    }
+  }
+
+  ++stats_.minutes;
+  return hub_.end_interval(minute);
+}
+
+void SimulationDriver::run(TimeWindow window) {
+  for (MinuteBucket m = window.begin(); m < window.end(); m = m.next()) {
+    step(m);
+  }
+}
+
+}  // namespace ccg

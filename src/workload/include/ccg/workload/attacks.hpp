@@ -1,0 +1,197 @@
+// Attack and scenario injectors.
+//
+// The paper's µserviceBench cluster "injects a wide range of attacks"
+// (Infection-Monkey-style breach simulation) and §2.1 motivates policies by
+// distinguishing attacks from benign changes (code changes, flash crowds).
+// Each injector emits extra FlowActivity tagged malicious (or benign) so
+// detectors can be scored with exact ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccg/common/rng.hpp"
+#include "ccg/common/time.hpp"
+#include "ccg/workload/cluster.hpp"
+
+namespace ccg {
+
+/// Base class for anything that perturbs a cluster's traffic on a schedule.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// Appends this minute's extra activity (if the injector is active).
+  virtual void inject(Cluster& cluster, MinuteBucket minute,
+                      std::vector<FlowActivity>& out) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True if the injector produces *malicious* traffic (attacks) rather
+  /// than benign perturbations (flash crowds, code changes).
+  virtual bool is_attack() const = 0;
+};
+
+/// Port/host scanner: a breached VM probes many internal IPs across many
+/// ports with tiny flows — the classic reconnaissance step.
+class ScanAttack : public Injector {
+ public:
+  struct Config {
+    TimeWindow active;
+    std::size_t targets_per_minute = 50;
+    std::size_t ports_per_target = 3;
+    /// Fraction of probes aimed at unused (dark) addresses of the internal
+    /// space; the rest target live VMs.
+    double dark_space_fraction = 0.2;
+  };
+
+  ScanAttack(Config config, std::uint64_t seed);
+
+  void inject(Cluster& cluster, MinuteBucket minute,
+              std::vector<FlowActivity>& out) override;
+  std::string name() const override { return "scan"; }
+  bool is_attack() const override { return true; }
+
+  /// The breached source VM (chosen lazily on first activation).
+  std::optional<IpAddr> compromised() const { return source_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::optional<IpAddr> source_;
+};
+
+/// Lateral movement: starting from one breached VM, the compromised set
+/// grows over time; each newly compromised VM starts talking to further
+/// victims on admin ports (Infection-Monkey propagation shape).
+class LateralMovementAttack : public Injector {
+ public:
+  struct Config {
+    TimeWindow active;
+    double spread_per_minute = 0.4;  // expected new victims per minute
+    std::uint16_t admin_port = 22;
+  };
+
+  LateralMovementAttack(Config config, std::uint64_t seed);
+
+  void inject(Cluster& cluster, MinuteBucket minute,
+              std::vector<FlowActivity>& out) override;
+  std::string name() const override { return "lateral-movement"; }
+  bool is_attack() const override { return true; }
+
+  const std::vector<IpAddr>& compromised_set() const { return compromised_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::vector<IpAddr> compromised_;
+};
+
+/// Data exfiltration: a breached VM pushes a large byte volume to an
+/// attacker-controlled external endpoint.
+class ExfiltrationAttack : public Injector {
+ public:
+  struct Config {
+    TimeWindow active;
+    double mbytes_per_minute = 50.0;
+  };
+
+  ExfiltrationAttack(Config config, std::uint64_t seed);
+
+  void inject(Cluster& cluster, MinuteBucket minute,
+              std::vector<FlowActivity>& out) override;
+  std::string name() const override { return "exfiltration"; }
+  bool is_attack() const override { return true; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::optional<IpAddr> source_;
+  std::optional<IpAddr> sink_;
+};
+
+/// Exfiltration tunneled over an *allowed* channel: a breached VM pushes
+/// data to a service its segment legitimately talks to (a telemetry sink,
+/// DNS, a shared store), mimicking DNS/metrics tunneling. Reachability
+/// policies are blind to it by construction — only volume-aware
+/// (proportionality) policies or the EWMA localizer can see it.
+class TunnelExfiltrationAttack : public Injector {
+ public:
+  struct Config {
+    TimeWindow active;
+    std::string source_role;  // the breached tier
+    std::string sink_role;    // the allowed service abused as the tunnel
+    std::uint16_t sink_port = 0;
+    double mbytes_per_minute = 20.0;
+  };
+
+  TunnelExfiltrationAttack(Config config, std::uint64_t seed);
+
+  void inject(Cluster& cluster, MinuteBucket minute,
+              std::vector<FlowActivity>& out) override;
+  std::string name() const override { return "tunnel-exfiltration"; }
+  bool is_attack() const override { return true; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::optional<IpAddr> source_;
+};
+
+/// Benign code change: every instance of a role starts talking to a service
+/// it never used before. A plain reachability policy flags this; a
+/// similarity-based policy should not (paper §2.1).
+class CodeChangeScenario : public Injector {
+ public:
+  struct Config {
+    TimeWindow active;
+    std::string role;          // whose behaviour changes
+    std::string new_server_role;  // the newly-contacted role
+    std::uint16_t server_port = 443;
+    double connections_per_minute = 5.0;
+  };
+
+  CodeChangeScenario(Config config, std::uint64_t seed);
+
+  void inject(Cluster& cluster, MinuteBucket minute,
+              std::vector<FlowActivity>& out) override;
+  std::string name() const override { return "code-change"; }
+  bool is_attack() const override { return false; }
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+/// Benign flash crowd: traffic on existing edges of a role multiplies, with
+/// proportional downstream growth. A proportionality policy should accept
+/// this; a naive volume threshold flags it (paper §2.1).
+class FlashCrowdScenario : public Injector {
+ public:
+  struct Config {
+    TimeWindow active;
+    std::string role;       // tier receiving the crowd
+    double multiplier = 5.0;  // extra load factor on its inbound patterns
+    /// When non-empty, amplify exactly the patterns whose client AND
+    /// server roles are both in this set — the physical request chain
+    /// (e.g. {clients, ingress, web, api, db}), so each tier's outbound
+    /// surge is matched by its inbound surge. When empty, fall back to
+    /// amplifying every pattern that touches `role`.
+    std::vector<std::string> scope_roles;
+  };
+
+  FlashCrowdScenario(Config config, std::uint64_t seed);
+
+  void inject(Cluster& cluster, MinuteBucket minute,
+              std::vector<FlowActivity>& out) override;
+  std::string name() const override { return "flash-crowd"; }
+  bool is_attack() const override { return false; }
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace ccg

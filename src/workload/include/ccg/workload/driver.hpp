@@ -1,0 +1,70 @@
+// Simulation driver: wires a Cluster (+ injectors) to a TelemetryHub and
+// advances simulated time minute by minute. This is the "physical world"
+// loop — everything downstream (graphs, segmentation, policies) sees only
+// the connection summaries the hub emits, exactly as a real deployment
+// would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "ccg/common/time.hpp"
+#include "ccg/telemetry/collector.hpp"
+#include "ccg/workload/attacks.hpp"
+#include "ccg/workload/cluster.hpp"
+
+namespace ccg {
+
+struct DriverStats {
+  std::int64_t minutes = 0;
+  std::uint64_t activities = 0;
+  std::uint64_t malicious_activities = 0;
+  std::uint64_t churn_events = 0;
+};
+
+class SimulationDriver {
+ public:
+  /// Both references must outlive the driver. All of the cluster's
+  /// currently-monitored IPs are registered as hosts immediately.
+  SimulationDriver(Cluster& cluster, TelemetryHub& hub);
+
+  /// Adds an attack/scenario injector (takes ownership).
+  void add_injector(std::unique_ptr<Injector> injector);
+
+  /// Simulates one minute: churn, traffic synthesis, injections, NIC
+  /// observation on both monitored endpoints, then the interval flush.
+  /// Returns the minute's merged telemetry batch.
+  std::vector<ConnectionSummary> step(MinuteBucket minute);
+
+  /// Runs step() over every minute in the window.
+  void run(TimeWindow window);
+
+  const DriverStats& stats() const { return stats_; }
+
+  /// Ground truth: all IP pairs that ever carried malicious traffic.
+  const std::unordered_set<IpPair>& malicious_pairs() const { return malicious_pairs_; }
+
+  /// Ground truth: IP pairs that carried malicious traffic at `minute`
+  /// during the most recent step() call (reset each step).
+  const std::unordered_set<IpPair>& malicious_pairs_last_step() const {
+    return last_step_malicious_;
+  }
+
+  Cluster& cluster() { return cluster_; }
+  TelemetryHub& hub() { return hub_; }
+
+ private:
+  void observe_both_sides(const FlowActivity& activity, MinuteBucket minute);
+
+  Cluster& cluster_;
+  TelemetryHub& hub_;
+  std::vector<std::unique_ptr<Injector>> injectors_;
+  std::vector<FlowActivity> scratch_;
+  std::unordered_set<IpPair> malicious_pairs_;
+  std::unordered_set<IpPair> last_step_malicious_;
+  DriverStats stats_;
+};
+
+}  // namespace ccg

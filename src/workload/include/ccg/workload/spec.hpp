@@ -1,0 +1,91 @@
+// Declarative cluster specifications.
+//
+// The paper's evaluation uses production traces from four Microsoft
+// clusters we cannot access. This module is the substitution: a cluster is
+// described as a set of *roles* (few roles, many instances — the property
+// the paper's role-inference rests on) plus role-to-role traffic patterns.
+// A Cluster instantiates the spec into concrete IPs and synthesizes
+// per-minute flow activity with realistic distributions (Poisson arrivals,
+// log-normal flow sizes, Zipf peer popularity, diurnal load).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/common/flow.hpp"
+#include "ccg/common/ip.hpp"
+
+namespace ccg {
+
+/// How a client picks its ephemeral source port, which controls IP-port
+/// graph size (paper: IP-port graphs are >= 10x larger than IP graphs).
+enum class PortReuse {
+  kPersistent,  // long-lived connections: few ephemeral ports per peer pair
+  kEphemeral,   // new port per connection (micro-service RPC style)
+};
+
+/// One role: a set of interchangeable instances running the same code.
+struct RoleSpec {
+  std::string name;
+  std::size_t instance_count = 1;
+  std::vector<std::uint16_t> service_ports;  // ports this role listens on
+  bool is_external = false;  // internet-side peers: unmonitored, no NIC agent
+  bool is_hub = false;       // control-plane component (apiserver, telemetry sink)
+  double churn_per_hour = 0.0;  // prob. an instance is replaced within an hour
+};
+
+/// One role-to-role conversation pattern.
+struct TrafficPattern {
+  std::string client_role;
+  std::string server_role;
+  std::uint16_t server_port = 0;
+  Protocol protocol = Protocol::kTcp;
+
+  /// Poisson mean of new connections per client instance per minute.
+  double connections_per_minute = 1.0;
+
+  /// Fraction of the server role's instances each client is allowed to
+  /// contact (its affinity subset); at least one.
+  double fanout_fraction = 1.0;
+
+  /// Zipf exponent for popularity among the affinity subset (0 = uniform).
+  double zipf_s = 0.0;
+
+  /// Log-normal parameters of request bytes per connection.
+  double bytes_mu = 8.0;     // exp(8) ~ 3 KB median
+  double bytes_sigma = 1.0;
+
+  /// Response bytes ~ reply_factor * request bytes (jittered).
+  double reply_factor = 1.0;
+
+  /// Used to derive packet counts from byte counts.
+  double mean_packet_bytes = 1000.0;
+
+  PortReuse port_reuse = PortReuse::kPersistent;
+};
+
+/// A full cluster description.
+struct ClusterSpec {
+  std::string name;
+  IpPrefix internal_space;  // monitored VMs allocate from here
+  IpPrefix external_space;  // internet peers allocate from here
+  std::vector<RoleSpec> roles;
+  std::vector<TrafficPattern> patterns;
+
+  /// Fractional amplitude of the diurnal sine on total load (0 = flat).
+  double diurnal_amplitude = 0.1;
+
+  /// Multiplicative per-minute load noise stddev (log-space).
+  double load_noise_sigma = 0.05;
+
+  std::size_t total_instances(bool include_external = true) const;
+  const RoleSpec* find_role(const std::string& name) const;
+
+  /// Throws ContractViolation describing the first problem found:
+  /// duplicate role names, patterns referencing unknown roles, patterns to
+  /// ports the server role does not listen on, address space too small.
+  void validate() const;
+};
+
+}  // namespace ccg

@@ -1,0 +1,345 @@
+#include "ccg/workload/presets.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace presets {
+
+namespace {
+
+IpPrefix prefix(const char* text) {
+  auto p = IpPrefix::parse(text);
+  CCG_ENSURE(p.has_value());
+  return *p;
+}
+
+}  // namespace
+
+ClusterSpec portal(double rate_scale) {
+  ClusterSpec spec;
+  spec.name = "Portal";
+  spec.internal_space = prefix("10.10.0.0/20");
+  spec.external_space = prefix("100.64.0.0/14");
+  spec.diurnal_amplitude = 0.25;  // internet-facing: strong diurnal swing
+
+  spec.roles = {
+      RoleSpec{.name = "portal-frontend",
+               .instance_count = 4,
+               .service_ports = {443}},
+      RoleSpec{.name = "internet-client",
+               .instance_count = 4000,
+               .service_ports = {},
+               .is_external = true},
+      RoleSpec{.name = "cloud-store",
+               .instance_count = 2,
+               .service_ports = {443},
+               .is_external = true},
+  };
+
+  spec.patterns = {
+      // Thousands of sparse clients, each sticky to one or two frontends:
+      // the 4K-node / 5K-edge star of Fig. 2(b).
+      TrafficPattern{.client_role = "internet-client",
+                     .server_role = "portal-frontend",
+                     .server_port = 443,
+                     .connections_per_minute = 0.085 * rate_scale,
+                     .fanout_fraction = 0.5,   // may reach 2 of 4 frontends
+                     .zipf_s = 2.0,            // but strongly prefers one
+                     .bytes_mu = 7.2,          // ~1.3 KB requests
+                     .bytes_sigma = 0.8,
+                     .reply_factor = 18.0,     // page + assets come back
+                     .port_reuse = PortReuse::kPersistent},
+      // Frontends fetch content/config from a cloud store.
+      TrafficPattern{.client_role = "portal-frontend",
+                     .server_role = "cloud-store",
+                     .server_port = 443,
+                     .connections_per_minute = 6.0 * rate_scale,
+                     .fanout_fraction = 1.0,
+                     .bytes_mu = 9.0,
+                     .bytes_sigma = 1.2,
+                     .reply_factor = 4.0,
+                     .port_reuse = PortReuse::kPersistent},
+  };
+  return spec;
+}
+
+ClusterSpec microservice_bench(double rate_scale) {
+  ClusterSpec spec;
+  spec.name = "uServiceBench";
+  spec.internal_space = prefix("10.20.0.0/22");
+  spec.external_space = prefix("100.70.0.0/18");
+  spec.diurnal_amplitude = 0.05;  // synthetic load generators: flat
+
+  // 16 monitored service instances, mirroring the shopping-site demo.
+  spec.roles = {
+      RoleSpec{.name = "frontend", .instance_count = 2, .service_ports = {8080}},
+      RoleSpec{.name = "cartservice", .instance_count = 1, .service_ports = {7070}},
+      RoleSpec{.name = "productcatalog", .instance_count = 2, .service_ports = {3550}},
+      RoleSpec{.name = "currencyservice", .instance_count = 2, .service_ports = {7000}},
+      RoleSpec{.name = "paymentservice", .instance_count = 1, .service_ports = {50051}},
+      RoleSpec{.name = "shippingservice", .instance_count = 1, .service_ports = {50052}},
+      RoleSpec{.name = "emailservice", .instance_count = 1, .service_ports = {5000}},
+      RoleSpec{.name = "checkoutservice", .instance_count = 2, .service_ports = {5050}},
+      RoleSpec{.name = "recommendation", .instance_count = 2, .service_ports = {8081}},
+      RoleSpec{.name = "adservice", .instance_count = 1, .service_ports = {9555}},
+      RoleSpec{.name = "redis", .instance_count = 1, .service_ports = {6379}},
+      RoleSpec{.name = "loadgen", .instance_count = 17, .service_ports = {},
+               .is_external = true},
+  };
+
+  auto rpc = [&](const char* client, const char* server, std::uint16_t port,
+                 double rate, double mu = 6.5, double reply = 3.0) {
+    return TrafficPattern{.client_role = client,
+                          .server_role = server,
+                          .server_port = port,
+                          .connections_per_minute = rate * rate_scale,
+                          .fanout_fraction = 1.0,
+                          .zipf_s = 0.0,
+                          .bytes_mu = mu,
+                          .bytes_sigma = 0.7,
+                          .reply_factor = reply,
+                          .mean_packet_bytes = 600.0,
+                          // gRPC-per-request in the benchmark: fresh ports,
+                          // which is why the IP-port graph explodes to ~1M
+                          // edges from only 33 IPs.
+                          .port_reuse = PortReuse::kEphemeral};
+  };
+
+  spec.patterns = {
+      rpc("loadgen", "frontend", 8080, 220.0, 7.0, 12.0),
+      rpc("frontend", "productcatalog", 3550, 900.0),
+      rpc("frontend", "currencyservice", 7000, 1100.0),
+      rpc("frontend", "cartservice", 7070, 650.0),
+      rpc("frontend", "recommendation", 8081, 500.0),
+      rpc("frontend", "adservice", 9555, 450.0),
+      rpc("frontend", "shippingservice", 50052, 260.0),
+      rpc("frontend", "checkoutservice", 5050, 160.0),
+      rpc("checkoutservice", "cartservice", 7070, 170.0),
+      rpc("checkoutservice", "productcatalog", 3550, 180.0),
+      rpc("checkoutservice", "currencyservice", 7000, 200.0),
+      rpc("checkoutservice", "paymentservice", 50051, 160.0),
+      rpc("checkoutservice", "shippingservice", 50052, 160.0),
+      rpc("checkoutservice", "emailservice", 5000, 150.0),
+      rpc("recommendation", "productcatalog", 3550, 420.0),
+      rpc("cartservice", "redis", 6379, 800.0, 5.5, 1.5),
+  };
+  return spec;
+}
+
+ClusterSpec k8s_paas(double rate_scale) {
+  ClusterSpec spec;
+  spec.name = "K8sPaaS";
+  spec.internal_space = prefix("10.30.0.0/18");
+  spec.external_space = prefix("100.80.0.0/16");
+  spec.diurnal_amplitude = 0.15;
+
+  // Control plane: the hub-and-spoke components of Fig. 4's bands.
+  spec.roles = {
+      RoleSpec{.name = "kube-apiserver", .instance_count = 3,
+               .service_ports = {6443}, .is_hub = true},
+      RoleSpec{.name = "coredns", .instance_count = 3,
+               .service_ports = {53}, .is_hub = true},
+      RoleSpec{.name = "telemetry-sink", .instance_count = 3,
+               .service_ports = {4317}, .is_hub = true},
+      RoleSpec{.name = "ingress", .instance_count = 6,
+               .service_ports = {443}},
+      RoleSpec{.name = "registry", .instance_count = 2,
+               .service_ports = {5000}, .is_hub = true},
+      RoleSpec{.name = "customer-client", .instance_count = 100,
+               .service_ports = {}, .is_external = true},
+      RoleSpec{.name = "external-api", .instance_count = 50,
+               .service_ports = {443}, .is_external = true},
+  };
+
+  // ~15 tenant apps with web/api/db/cache/worker tiers. Sizes vary per
+  // tenant so roles are not trivially identifiable by count alone.
+  constexpr int kTenants = 15;
+  struct Tier { const char* suffix; std::size_t base; std::uint16_t port; };
+  const Tier tiers[] = {{"web", 6, 8080}, {"api", 5, 9090},
+                        {"db", 2, 5432}, {"cache", 2, 6379},
+                        {"worker", 3, 0}};
+  for (int t = 0; t < kTenants; ++t) {
+    for (const auto& tier : tiers) {
+      const std::size_t count = tier.base + static_cast<std::size_t>(t % 3);
+      RoleSpec role{.name = "t" + std::to_string(t) + "-" + tier.suffix,
+                    .instance_count = count,
+                    .service_ports = {},
+                    .churn_per_hour = 0.02};
+      if (tier.port != 0) role.service_ports = {tier.port};
+      spec.roles.push_back(std::move(role));
+    }
+  }
+
+  auto pat = [&](std::string client, std::string server, std::uint16_t port,
+                 double rate, double fanout, double mu, double reply,
+                 PortReuse reuse) {
+    return TrafficPattern{.client_role = std::move(client),
+                          .server_role = std::move(server),
+                          .server_port = port,
+                          .connections_per_minute = rate * rate_scale,
+                          .fanout_fraction = fanout,
+                          .zipf_s = 0.4,
+                          .bytes_mu = mu,
+                          .bytes_sigma = 0.9,
+                          .reply_factor = reply,
+                          .mean_packet_bytes = 900.0,
+                          .port_reuse = reuse};
+  };
+
+  // Tenant-internal meshes. Tenant traffic volumes follow a zipf-ish skew
+  // (w ~ (t+1)^-1.3, normalized to mean 1): production clusters have a few
+  // dominant customers and a long tail, which concentrates the byte matrix
+  // into few strong blocks — the property behind the paper's §2.2
+  // observation that ~25 eigenvectors reconstruct the matrix.
+  double weight_norm = 0.0;
+  for (int t = 0; t < kTenants; ++t) {
+    weight_norm += std::pow(static_cast<double>(t + 1), -1.3);
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    const double w = std::pow(static_cast<double>(t + 1), -1.3) *
+                     static_cast<double>(kTenants) / weight_norm;
+    // Heavy tenants also move bigger payloads (log-space size bump), so
+    // per-pair byte volumes span several decades as in the paper's Fig. 4
+    // color scale (10^0..10^6).
+    const double mu_bump = std::log(w) * 1.5;
+    const std::string p = "t" + std::to_string(t) + "-";
+    spec.patterns.push_back(pat(p + "web", p + "api", 9090, 90.0 * w, 1.0,
+                                6.8 + mu_bump, 4.0, PortReuse::kEphemeral));
+    spec.patterns.push_back(pat(p + "api", p + "db", 5432, 45.0 * w, 1.0,
+                                6.0 + mu_bump, 8.0, PortReuse::kPersistent));
+    spec.patterns.push_back(pat(p + "api", p + "cache", 6379, 120.0 * w, 1.0,
+                                5.0 + mu_bump, 2.0, PortReuse::kPersistent));
+    spec.patterns.push_back(pat(p + "worker", p + "db", 5432, 25.0 * w, 1.0,
+                                6.5 + mu_bump, 10.0, PortReuse::kPersistent));
+    spec.patterns.push_back(pat(p + "worker", p + "cache", 6379, 40.0 * w, 1.0,
+                                5.0 + mu_bump, 2.0, PortReuse::kPersistent));
+    // Ingress terminates TLS for every tenant's web tier.
+    spec.patterns.push_back(pat("ingress", p + "web", 8080, 60.0 * w, 1.0,
+                                7.0 + mu_bump, 10.0, PortReuse::kEphemeral));
+    // Every third tenant calls out to external SaaS APIs.
+    if (t % 3 == 0) {
+      spec.patterns.push_back(pat(p + "api", "external-api", 443, 8.0 * w, 0.2,
+                                  7.5 + mu_bump, 3.0, PortReuse::kPersistent));
+    }
+    // Hub-and-spoke: every tenant tier talks to the control plane.
+    for (const char* tier : {"web", "api", "db", "cache", "worker"}) {
+      spec.patterns.push_back(pat(p + tier, "kube-apiserver", 6443, 1.0, 1.0,
+                                  5.5, 6.0, PortReuse::kPersistent));
+      spec.patterns.push_back(pat(p + tier, "coredns", 53, 4.0, 1.0, 4.2, 1.2,
+                                  PortReuse::kPersistent));
+      spec.patterns.push_back(pat(p + tier, "telemetry-sink", 4317, 2.0, 1.0,
+                                  7.8, 0.1, PortReuse::kPersistent));
+    }
+  }
+  for (auto& hubp : spec.patterns) {
+    if (hubp.server_role == "coredns") hubp.protocol = Protocol::kUdp;
+  }
+
+  // Internet clients hit the ingress; ingress pulls images from registry.
+  spec.patterns.push_back(pat("customer-client", "ingress", 443, 20.0, 0.6,
+                              7.0, 15.0, PortReuse::kPersistent));
+  spec.patterns.push_back(pat("ingress", "registry", 5000, 0.5, 1.0, 8.0, 40.0,
+                              PortReuse::kPersistent));
+
+  return spec;
+}
+
+ClusterSpec kquery(double rate_scale) {
+  ClusterSpec spec;
+  spec.name = "KQuery";
+  spec.internal_space = prefix("10.40.0.0/16");
+  spec.external_space = prefix("100.90.0.0/15");
+  spec.diurnal_amplitude = 0.2;
+
+  spec.roles = {
+      RoleSpec{.name = "query-frontend", .instance_count = 24,
+               .service_ports = {8443}},
+      RoleSpec{.name = "scheduler", .instance_count = 4,
+               .service_ports = {7050}, .is_hub = true},
+      RoleSpec{.name = "worker", .instance_count = 1300,
+               .service_ports = {9432}},
+      RoleSpec{.name = "cache", .instance_count = 56,
+               .service_ports = {11211}},
+      RoleSpec{.name = "store", .instance_count = 16,
+               .service_ports = {8500}},
+      RoleSpec{.name = "analyst-client", .instance_count = 4500,
+               .service_ports = {}, .is_external = true},
+  };
+
+  auto pat = [&](const char* client, const char* server, std::uint16_t port,
+                 double rate, double fanout, double zipf, double mu,
+                 double reply) {
+    return TrafficPattern{.client_role = client,
+                          .server_role = server,
+                          .server_port = port,
+                          .connections_per_minute = rate * rate_scale,
+                          .fanout_fraction = fanout,
+                          .zipf_s = zipf,
+                          .bytes_mu = mu,
+                          .bytes_sigma = 1.1,
+                          .reply_factor = reply,
+                          .mean_packet_bytes = 1200.0,
+                          .port_reuse = PortReuse::kPersistent};
+  };
+
+  spec.patterns = {
+      // Analysts submit queries.
+      pat("analyst-client", "query-frontend", 8443, 0.08, 0.3, 1.2, 7.5, 30.0),
+      // Frontends hand plans to schedulers.
+      pat("query-frontend", "scheduler", 7050, 40.0, 1.0, 0.0, 8.0, 2.0),
+      // Schedulers dispatch tasks to every worker: the hub rows of Fig. 4.
+      pat("scheduler", "worker", 9432, 1500.0, 1.0, 0.0, 6.5, 1.5),
+      // Shuffle: workers exchange partitions inside large, rotating peer
+      // sets — the dense block structure that gives KQuery 1.3M IP edges.
+      pat("worker", "worker", 9432, 30.0, 0.6, 0.0, 10.5, 1.0),
+      // Workers read through a shared cache tier and the backing store.
+      pat("worker", "cache", 11211, 6.0, 0.5, 0.8, 6.0, 12.0),
+      pat("worker", "store", 8500, 1.5, 0.5, 0.3, 7.0, 25.0),
+      // Heartbeats back to schedulers.
+      pat("worker", "scheduler", 7050, 1.0, 1.0, 0.0, 5.0, 1.0),
+  };
+  return spec;
+}
+
+ClusterSpec tiny(double rate_scale) {
+  ClusterSpec spec;
+  spec.name = "Tiny";
+  spec.internal_space = prefix("10.99.0.0/24");
+  spec.external_space = prefix("100.99.0.0/24");
+  spec.diurnal_amplitude = 0.0;
+  spec.load_noise_sigma = 0.0;
+
+  spec.roles = {
+      RoleSpec{.name = "web", .instance_count = 2, .service_ports = {80}},
+      RoleSpec{.name = "api", .instance_count = 3, .service_ports = {8080}},
+      RoleSpec{.name = "db", .instance_count = 1, .service_ports = {5432}},
+      RoleSpec{.name = "client", .instance_count = 4, .service_ports = {},
+               .is_external = true},
+  };
+  spec.patterns = {
+      TrafficPattern{.client_role = "client", .server_role = "web",
+                     .server_port = 80,
+                     .connections_per_minute = 5.0 * rate_scale,
+                     .bytes_mu = 6.0, .bytes_sigma = 0.5, .reply_factor = 8.0},
+      TrafficPattern{.client_role = "web", .server_role = "api",
+                     .server_port = 8080,
+                     .connections_per_minute = 10.0 * rate_scale,
+                     .bytes_mu = 6.0, .bytes_sigma = 0.5, .reply_factor = 3.0},
+      TrafficPattern{.client_role = "api", .server_role = "db",
+                     .server_port = 5432,
+                     .connections_per_minute = 6.0 * rate_scale,
+                     .bytes_mu = 5.5, .bytes_sigma = 0.5, .reply_factor = 6.0},
+  };
+  return spec;
+}
+
+std::vector<ClusterSpec> paper_clusters(double rate_scale) {
+  return {portal(rate_scale), microservice_bench(rate_scale),
+          k8s_paas(rate_scale), kquery(rate_scale)};
+}
+
+}  // namespace presets
+}  // namespace ccg

@@ -1,0 +1,59 @@
+#include "ccg/workload/spec.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+
+std::size_t ClusterSpec::total_instances(bool include_external) const {
+  std::size_t total = 0;
+  for (const auto& role : roles) {
+    if (!include_external && role.is_external) continue;
+    total += role.instance_count;
+  }
+  return total;
+}
+
+const RoleSpec* ClusterSpec::find_role(const std::string& role_name) const {
+  auto it = std::find_if(roles.begin(), roles.end(),
+                         [&](const RoleSpec& r) { return r.name == role_name; });
+  return it == roles.end() ? nullptr : &*it;
+}
+
+void ClusterSpec::validate() const {
+  CCG_EXPECT(!name.empty());
+  CCG_EXPECT(!roles.empty());
+
+  std::unordered_set<std::string> seen;
+  std::size_t internal_count = 0, external_count = 0;
+  for (const auto& role : roles) {
+    CCG_EXPECT(!role.name.empty());
+    CCG_EXPECT(role.instance_count > 0);
+    CCG_EXPECT(seen.insert(role.name).second);  // unique role names
+    CCG_EXPECT(role.churn_per_hour >= 0.0 && role.churn_per_hour <= 1.0);
+    (role.is_external ? external_count : internal_count) += role.instance_count;
+  }
+  // Reserve 4x headroom for churn-driven re-allocation.
+  CCG_EXPECT(internal_space.size() >= internal_count * 4);
+  CCG_EXPECT(external_count == 0 || external_space.size() >= external_count * 4);
+
+  for (const auto& p : patterns) {
+    const RoleSpec* client = find_role(p.client_role);
+    const RoleSpec* server = find_role(p.server_role);
+    CCG_EXPECT(client != nullptr);
+    CCG_EXPECT(server != nullptr);
+    CCG_EXPECT(!server->is_external || !client->is_external);  // someone is monitored
+    CCG_EXPECT(std::find(server->service_ports.begin(), server->service_ports.end(),
+                         p.server_port) != server->service_ports.end());
+    CCG_EXPECT(p.connections_per_minute >= 0.0);
+    CCG_EXPECT(p.fanout_fraction > 0.0 && p.fanout_fraction <= 1.0);
+    CCG_EXPECT(p.zipf_s >= 0.0);
+    CCG_EXPECT(p.bytes_sigma >= 0.0);
+    CCG_EXPECT(p.reply_factor >= 0.0);
+    CCG_EXPECT(p.mean_packet_bytes >= 64.0);
+  }
+}
+
+}  // namespace ccg

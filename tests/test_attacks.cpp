@@ -1,0 +1,172 @@
+#include "ccg/workload/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ccg/workload/presets.hpp"
+
+namespace ccg {
+namespace {
+
+class AttacksTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{presets::tiny(), 101};
+};
+
+TEST_F(AttacksTest, ScanProbesManyTargetsFromOneSource) {
+  ScanAttack scan({.active = TimeWindow::minutes(5, 10),
+                   .targets_per_minute = 20,
+                   .ports_per_target = 2},
+                  7);
+  std::vector<FlowActivity> out;
+  scan.inject(cluster_, MinuteBucket(0), out);
+  EXPECT_TRUE(out.empty()) << "inactive before window";
+
+  scan.inject(cluster_, MinuteBucket(5), out);
+  ASSERT_FALSE(out.empty());
+  ASSERT_TRUE(scan.compromised().has_value());
+
+  std::unordered_set<IpAddr> targets;
+  for (const auto& f : out) {
+    EXPECT_TRUE(f.malicious);
+    EXPECT_EQ(f.flow.local_ip, *scan.compromised());
+    EXPECT_LE(f.counters.bytes_sent, 64u);  // SYN probes are tiny
+    targets.insert(f.flow.remote_ip);
+  }
+  EXPECT_GT(targets.size(), 5u);
+
+  out.clear();
+  scan.inject(cluster_, MinuteBucket(15), out);
+  EXPECT_TRUE(out.empty()) << "inactive after window";
+}
+
+TEST_F(AttacksTest, LateralMovementGrowsCompromisedSet) {
+  LateralMovementAttack lateral(
+      {.active = TimeWindow::minutes(0, 30), .spread_per_minute = 1.0}, 11);
+  std::vector<FlowActivity> out;
+  for (int minute = 0; minute < 30; ++minute) {
+    lateral.inject(cluster_, MinuteBucket(minute), out);
+  }
+  EXPECT_GT(lateral.compromised_set().size(), 1u);
+  EXPECT_LE(lateral.compromised_set().size(), cluster_.monitored_ips().size());
+  for (const auto& f : out) {
+    EXPECT_TRUE(f.malicious);
+    EXPECT_EQ(f.flow.remote_port, 22);
+  }
+  // The compromised set contains no duplicates.
+  std::unordered_set<IpAddr> unique(lateral.compromised_set().begin(),
+                                    lateral.compromised_set().end());
+  EXPECT_EQ(unique.size(), lateral.compromised_set().size());
+}
+
+TEST_F(AttacksTest, ExfiltrationMovesBigBytesToOneExternalSink) {
+  ExfiltrationAttack exfil(
+      {.active = TimeWindow::minutes(0, 5), .mbytes_per_minute = 10.0}, 13);
+  std::vector<FlowActivity> out;
+  for (int minute = 0; minute < 5; ++minute) {
+    exfil.inject(cluster_, MinuteBucket(minute), out);
+  }
+  ASSERT_FALSE(out.empty());
+  std::uint64_t total = 0;
+  std::unordered_set<IpAddr> sinks, sources;
+  for (const auto& f : out) {
+    EXPECT_TRUE(f.malicious);
+    EXPECT_EQ(f.flow.remote_port, 443);
+    total += f.counters.bytes_sent;
+    sinks.insert(f.flow.remote_ip);
+    sources.insert(f.flow.local_ip);
+  }
+  EXPECT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sources.size(), 1u);
+  EXPECT_GT(total, 5u * 5'000'000u);  // ~10MB/min for 5 min, generous floor
+  // Sink is outside the monitored space.
+  EXPECT_TRUE(cluster_.spec().external_space.contains(*sinks.begin()));
+}
+
+TEST_F(AttacksTest, TunnelExfiltrationRidesTheAllowedChannel) {
+  TunnelExfiltrationAttack tunnel(
+      {.active = TimeWindow::minutes(0, 5),
+       .source_role = "web",
+       .sink_role = "api",
+       .sink_port = 8080,
+       .mbytes_per_minute = 5.0},
+      29);
+  std::vector<FlowActivity> out;
+  for (int minute = 0; minute < 5; ++minute) {
+    tunnel.inject(cluster_, MinuteBucket(minute), out);
+  }
+  ASSERT_FALSE(out.empty());
+  std::unordered_set<IpAddr> sources;
+  std::uint64_t total = 0;
+  for (const auto& f : out) {
+    EXPECT_TRUE(f.malicious);
+    EXPECT_EQ(cluster_.role_of(f.flow.local_ip), "web");
+    EXPECT_EQ(cluster_.role_of(f.flow.remote_ip), "api");  // allowed channel
+    EXPECT_EQ(f.flow.remote_port, 8080);
+    sources.insert(f.flow.local_ip);
+    total += f.counters.bytes_sent;
+  }
+  EXPECT_EQ(sources.size(), 1u);  // one breached instance
+  EXPECT_GT(total, 5u * 2'500'000u);
+}
+
+TEST_F(AttacksTest, CodeChangeTouchesEveryRoleInstance) {
+  CodeChangeScenario change({.active = TimeWindow::minutes(0, 30),
+                             .role = "web",
+                             .new_server_role = "db",
+                             .server_port = 5432,
+                             .connections_per_minute = 5.0},
+                            17);
+  std::vector<FlowActivity> out;
+  for (int minute = 0; minute < 30; ++minute) {
+    change.inject(cluster_, MinuteBucket(minute), out);
+  }
+  ASSERT_FALSE(out.empty());
+  std::unordered_set<IpAddr> clients;
+  for (const auto& f : out) {
+    EXPECT_FALSE(f.malicious) << "code changes are benign ground truth";
+    EXPECT_EQ(cluster_.role_of(f.flow.local_ip), "web");
+    EXPECT_EQ(cluster_.role_of(f.flow.remote_ip), "db");
+    clients.insert(f.flow.local_ip);
+  }
+  // The defining property: the whole segment changes together.
+  EXPECT_EQ(clients.size(), cluster_.ips_of_role("web").size());
+}
+
+TEST_F(AttacksTest, FlashCrowdAmplifiesExistingPatternsProportionally) {
+  FlashCrowdScenario crowd(
+      {.active = TimeWindow::minutes(0, 10), .role = "web", .multiplier = 4.0,
+       .scope_roles = {}},
+      19);
+  std::vector<FlowActivity> out;
+  for (int minute = 0; minute < 10; ++minute) {
+    crowd.inject(cluster_, MinuteBucket(minute), out);
+  }
+  ASSERT_FALSE(out.empty());
+  std::size_t inbound = 0, outbound = 0;
+  for (const auto& f : out) {
+    EXPECT_FALSE(f.malicious);
+    const auto client = cluster_.role_of(f.flow.local_ip);
+    const auto server = cluster_.role_of(f.flow.remote_ip);
+    if (server == "web") ++inbound;       // client -> web surge
+    if (client == "web") ++outbound;      // web -> api surge follows
+    EXPECT_TRUE(server == "web" || client == "web");
+  }
+  EXPECT_GT(inbound, 0u);
+  EXPECT_GT(outbound, 0u);
+}
+
+TEST_F(AttacksTest, InjectorsRespectActiveWindows) {
+  FlashCrowdScenario crowd(
+      {.active = TimeWindow::minutes(5, 1), .role = "web", .multiplier = 3.0,
+       .scope_roles = {}},
+      23);
+  std::vector<FlowActivity> out;
+  crowd.inject(cluster_, MinuteBucket(4), out);
+  crowd.inject(cluster_, MinuteBucket(6), out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace ccg

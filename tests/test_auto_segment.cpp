@@ -1,0 +1,109 @@
+#include "ccg/segmentation/auto_segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/graph/builder.hpp"
+#include "ccg/segmentation/cluster_metrics.hpp"
+#include "ccg/telemetry/collector.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+namespace ccg {
+namespace {
+
+/// Drives the tiny 3-tier cluster for an hour and builds its IP graph.
+struct SimulatedGraph {
+  Cluster cluster;
+  CommGraph graph;
+
+  explicit SimulatedGraph(std::uint64_t seed = 7, double rate = 1.0)
+      : cluster(presets::tiny(rate), seed) {
+    TelemetryHub hub(ProviderProfile::azure(), seed);
+    SimulationDriver driver(cluster, hub);
+    const auto monitored = cluster.monitored_ips();
+    GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60},
+                         {monitored.begin(), monitored.end()});
+    hub.set_sink(&builder);
+    driver.run(TimeWindow::hour(0));
+    builder.flush();
+    graph = builder.take_graphs().at(0);
+  }
+};
+
+TEST(AutoSegment, PaperMethodRecoversTinyClusterRoles) {
+  SimulatedGraph sim;
+  const Segmentation seg =
+      auto_segment(sim.graph, SegmentationMethod::kJaccardLouvain);
+  const auto truth = ground_truth_labels(sim.graph, sim.cluster.ground_truth_roles());
+  const auto agreement = compare_labelings(seg.labels, truth.labels, truth.mask);
+  // web/api/db/client have crisply different neighbor sets in this topology.
+  EXPECT_GT(agreement.ari, 0.9) << agreement.to_string();
+  EXPECT_GT(agreement.purity, 0.9);
+}
+
+TEST(AutoSegment, FewerSegmentsThanResources) {
+  // The paper's premise: "there are many fewer roles than resources".
+  SimulatedGraph sim;
+  const Segmentation seg =
+      auto_segment(sim.graph, SegmentationMethod::kJaccardLouvain);
+  EXPECT_LT(seg.segment_count, sim.graph.node_count());
+  EXPECT_GE(seg.segment_count, 2u);
+}
+
+TEST(AutoSegment, AllMethodsProduceValidLabelings) {
+  SimulatedGraph sim;
+  const auto all = segment_all_methods(sim.graph);
+  EXPECT_EQ(all.size(), 6u);
+  for (const auto& seg : all) {
+    EXPECT_EQ(seg.labels.size(), sim.graph.node_count()) << to_string(seg.method);
+    EXPECT_GE(seg.segment_count, 1u);
+    const auto sizes = seg.segment_sizes();
+    std::size_t total = 0;
+    for (const auto s : sizes) total += s;
+    EXPECT_EQ(total, sim.graph.node_count());
+  }
+}
+
+TEST(AutoSegment, ModularityBaselineMergesAcrossRoles) {
+  // Byte-weighted modularity groups heavy communicators (web with api),
+  // which crosses role boundaries — the paper's Fig. 3 observation. Its
+  // role agreement must not beat the paper method's.
+  SimulatedGraph sim;
+  const auto truth = ground_truth_labels(sim.graph, sim.cluster.ground_truth_roles());
+  const auto paper = auto_segment(sim.graph, SegmentationMethod::kJaccardLouvain);
+  const auto byte_mod = auto_segment(sim.graph, SegmentationMethod::kByteModularity);
+  const double ari_paper =
+      compare_labelings(paper.labels, truth.labels, truth.mask).ari;
+  const double ari_mod =
+      compare_labelings(byte_mod.labels, truth.labels, truth.mask).ari;
+  EXPECT_GE(ari_paper, ari_mod - 1e-9);
+}
+
+TEST(AutoSegment, DeterministicForSeed) {
+  SimulatedGraph sim;
+  const auto a = auto_segment(sim.graph, SegmentationMethod::kJaccardLouvain,
+                              {.seed = 3});
+  const auto b = auto_segment(sim.graph, SegmentationMethod::kJaccardLouvain,
+                              {.seed = 3});
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Segmentation, MembersOfMatchesLabels) {
+  SimulatedGraph sim;
+  const auto seg = auto_segment(sim.graph, SegmentationMethod::kJaccardLouvain);
+  for (std::uint32_t s = 0; s < seg.segment_count; ++s) {
+    for (const NodeId member : seg.members_of(s)) {
+      EXPECT_EQ(seg.labels[member], s);
+    }
+  }
+}
+
+TEST(AutoSegment, MethodNamesAreStable) {
+  EXPECT_EQ(to_string(SegmentationMethod::kJaccardLouvain), "jaccard+louvain");
+  EXPECT_EQ(to_string(SegmentationMethod::kSimRank), "simrank");
+  EXPECT_EQ(to_string(SegmentationMethod::kByteModularity),
+            "byte-weighted-modularity");
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,93 @@
+#include "ccg/policy/blast_radius.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+/// web x 10 -> api x 5 -> db x 2, isolated batch x 3.
+struct Fixture {
+  SegmentMap segments;
+  ReachabilityPolicy policy;
+  Fixture() {
+    std::uint32_t ip = 0x0A000001;
+    for (int i = 0; i < 10; ++i) segments.assign(IpAddr(ip++), 0);
+    for (int i = 0; i < 5; ++i) segments.assign(IpAddr(ip++), 1);
+    for (int i = 0; i < 2; ++i) segments.assign(IpAddr(ip++), 2);
+    for (int i = 0; i < 3; ++i) segments.assign(IpAddr(ip++), 3);
+    policy.allow({.from_segment = 0, .to_segment = 1, .server_port = 8080});
+    policy.allow({.from_segment = 1, .to_segment = 2, .server_port = 5432});
+  }
+};
+
+TEST(BlastRadius, TransitiveReachFollowsChain) {
+  Fixture fx;
+  const auto reach = transitive_reach_by_segment(fx.segments, fx.policy);
+  ASSERT_EQ(reach.size(), 4u);
+  EXPECT_EQ(reach[0], 16u);  // web: 9 peers + 5 api + 2 db
+  EXPECT_EQ(reach[1], 6u);   // api: 4 peers + 2 db
+  EXPECT_EQ(reach[2], 1u);   // db: 1 peer
+  EXPECT_EQ(reach[3], 2u);   // batch: 2 peers, nothing else
+}
+
+TEST(BlastRadius, ReportAggregatesCorrectly) {
+  Fixture fx;
+  const auto report = blast_radius(fx.segments, fx.policy);
+  EXPECT_EQ(report.resources, 20u);
+  EXPECT_EQ(report.flat_radius, 19u);
+  EXPECT_EQ(report.max_transitive, 16u);
+  // mean = (10*16 + 5*6 + 2*1 + 3*2) / 20 = 198/20.
+  EXPECT_NEAR(report.mean_transitive, 9.9, 1e-9);
+  EXPECT_NEAR(report.reduction_factor, 19.0 / 9.9, 1e-9);
+  EXPECT_GT(report.reduction_factor, 1.0);
+}
+
+TEST(BlastRadius, DirectRadiusIsOneHop) {
+  Fixture fx;
+  const auto report = blast_radius(fx.segments, fx.policy);
+  // web direct: 9 peers + 5 api = 14 (not the db).
+  EXPECT_EQ(report.max_direct, 14u);
+  EXPECT_LE(report.mean_direct, report.mean_transitive + 1e-9);
+}
+
+TEST(BlastRadius, AllowAllMatchesFlatNetwork) {
+  Fixture fx;
+  ReachabilityPolicy allow_all;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      allow_all.allow({.from_segment = s, .to_segment = t, .server_port = 0});
+    }
+  }
+  const auto report = blast_radius(fx.segments, allow_all);
+  EXPECT_NEAR(report.mean_transitive, 19.0, 1e-9);
+  EXPECT_NEAR(report.reduction_factor, 1.0, 1e-9);
+}
+
+TEST(BlastRadius, EmptyPolicyConfinesToOwnSegment) {
+  Fixture fx;
+  const auto report = blast_radius(fx.segments, ReachabilityPolicy{});
+  // Each resource reaches only its segment peers.
+  EXPECT_EQ(report.max_transitive, 9u);  // inside web
+  EXPECT_GT(report.reduction_factor, 2.0);
+}
+
+TEST(BlastRadius, CyclesDoNotDoubleCount) {
+  SegmentMap segments;
+  segments.assign(IpAddr(1u), 0);
+  segments.assign(IpAddr(2u), 1);
+  ReachabilityPolicy policy;
+  policy.allow({.from_segment = 0, .to_segment = 1, .server_port = 1});
+  policy.allow({.from_segment = 1, .to_segment = 0, .server_port = 2});
+  const auto reach = transitive_reach_by_segment(segments, policy);
+  EXPECT_EQ(reach[0], 1u);
+  EXPECT_EQ(reach[1], 1u);
+}
+
+TEST(BlastRadius, EmptySegmentation) {
+  const auto report = blast_radius(SegmentMap{}, ReachabilityPolicy{});
+  EXPECT_EQ(report.resources, 0u);
+  EXPECT_EQ(report.flat_radius, 0u);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,107 @@
+#include "ccg/segmentation/cluster_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+TEST(CompareLabelings, IdenticalLabelingsScorePerfect) {
+  const std::vector<std::uint32_t> labels{0, 0, 1, 1, 2, 2};
+  const auto a = compare_labelings(labels, labels);
+  EXPECT_DOUBLE_EQ(a.ari, 1.0);
+  EXPECT_NEAR(a.nmi, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.purity, 1.0);
+  EXPECT_EQ(a.items, 6u);
+}
+
+TEST(CompareLabelings, PermutedLabelsStillPerfect) {
+  // Cluster ids are arbitrary: {0,1,2} renamed to {5,9,1}.
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1, 2, 2};
+  const std::vector<std::uint32_t> renamed{5, 5, 9, 9, 1, 1};
+  const auto a = compare_labelings(renamed, truth);
+  EXPECT_DOUBLE_EQ(a.ari, 1.0);
+  EXPECT_NEAR(a.nmi, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.purity, 1.0);
+}
+
+TEST(CompareLabelings, AllInOneClusterAgainstSplit) {
+  const std::vector<std::uint32_t> one(8, 0);
+  const std::vector<std::uint32_t> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  const auto a = compare_labelings(one, truth);
+  EXPECT_NEAR(a.ari, 0.0, 1e-12);  // no better than chance
+  EXPECT_NEAR(a.nmi, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.purity, 0.5);
+}
+
+TEST(CompareLabelings, KnownPartialAgreement) {
+  // Classic ARI example: one item swapped between two clusters of 3.
+  const std::vector<std::uint32_t> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<std::uint32_t> pred{0, 0, 1, 1, 1, 1};
+  const auto a = compare_labelings(pred, truth);
+  EXPECT_GT(a.ari, 0.0);
+  EXPECT_LT(a.ari, 1.0);
+  EXPECT_NEAR(a.purity, 5.0 / 6.0, 1e-12);
+}
+
+TEST(CompareLabelings, MaskExcludesItems) {
+  const std::vector<std::uint32_t> pred{0, 0, 1, 9};
+  const std::vector<std::uint32_t> truth{0, 0, 1, 2};
+  const std::vector<bool> mask{true, true, true, false};
+  const auto a = compare_labelings(pred, truth, mask);
+  EXPECT_EQ(a.items, 3u);
+  EXPECT_DOUBLE_EQ(a.ari, 1.0);
+}
+
+TEST(CompareLabelings, EmptyMaskMeansAll) {
+  const std::vector<std::uint32_t> pred{0, 1};
+  const std::vector<std::uint32_t> truth{1, 0};
+  const auto a = compare_labelings(pred, truth);
+  EXPECT_EQ(a.items, 2u);
+  EXPECT_DOUBLE_EQ(a.ari, 1.0);  // swap of singleton labels is identical
+}
+
+TEST(CompareLabelings, SizeMismatchThrows) {
+  EXPECT_THROW(compare_labelings({0, 1}, {0}), ContractViolation);
+  EXPECT_THROW(compare_labelings({0, 1}, {0, 1}, {true}), ContractViolation);
+}
+
+TEST(CompareLabelings, FullyMaskedIsEmptyResult) {
+  const auto a = compare_labelings({0, 1}, {0, 1}, {false, false});
+  EXPECT_EQ(a.items, 0u);
+  EXPECT_EQ(a.ari, 0.0);
+}
+
+TEST(GroundTruthLabels, MapsRolesToNodeIds) {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId c = g.add_node(NodeKey::for_ip(IpAddr(3u)));
+  const NodeId other = g.add_node(NodeKey::collapsed());
+  const NodeId unknown = g.add_node(NodeKey::for_ip(IpAddr(99u)));
+
+  std::unordered_map<IpAddr, std::string> roles{
+      {IpAddr(1u), "web"}, {IpAddr(2u), "web"}, {IpAddr(3u), "db"}};
+  const auto gt = ground_truth_labels(g, roles);
+  ASSERT_EQ(gt.labels.size(), 5u);
+  EXPECT_TRUE(gt.mask[a]);
+  EXPECT_TRUE(gt.mask[b]);
+  EXPECT_TRUE(gt.mask[c]);
+  EXPECT_FALSE(gt.mask[other]);
+  EXPECT_FALSE(gt.mask[unknown]);
+  EXPECT_EQ(gt.labels[a], gt.labels[b]);
+  EXPECT_NE(gt.labels[a], gt.labels[c]);
+  EXPECT_EQ(gt.role_names.size(), 2u);
+}
+
+TEST(GroundTruthLabels, IpPortNodesInheritIpRole) {
+  CommGraph g;
+  const NodeId n = g.add_node(NodeKey::for_ip_port(IpAddr(1u), 443));
+  std::unordered_map<IpAddr, std::string> roles{{IpAddr(1u), "web"}};
+  const auto gt = ground_truth_labels(g, roles);
+  EXPECT_TRUE(gt.mask[n]);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,124 @@
+#include "ccg/telemetry/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+class RecordingSink : public TelemetrySink {
+ public:
+  void on_batch(MinuteBucket time, const std::vector<ConnectionSummary>& batch) override {
+    times.push_back(time);
+    records.insert(records.end(), batch.begin(), batch.end());
+  }
+  std::vector<MinuteBucket> times;
+  std::vector<ConnectionSummary> records;
+};
+
+FlowKey flow(IpAddr local, std::uint16_t lport, IpAddr remote, std::uint16_t rport) {
+  return FlowKey{.local_ip = local, .local_port = lport,
+                 .remote_ip = remote, .remote_port = rport,
+                 .protocol = Protocol::kTcp};
+}
+
+TEST(TelemetryHub, RoutesByLocalIpAndIgnoresUnknownHosts) {
+  TelemetryHub hub(ProviderProfile::azure(), 1);
+  const IpAddr vm1(0x0A000001), vm2(0x0A000002), internet(0x08080808);
+  hub.add_host(vm1);
+  hub.add_host(vm2);
+  EXPECT_EQ(hub.host_count(), 2u);
+  EXPECT_TRUE(hub.has_host(vm1));
+  EXPECT_FALSE(hub.has_host(internet));
+
+  const TrafficCounters c{.packets_sent = 1, .packets_rcvd = 1,
+                          .bytes_sent = 100, .bytes_rcvd = 200};
+  hub.observe(flow(vm1, 40000, internet, 443), c, MinuteBucket(0));
+  hub.observe(flow(internet, 443, vm1, 40000), c, MinuteBucket(0));  // no NIC: dropped
+
+  const auto batch = hub.end_interval(MinuteBucket(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].flow.local_ip, vm1);
+}
+
+TEST(TelemetryHub, AddHostIsIdempotent) {
+  TelemetryHub hub(ProviderProfile::azure(), 1);
+  const IpAddr vm(0x0A000001);
+  hub.add_host(vm);
+  const TrafficCounters c{.bytes_sent = 100};
+  hub.observe(flow(vm, 40000, IpAddr(0x0A000002), 443), c, MinuteBucket(0));
+  hub.add_host(vm);  // must not wipe pending flow state
+  const auto batch = hub.end_interval(MinuteBucket(0));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(TelemetryHub, BothEndpointsReportIntraSubscriptionFlows) {
+  TelemetryHub hub(ProviderProfile::azure(), 1);
+  const IpAddr a(0x0A000001), b(0x0A000002);
+  hub.add_host(a);
+  hub.add_host(b);
+
+  hub.observe(flow(a, 40000, b, 443),
+              TrafficCounters{.bytes_sent = 500, .bytes_rcvd = 1000}, MinuteBucket(0));
+  hub.observe(flow(b, 443, a, 40000),
+              TrafficCounters{.bytes_sent = 1000, .bytes_rcvd = 500}, MinuteBucket(0));
+
+  const auto batch = hub.end_interval(MinuteBucket(0));
+  ASSERT_EQ(batch.size(), 2u);
+  // Deterministically ordered by flow key.
+  EXPECT_EQ(batch[0].flow.local_ip, a);
+  EXPECT_EQ(batch[1].flow.local_ip, b);
+  EXPECT_EQ(batch[0].counters.bytes_sent, batch[1].counters.bytes_rcvd);
+}
+
+TEST(TelemetryHub, LedgerAccumulatesAcrossIntervals) {
+  TelemetryHub hub(ProviderProfile::azure(), 1);
+  const IpAddr vm(0x0A000001);
+  hub.add_host(vm);
+  const TrafficCounters c{.bytes_sent = 100};
+  for (int minute = 0; minute < 3; ++minute) {
+    hub.observe(flow(vm, 40000, IpAddr(0x0A000002), 443), c, MinuteBucket(minute));
+    hub.end_interval(MinuteBucket(minute));
+  }
+  const auto& ledger = hub.ledger();
+  EXPECT_EQ(ledger.records, 3u);
+  EXPECT_EQ(ledger.intervals, 3u);
+  EXPECT_EQ(ledger.wire_bytes, 3 * ConnectionSummary::kWireBytes);
+  EXPECT_NEAR(ledger.records_per_minute(), 1.0, 1e-9);
+  EXPECT_GT(ledger.cost_dollars, 0.0);
+}
+
+TEST(TelemetryHub, ForwardsToSink) {
+  TelemetryHub hub(ProviderProfile::azure(), 1);
+  RecordingSink sink;
+  hub.set_sink(&sink);
+  const IpAddr vm(0x0A000001);
+  hub.add_host(vm);
+  hub.observe(flow(vm, 40000, IpAddr(0x0A000002), 443),
+              TrafficCounters{.bytes_sent = 100}, MinuteBucket(5));
+  hub.end_interval(MinuteBucket(5));
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_EQ(sink.times[0], MinuteBucket(5));
+  EXPECT_EQ(sink.records.size(), 1u);
+}
+
+TEST(HostAgent, RejectsForeignFlows) {
+  HostAgent agent(IpAddr(0x0A000001), 16, ProviderProfile::azure(), 1);
+  EXPECT_THROW(agent.observe(flow(IpAddr(0x0A000099), 1, IpAddr(0x0A000001), 2),
+                             TrafficCounters{}, MinuteBucket(0)),
+               ContractViolation);
+}
+
+TEST(TelemetryHub, TracksFlowTableMemory) {
+  TelemetryHub hub(ProviderProfile::azure(), 1);
+  const IpAddr vm(0x0A000001);
+  hub.add_host(vm);
+  EXPECT_EQ(hub.total_flow_table_bytes(), 0u);
+  hub.observe(flow(vm, 40000, IpAddr(0x0A000002), 443),
+              TrafficCounters{.bytes_sent = 1}, MinuteBucket(0));
+  EXPECT_EQ(hub.total_flow_table_bytes(), FlowTable::kBytesPerEntry);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,182 @@
+#include "ccg/analytics/counterfactual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+ConnectionSummary flow_minute(std::int64_t minute, std::uint16_t lport,
+                              std::uint64_t bytes) {
+  return ConnectionSummary{
+      .time = MinuteBucket(minute),
+      .flow = FlowKey{.local_ip = IpAddr(0x0A000001), .local_port = lport,
+                      .remote_ip = IpAddr(0x0A000002), .remote_port = 443,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = 1, .packets_rcvd = 1,
+                                  .bytes_sent = bytes, .bytes_rcvd = 0}};
+}
+
+TEST(FlowDistributions, AggregatesMultiMinuteFlows) {
+  FlowDistributions dist;
+  // One flow active for 3 consecutive minutes.
+  dist.observe(flow_minute(0, 40000, 1000));
+  dist.observe(flow_minute(1, 40000, 2000));
+  dist.observe(flow_minute(2, 40000, 4000));
+  dist.finalize();
+
+  EXPECT_EQ(dist.flows_observed(), 1u);
+  EXPECT_EQ(dist.flow_size_histogram().total(), 1u);
+  // 7000 bytes -> bucket 12 (4096..8191).
+  EXPECT_EQ(dist.flow_size_histogram().bucket_count(12), 1u);
+  // Duration 3 minutes -> bucket 1 (2..3).
+  EXPECT_EQ(dist.flow_duration_histogram().bucket_count(1), 1u);
+}
+
+TEST(FlowDistributions, IdleGapSplitsFlows) {
+  FlowDistributions dist;
+  dist.observe(flow_minute(0, 40000, 1000));
+  dist.observe(flow_minute(10, 40000, 500));  // long gap: a new connection
+  dist.finalize();
+  EXPECT_EQ(dist.flows_observed(), 2u);
+  EXPECT_EQ(dist.flow_size_histogram().total(), 2u);
+}
+
+TEST(FlowDistributions, InterarrivalsPerIpPair) {
+  FlowDistributions dist;
+  dist.observe(flow_minute(0, 40000, 100));
+  dist.observe(flow_minute(4, 41000, 100));   // new flow, same pair, gap 4
+  dist.observe(flow_minute(12, 42000, 100));  // gap 8
+  dist.finalize();
+  EXPECT_EQ(dist.interarrival_histogram().total(), 2u);
+  EXPECT_EQ(dist.interarrival_histogram().bucket_count(2), 1u);  // 4..7
+  EXPECT_EQ(dist.interarrival_histogram().bucket_count(3), 1u);  // 8..15
+}
+
+TEST(FlowDistributions, QuantilesTrackSizes) {
+  FlowDistributions dist;
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    dist.observe(flow_minute(0, static_cast<std::uint16_t>(40000 + i),
+                             (i + 1) * 100));
+  }
+  dist.finalize();
+  EXPECT_EQ(dist.flows_observed(), 100u);
+  EXPECT_NEAR(dist.flow_size_quantiles().quantile(0.5), 5050.0, 100.0);
+}
+
+CommGraph weighted_graph() {
+  CommGraph g;
+  const NodeId hot = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  g.set_monitored(hot, true);
+  const NodeId warm = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  g.set_monitored(warm, true);
+  const NodeId cold = g.add_node(NodeKey::for_ip(IpAddr(3u)));
+  g.set_monitored(cold, true);
+  const NodeId ext = g.add_node(NodeKey::for_ip(IpAddr(0x64000001)));
+  g.add_edge_volume(hot, warm, 8'000'000, 0, 100, 0, 10, 10);
+  g.add_edge_volume(hot, cold, 1'000'000, 0, 10, 0, 5, 5);
+  g.add_edge_volume(hot, ext, 1'000'000, 0, 10, 0, 5, 5);
+  return g;
+}
+
+TEST(NodeTrafficCcdf, MonitoredFilterAndShape) {
+  const CommGraph g = weighted_graph();
+  const auto all = node_traffic_ccdf(g);
+  const auto mon = node_traffic_ccdf(g, /*monitored_only=*/true);
+  EXPECT_EQ(all.size(), g.node_count() + 1);
+  EXPECT_EQ(mon.size(), 4u);  // 3 monitored + origin point
+  // CCDF starts at 1 and is non-increasing.
+  EXPECT_DOUBLE_EQ(all[0].ccdf, 1.0);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i].ccdf, all[i - 1].ccdf + 1e-12);
+  }
+}
+
+TEST(CapacityHotspots, OrdersByBytesWithCumulativeShare) {
+  const CommGraph g = weighted_graph();
+  const auto hotspots = capacity_hotspots(g, 2);
+  ASSERT_EQ(hotspots.size(), 2u);
+  EXPECT_EQ(hotspots[0].node.ip, IpAddr(1u));  // the hot node
+  EXPECT_GT(hotspots[0].share, hotspots[1].share);
+  EXPECT_NEAR(hotspots[0].cumulative + 0.0, hotspots[0].share, 1e-12);
+  EXPECT_GT(hotspots[1].cumulative, hotspots[1].share);
+  EXPECT_LE(hotspots[0].cumulative, 1.0 + 1e-12);
+}
+
+TEST(ProximityGroups, GroupsHeavyMutualTalkers) {
+  CommGraph g;
+  // A hot pair, a second pair, and an external peer that must be excluded.
+  std::vector<NodeId> nodes;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const NodeId n = g.add_node(NodeKey::for_ip(IpAddr(10 + i)));
+    g.set_monitored(n, true);
+    nodes.push_back(n);
+  }
+  const NodeId ext = g.add_node(NodeKey::for_ip(IpAddr(0x64000001)));
+  g.add_edge_volume(nodes[0], nodes[1], 50'000'000, 0, 100, 0, 10, 10);
+  g.add_edge_volume(nodes[2], nodes[3], 20'000'000, 0, 100, 0, 10, 10);
+  g.add_edge_volume(nodes[0], ext, 90'000'000, 0, 100, 0, 10, 10);
+
+  const auto groups = proximity_groups(g, 4, 4);
+  ASSERT_GE(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members.size(), 2u);
+  // External node never appears.
+  for (const auto& group : groups) {
+    for (const auto& member : group.members) {
+      EXPECT_NE(member.ip, IpAddr(0x64000001));
+    }
+  }
+  EXPECT_GT(groups[0].internal_bytes, groups[1].internal_bytes);
+}
+
+TEST(ProximityGroups, GrowsCliquesBeyondSeedPair) {
+  CommGraph g;
+  std::vector<NodeId> clique;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const NodeId n = g.add_node(NodeKey::for_ip(IpAddr(10 + i)));
+    g.set_monitored(n, true);
+    clique.push_back(n);
+  }
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      g.add_edge_volume(clique[i], clique[j], 10'000'000, 0, 10, 0, 1, 1);
+    }
+  }
+  const auto groups = proximity_groups(g, 2, 8);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), 5u);
+  EXPECT_NEAR(groups[0].share_of_total, 1.0, 1e-12);
+}
+
+TEST(ProximityGroups, EmptyGraph) {
+  EXPECT_TRUE(proximity_groups(CommGraph{}).empty());
+}
+
+TEST(PlacementSavings, ExtrapolatesWindowToMonth) {
+  CommGraph g(TimeWindow::hour(0));  // 60-minute window
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  g.set_monitored(a, true);
+  g.set_monitored(b, true);
+  g.add_edge_volume(a, b, 10'000'000'000ull, 0, 1, 0, 1, 1);  // 10 GB/hour
+
+  const auto groups = proximity_groups(g, 2, 4);
+  ASSERT_EQ(groups.size(), 1u);
+  const auto savings = placement_savings(g, groups, /*dollars_per_gb=*/0.01);
+  EXPECT_EQ(savings.colocated_bytes_per_window, 10'000'000'000ull);
+  EXPECT_DOUBLE_EQ(savings.share_of_total, 1.0);
+  // 10 GB/h * 720 h * $0.01/GB = $72/month.
+  EXPECT_NEAR(savings.monthly_dollars_saved, 72.0, 1e-6);
+}
+
+TEST(PlacementSavings, NoGroupsNoSavings) {
+  CommGraph g(TimeWindow::hour(0));
+  const auto savings = placement_savings(g, {});
+  EXPECT_EQ(savings.colocated_bytes_per_window, 0u);
+  EXPECT_EQ(savings.monthly_dollars_saved, 0.0);
+  EXPECT_THROW(placement_savings(g, {}, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,162 @@
+#include "ccg/summarize/edge_anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+/// Two stable edges with mild jitter; volumes overridable per call.
+CommGraph window(std::uint64_t ab_bytes, std::uint64_t ac_bytes,
+                 std::uint64_t extra_edge_bytes = 0) {
+  CommGraph g(TimeWindow::hour(0));
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId c = g.add_node(NodeKey::for_ip(IpAddr(3u)));
+  if (ab_bytes > 0) g.add_edge_volume(a, b, ab_bytes, 0, 1, 0, 1, 1);
+  if (ac_bytes > 0) g.add_edge_volume(a, c, ac_bytes, 0, 1, 0, 1, 1);
+  if (extra_edge_bytes > 0) {
+    const NodeId d = g.add_node(NodeKey::for_ip(IpAddr(4u)));
+    g.add_edge_volume(b, d, extra_edge_bytes, 0, 1, 0, 1, 1);
+  }
+  return g;
+}
+
+TEST(EwmaEdgeDetector, FirstWindowTrainsSilently) {
+  EwmaEdgeDetector detector;
+  EXPECT_TRUE(detector.observe(window(1'000'000, 500'000)).empty());
+  EXPECT_EQ(detector.tracked_edges(), 2u);
+  EXPECT_EQ(detector.windows_observed(), 1u);
+}
+
+TEST(EwmaEdgeDetector, SteadyTrafficWithJitterStaysQuiet) {
+  EwmaEdgeDetector detector;
+  Rng rng(3);
+  detector.observe(window(1'000'000, 500'000));
+  for (int w = 0; w < 20; ++w) {
+    const auto jitter = [&](std::uint64_t base) {
+      return static_cast<std::uint64_t>(
+          static_cast<double>(base) * (1.0 + rng.normal(0.0, 0.03)));
+    };
+    const auto alerts = detector.observe(window(jitter(1'000'000), jitter(500'000)));
+    EXPECT_TRUE(alerts.empty()) << "window " << w << ": "
+                                << alerts.front().to_string();
+  }
+}
+
+TEST(EwmaEdgeDetector, LocalizesVolumeShiftToTheRightEdge) {
+  EwmaEdgeDetector detector;
+  for (int w = 0; w < 5; ++w) detector.observe(window(1'000'000, 500'000));
+  // a<->c jumps 20x; a<->b stays flat.
+  const auto alerts = detector.observe(window(1'000'000, 10'000'000));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].a.ip, IpAddr(1u));
+  EXPECT_EQ(alerts[0].b.ip, IpAddr(3u));
+  EXPECT_FALSE(alerts[0].new_edge);
+  EXPECT_GT(alerts[0].deviation_sigma, 4.0);
+  EXPECT_NEAR(alerts[0].expected_bytes, 500'000, 50'000);
+  EXPECT_NE(alerts[0].to_string().find("SHIFT"), std::string::npos);
+}
+
+TEST(EwmaEdgeDetector, FlagsHeavyNewEdgeAndRanksItFirst) {
+  EwmaEdgeDetector detector;
+  for (int w = 0; w < 3; ++w) detector.observe(window(1'000'000, 500'000));
+  const auto alerts =
+      detector.observe(window(1'000'000, 6'000'000, /*extra=*/2'000'000));
+  ASSERT_GE(alerts.size(), 2u);
+  EXPECT_TRUE(alerts[0].new_edge);  // new edges rank first
+  EXPECT_EQ(alerts[0].observed_bytes, 2'000'000u);
+  EXPECT_NE(alerts[0].to_string().find("NEW"), std::string::npos);
+}
+
+TEST(EwmaEdgeDetector, NewNodeEdgesAreTaggedAndSuppressible) {
+  // Known-known new edges keep alerting; edges to a brand-new node carry
+  // the tag (and vanish entirely under suppress_new_node_edges).
+  EwmaEdgeDetector tagging;
+  tagging.observe(window(1'000'000, 500'000));
+  // window(..., extra) adds node 4 and edge b<->d: d is new.
+  auto alerts = tagging.observe(window(1'000'000, 500'000, 2'000'000));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].new_edge);
+  EXPECT_TRUE(alerts[0].involves_new_node);
+  EXPECT_NE(alerts[0].to_string().find("[new node]"), std::string::npos);
+  // Node 4 is now known: a NEW edge to it later is known-known... build one
+  // by re-adding the same extra edge after a vanish cycle is convoluted;
+  // instead verify suppression drops the new-node report entirely.
+  EwmaEdgeDetector suppressing({.suppress_new_node_edges = true});
+  suppressing.observe(window(1'000'000, 500'000));
+  EXPECT_TRUE(suppressing.observe(window(1'000'000, 500'000, 2'000'000)).empty());
+
+  // A new edge between two already-known nodes still alerts under
+  // suppression: wire a fresh a<->? pair... nodes 1,2,3 known; add edge
+  // 2<->3 which never existed.
+  CommGraph g(TimeWindow::hour(0));
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId c = g.add_node(NodeKey::for_ip(IpAddr(3u)));
+  g.add_edge_volume(a, b, 1'000'000, 0, 1, 0, 1, 1);
+  g.add_edge_volume(a, c, 500'000, 0, 1, 0, 1, 1);
+  g.add_edge_volume(b, c, 3'000'000, 0, 1, 0, 1, 1);  // lateral-movement shape
+  const auto lateral = suppressing.observe(g);
+  // Expect the NEW b<->c alert (known-known); the b<->d edge from the
+  // previous window also reports GONE, which is fine.
+  std::size_t new_alerts = 0;
+  for (const auto& alert : lateral) {
+    if (!alert.new_edge) {
+      EXPECT_TRUE(alert.vanished);
+      continue;
+    }
+    ++new_alerts;
+    EXPECT_FALSE(alert.involves_new_node);
+    EXPECT_EQ(alert.a.ip, IpAddr(2u));
+    EXPECT_EQ(alert.b.ip, IpAddr(3u));
+  }
+  EXPECT_EQ(new_alerts, 1u);
+}
+
+TEST(EwmaEdgeDetector, TinyNewEdgesIgnored) {
+  EwmaEdgeDetector detector({.min_bytes = 100'000});
+  detector.observe(window(1'000'000, 500'000));
+  const auto alerts = detector.observe(window(1'000'000, 500'000, /*extra=*/500));
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(EwmaEdgeDetector, VanishedEdgeAlertsOnceThenDecays) {
+  EwmaEdgeDetector detector;
+  for (int w = 0; w < 5; ++w) detector.observe(window(1'000'000, 500'000));
+  const auto alerts = detector.observe(window(1'000'000, 0));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].vanished);
+  EXPECT_NE(alerts[0].to_string().find("GONE"), std::string::npos);
+  // Baseline decays: a few windows later the silence is the new normal.
+  std::size_t later_alerts = 0;
+  for (int w = 0; w < 10; ++w) {
+    later_alerts += detector.observe(window(1'000'000, 0)).size();
+  }
+  EXPECT_LE(later_alerts, 2u);
+}
+
+TEST(EwmaEdgeDetector, AdaptsToGradualGrowth) {
+  EwmaEdgeDetector detector;
+  double volume = 1'000'000;
+  detector.observe(window(static_cast<std::uint64_t>(volume), 500'000));
+  std::size_t alerts = 0;
+  for (int w = 0; w < 30; ++w) {
+    volume *= 1.05;  // 5% per window: inside the relative-sigma floor band
+    alerts += detector
+                  .observe(window(static_cast<std::uint64_t>(volume), 500'000))
+                  .size();
+  }
+  EXPECT_EQ(alerts, 0u) << "gradual drift must be absorbed, not alerted";
+}
+
+TEST(EwmaEdgeDetector, ValidatesOptions) {
+  EXPECT_THROW(EwmaEdgeDetector({.alpha = 0.0}), ContractViolation);
+  EXPECT_THROW(EwmaEdgeDetector({.alpha = 1.5}), ContractViolation);
+  EXPECT_THROW(EwmaEdgeDetector({.k_sigma = 0.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

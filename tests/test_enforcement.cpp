@@ -1,0 +1,186 @@
+#include "ccg/policy/enforcement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+namespace ccg {
+namespace {
+
+const IpAddr kWeb1(0x0A000001), kWeb2(0x0A000002), kApi(0x0A000011),
+    kDb(0x0A000021), kExt(0x64000001);
+
+SegmentMap three_segments() {
+  SegmentMap map;
+  map.assign(kWeb1, 0);
+  map.assign(kWeb2, 0);
+  map.assign(kApi, 1);
+  map.assign(kDb, 2);
+  return map;
+}
+
+ReachabilityPolicy sample_policy() {
+  ReachabilityPolicy p;
+  p.allow({.from_segment = kExternalSegment, .to_segment = 0, .server_port = 443});
+  p.allow({.from_segment = 0, .to_segment = 1, .server_port = 8080});
+  p.allow({.from_segment = 1, .to_segment = 2, .server_port = 5432});
+  p.allow({.from_segment = 1, .to_segment = kExternalSegment, .server_port = 443});
+  return p;
+}
+
+ConnectionSummary record(IpAddr local, std::uint16_t lport, IpAddr remote,
+                         std::uint16_t rport, Initiator init) {
+  return ConnectionSummary{
+      .time = MinuteBucket(0),
+      .flow = FlowKey{.local_ip = local, .local_port = lport,
+                      .remote_ip = remote, .remote_port = rport,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = 1, .bytes_sent = 100},
+      .initiator = init};
+}
+
+class EnforcementKinds
+    : public ::testing::TestWithParam<RuleCompilerKind> {};
+
+TEST_P(EnforcementKinds, AllowsExactlyThePolicy) {
+  const SegmentMap segments = three_segments();
+  const ReachabilityPolicy policy = sample_policy();
+  const EnforcementPlane plane(segments, policy, GetParam());
+
+  // web -> api:8080 allowed, from both endpoints' NICs.
+  EXPECT_EQ(plane.check(record(kWeb1, 41000, kApi, 8080, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kAllow);
+  EXPECT_EQ(plane.check(record(kApi, 8080, kWeb1, 41000, Initiator::kRemote)),
+            EnforcementPlane::Verdict::kAllow);
+  // api -> db:5432 allowed.
+  EXPECT_EQ(plane.check(record(kApi, 42000, kDb, 5432, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kAllow);
+  // web -> db is NOT allowed: denied at both NICs.
+  EXPECT_EQ(plane.check(record(kWeb1, 43000, kDb, 5432, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kDeny);
+  EXPECT_EQ(plane.check(record(kDb, 5432, kWeb1, 43000, Initiator::kRemote)),
+            EnforcementPlane::Verdict::kDeny);
+  // Wrong port on an allowed pair: denied.
+  EXPECT_EQ(plane.check(record(kWeb1, 41000, kApi, 9090, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kDeny);
+  // External client into web:443 allowed (evaluated at web's NIC).
+  EXPECT_EQ(plane.check(record(kWeb1, 443, kExt, 51000, Initiator::kRemote)),
+            EnforcementPlane::Verdict::kAllow);
+  // External client into api: denied.
+  EXPECT_EQ(plane.check(record(kApi, 8080, kExt, 51000, Initiator::kRemote)),
+            EnforcementPlane::Verdict::kDeny);
+  // api out to the internet on 443 allowed; web out to internet denied.
+  EXPECT_EQ(plane.check(record(kApi, 44000, kExt, 443, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kAllow);
+  EXPECT_EQ(plane.check(record(kWeb1, 44000, kExt, 443, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kDeny);
+  // A VM we don't manage has no table.
+  EXPECT_EQ(plane.check(record(kExt, 51000, kWeb1, 443, Initiator::kLocal)),
+            EnforcementPlane::Verdict::kNoTable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Compilers, EnforcementKinds,
+                         ::testing::Values(RuleCompilerKind::kIpUnrolled,
+                                           RuleCompilerKind::kCidrAggregated,
+                                           RuleCompilerKind::kTagBased));
+
+TEST(Enforcement, MaterializedTableSizesMatchCompileCounts) {
+  const SegmentMap segments = three_segments();
+  const ReachabilityPolicy policy = sample_policy();
+  for (const auto kind :
+       {RuleCompilerKind::kIpUnrolled, RuleCompilerKind::kCidrAggregated,
+        RuleCompilerKind::kTagBased}) {
+    const EnforcementPlane plane(segments, policy, kind);
+    const CompiledRuleSet counts = compile_rules(segments, policy, kind);
+    EXPECT_EQ(plane.total_rules(), counts.total_rules);
+    for (const auto& vm : counts.per_vm) {
+      const VmRuleTable* table = plane.table(vm.vm);
+      ASSERT_NE(table, nullptr);
+      EXPECT_EQ(table->size(), vm.total()) << vm.vm.to_string();
+    }
+  }
+}
+
+TEST(Enforcement, CompilersAgreeWithPolicyOnLiveTraffic) {
+  // Drive the tiny cluster; every record's data-path verdict (under both
+  // compilers) must equal the policy-level decision.
+  Cluster cluster(presets::tiny(), 77);
+  TelemetryHub hub(ProviderProfile::azure(), 77);
+  SimulationDriver driver(cluster, hub);
+
+  std::unordered_map<IpAddr, std::string> internal_roles;
+  for (const auto& [ip, role] : cluster.ground_truth_roles()) {
+    if (cluster.spec().internal_space.contains(ip)) internal_roles.emplace(ip, role);
+  }
+  const SegmentMap segments = SegmentMap::from_roles(internal_roles);
+
+  PolicyMiner miner(segments);
+  std::vector<std::vector<ConnectionSummary>> batches;
+  for (std::int64_t m = 0; m < 30; ++m) {
+    batches.push_back(driver.step(MinuteBucket(m)));
+    miner.observe_batch(batches.back());
+  }
+  const ReachabilityPolicy policy = miner.build();
+
+  const EnforcementPlane unrolled(segments, policy, RuleCompilerKind::kIpUnrolled);
+  const EnforcementPlane cidr(segments, policy, RuleCompilerKind::kCidrAggregated);
+  const EnforcementPlane tagged(segments, policy, RuleCompilerKind::kTagBased);
+
+  std::size_t checked = 0;
+  for (const auto& batch : batches) {
+    for (const auto& rec : batch) {
+      const bool policy_allows = policy.allows(rule_for_record(segments, rec));
+      const auto expected = policy_allows ? EnforcementPlane::Verdict::kAllow
+                                          : EnforcementPlane::Verdict::kDeny;
+      EXPECT_EQ(unrolled.check(rec), expected) << rec.to_string();
+      EXPECT_EQ(cidr.check(rec), expected) << rec.to_string();
+      EXPECT_EQ(tagged.check(rec), expected) << rec.to_string();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 500u);
+  // And everything in the mined window is, of course, allowed.
+  for (const auto& rec : batches.front()) {
+    EXPECT_EQ(tagged.check(rec), EnforcementPlane::Verdict::kAllow);
+  }
+}
+
+TEST(Enforcement, AttackTrafficIsDeniedOnTheDataPath) {
+  Cluster cluster(presets::tiny(), 88);
+  TelemetryHub hub(ProviderProfile::azure(), 88);
+  SimulationDriver driver(cluster, hub);
+  std::unordered_map<IpAddr, std::string> internal_roles;
+  for (const auto& [ip, role] : cluster.ground_truth_roles()) {
+    if (cluster.spec().internal_space.contains(ip)) internal_roles.emplace(ip, role);
+  }
+  const SegmentMap segments = SegmentMap::from_roles(internal_roles);
+
+  PolicyMiner miner(segments);
+  for (std::int64_t m = 0; m < 30; ++m) miner.observe_batch(driver.step(MinuteBucket(m)));
+  const EnforcementPlane plane(segments, miner.build(), RuleCompilerKind::kTagBased);
+
+  driver.add_injector(std::make_unique<ScanAttack>(
+      ScanAttack::Config{.active = TimeWindow::minutes(30, 10),
+                         .targets_per_minute = 10,
+                         .dark_space_fraction = 0.0},
+      5));
+  std::size_t attack_records = 0, denied = 0;
+  for (std::int64_t m = 30; m < 40; ++m) {
+    for (const auto& rec : driver.step(MinuteBucket(m))) {
+      const IpPair pair(rec.flow.local_ip, rec.flow.remote_ip);
+      if (!driver.malicious_pairs().contains(pair)) continue;
+      ++attack_records;
+      denied += plane.check(rec) == EnforcementPlane::Verdict::kDeny;
+    }
+  }
+  ASSERT_GT(attack_records, 0u);
+  // Probes that happen to land on a mined (segment, port) channel are
+  // allowed — reachability policies can't flag traffic on legitimate
+  // channels (the paper's residual blast radius). In this tiny topology
+  // that's ~1/4 of probes; the rest must be denied on the data path.
+  EXPECT_GT(static_cast<double>(denied) / static_cast<double>(attack_records), 0.7);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,108 @@
+#include "ccg/analytics/fct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+CommGraph one_hour_graph_with_node_bytes(std::uint64_t bytes) {
+  CommGraph g(TimeWindow::hour(0));
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  g.set_monitored(a, true);
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  g.add_edge_volume(a, b, bytes, 0, bytes / 1000, 0, 1, 60);
+  return g;
+}
+
+TEST(Fct, UtilizationFromWindowVolume) {
+  // 3600 GB over an hour at 1 GB/s -> rho = 1.0.
+  const CommGraph g = one_hour_graph_with_node_bytes(3'600'000'000'000ull);
+  EXPECT_NEAR(node_utilization(g, 0, 1e9), 1.0, 1e-9);
+  EXPECT_NEAR(node_utilization(g, 0, 2e9), 0.5, 1e-9);
+  EXPECT_THROW(node_utilization(g, 0, 0.0), ContractViolation);
+}
+
+TEST(Fct, Mg1psBasics) {
+  // 1 MB at 1 MB/s idle -> 1 s; at rho 0.5 -> 2 s.
+  EXPECT_DOUBLE_EQ(mg1ps_fct_seconds(1e6, 1e6, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mg1ps_fct_seconds(1e6, 1e6, 0.5), 2.0);
+  EXPECT_TRUE(std::isinf(mg1ps_fct_seconds(1e6, 1e6, 1.0)));
+  EXPECT_TRUE(std::isinf(mg1ps_fct_seconds(1e6, 1e6, 1.7)));
+  EXPECT_DOUBLE_EQ(mg1ps_fct_seconds(0.0, 1e6, 0.2), 0.0);
+  // Negative rho is clamped to idle.
+  EXPECT_DOUBLE_EQ(mg1ps_fct_seconds(1e6, 1e6, -0.5), 1.0);
+}
+
+TEST(Fct, PercentilesMonotoneInLoad) {
+  PercentileSketch sizes;
+  for (int i = 1; i <= 100; ++i) sizes.add(i * 1000.0);
+  const auto idle = fct_percentiles(sizes, 1e6, 0.0);
+  const auto busy = fct_percentiles(sizes, 1e6, 0.8);
+  EXPECT_LT(idle.p50, idle.p90);
+  EXPECT_LT(idle.p90, idle.p99);
+  EXPECT_GT(busy.p99, idle.p99);
+  EXPECT_NEAR(busy.p50 / idle.p50, 5.0, 1e-9);  // 1/(1-0.8)
+  EXPECT_FALSE(idle.overloaded);
+  const auto melted = fct_percentiles(sizes, 1e6, 1.2);
+  EXPECT_TRUE(melted.overloaded);
+  EXPECT_TRUE(std::isinf(melted.p99));
+}
+
+TEST(Fct, DefaultLadderIsSorted) {
+  const auto ladder = default_sku_ladder();
+  ASSERT_GE(ladder.size(), 2u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].nic_bytes_per_second, ladder[i - 1].nic_bytes_per_second);
+  }
+}
+
+TEST(Fct, SkuUpgradePicksSmallestSufficientTier) {
+  // Node pushes 900 GB in the hour -> 0.25 GB/s: rho=2.0 on 1G(0.125GB/s),
+  // 1.0 on 2G, 0.5 on 4G -> first tier with rho <= 0.6 is 4G.
+  const CommGraph g = one_hour_graph_with_node_bytes(900'000'000'000ull);
+  PercentileSketch sizes;
+  for (int i = 1; i <= 100; ++i) sizes.add(i * 10000.0);
+
+  const auto ladder = default_sku_ladder();
+  const auto analysis = sku_upgrade_analysis(g, sizes, ladder[0], ladder, 3, 0.6);
+  ASSERT_EQ(analysis.size(), 1u);  // only one monitored node
+  const auto& w = analysis[0];
+  EXPECT_EQ(w.from.name, "1G");
+  EXPECT_EQ(w.to.name, "4G");
+  EXPECT_GT(w.utilization_before, 1.0);
+  EXPECT_TRUE(w.fct_before.overloaded);
+  EXPECT_LE(w.utilization_after, 0.6);
+  EXPECT_FALSE(w.fct_after.overloaded);
+  EXPECT_TRUE(std::isinf(w.p99_speedup));
+  EXPECT_NE(w.to_string().find("p99 FCT"), std::string::npos);
+}
+
+TEST(Fct, AlreadyComfortableNodesKeepSmallTier) {
+  const CommGraph g = one_hour_graph_with_node_bytes(10'000'000'000ull);  // ~2.8MB/s
+  PercentileSketch sizes;
+  sizes.add(1e6);
+  const auto ladder = default_sku_ladder();
+  const auto analysis = sku_upgrade_analysis(g, sizes, ladder[0], ladder, 3, 0.6);
+  ASSERT_EQ(analysis.size(), 1u);
+  EXPECT_EQ(analysis[0].to.name, "1G");
+  EXPECT_NEAR(analysis[0].p99_speedup, 1.0, 1e-6);
+}
+
+TEST(Fct, SkuAnalysisValidatesInput) {
+  const CommGraph g = one_hour_graph_with_node_bytes(1000);
+  PercentileSketch empty;
+  const auto ladder = default_sku_ladder();
+  EXPECT_THROW(sku_upgrade_analysis(g, empty, ladder[0], ladder), ContractViolation);
+  PercentileSketch sizes;
+  sizes.add(1.0);
+  EXPECT_THROW(sku_upgrade_analysis(g, sizes, ladder[0], {}), ContractViolation);
+  EXPECT_THROW(sku_upgrade_analysis(g, sizes, ladder[0], ladder, 3, 1.5),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

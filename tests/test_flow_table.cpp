@@ -1,0 +1,142 @@
+#include "ccg/telemetry/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+FlowKey key(std::uint32_t local, std::uint16_t lport, std::uint32_t remote,
+            std::uint16_t rport) {
+  return FlowKey{.local_ip = IpAddr(local),
+                 .local_port = lport,
+                 .remote_ip = IpAddr(remote),
+                 .remote_port = rport,
+                 .protocol = Protocol::kTcp};
+}
+
+TrafficCounters counters(std::uint64_t bytes) {
+  return TrafficCounters{
+      .packets_sent = bytes / 1000 + 1, .packets_rcvd = 1, .bytes_sent = bytes, .bytes_rcvd = 64};
+}
+
+TEST(FlowTable, AccumulatesWithinInterval) {
+  FlowTable table(16);
+  std::vector<ConnectionSummary> overflow;
+  const auto k = key(1, 40000, 2, 443);
+  table.observe(k, counters(100), MinuteBucket(0), overflow);
+  table.observe(k, counters(200), MinuteBucket(0), overflow);
+  EXPECT_TRUE(overflow.empty());
+  EXPECT_EQ(table.occupancy(), 1u);
+
+  const auto batch = table.flush(MinuteBucket(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].counters.bytes_sent, 300u);
+  EXPECT_EQ(batch[0].flow, k);
+  EXPECT_EQ(batch[0].time, MinuteBucket(0));
+}
+
+TEST(FlowTable, FlushResetsCountersButKeepsActiveFlows) {
+  FlowTable table(16);
+  std::vector<ConnectionSummary> overflow;
+  const auto k = key(1, 40000, 2, 443);
+  table.observe(k, counters(100), MinuteBucket(0), overflow);
+  table.flush(MinuteBucket(0));
+  EXPECT_EQ(table.occupancy(), 1u);  // touched entries survive one flush
+
+  // Active again next interval: new record with only the new bytes.
+  table.observe(k, counters(50), MinuteBucket(1), overflow);
+  const auto batch = table.flush(MinuteBucket(1));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].counters.bytes_sent, 50u);
+}
+
+TEST(FlowTable, IdleFlowsExpireAfterOneQuietInterval) {
+  FlowTable table(16);
+  std::vector<ConnectionSummary> overflow;
+  table.observe(key(1, 40000, 2, 443), counters(100), MinuteBucket(0), overflow);
+  table.flush(MinuteBucket(0));
+  // No activity in minute 1: the second flush drops the entry.
+  const auto batch = table.flush(MinuteBucket(1));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(table.occupancy(), 0u);
+}
+
+TEST(FlowTable, EvictsLruWithExportOnEvict) {
+  FlowTable table(2);
+  std::vector<ConnectionSummary> overflow;
+  table.observe(key(1, 40001, 2, 443), counters(111), MinuteBucket(0), overflow);
+  table.observe(key(1, 40002, 2, 443), counters(222), MinuteBucket(0), overflow);
+  // Touch the first flow so the second becomes LRU.
+  table.observe(key(1, 40001, 2, 443), counters(1), MinuteBucket(0), overflow);
+  // Third flow evicts the LRU (40002), exporting its counters.
+  table.observe(key(1, 40003, 2, 443), counters(333), MinuteBucket(0), overflow);
+
+  ASSERT_EQ(overflow.size(), 1u);
+  EXPECT_EQ(overflow[0].flow.local_port, 40002);
+  EXPECT_EQ(overflow[0].counters.bytes_sent, 222u);
+  EXPECT_EQ(table.occupancy(), 2u);
+  EXPECT_EQ(table.stats().evictions, 1u);
+
+  // Nothing lost: flush + overflow covers all three flows' bytes.
+  const auto batch = table.flush(MinuteBucket(0));
+  std::uint64_t total = overflow[0].counters.bytes_sent;
+  for (const auto& rec : batch) total += rec.counters.bytes_sent;
+  EXPECT_EQ(total, 111u + 222u + 333u + 1u);
+}
+
+TEST(FlowTable, StatsTrackPeakAndCounts) {
+  FlowTable table(100);
+  std::vector<ConnectionSummary> overflow;
+  for (std::uint16_t p = 0; p < 10; ++p) {
+    table.observe(key(1, static_cast<std::uint16_t>(40000 + p), 2, 443),
+                  counters(10), MinuteBucket(0), overflow);
+  }
+  EXPECT_EQ(table.stats().updates, 10u);
+  EXPECT_EQ(table.stats().flows_inserted, 10u);
+  EXPECT_EQ(table.stats().peak_occupancy, 10u);
+  EXPECT_EQ(table.memory_bytes(), 10 * FlowTable::kBytesPerEntry);
+
+  const auto batch = table.flush(MinuteBucket(0));
+  EXPECT_EQ(batch.size(), 10u);
+  EXPECT_EQ(table.stats().records_emitted, 10u);
+}
+
+TEST(FlowTable, EmptyCountersProduceNoRecord) {
+  FlowTable table(4);
+  std::vector<ConnectionSummary> overflow;
+  table.observe(key(1, 40000, 2, 443), TrafficCounters{}, MinuteBucket(0), overflow);
+  EXPECT_TRUE(table.flush(MinuteBucket(0)).empty());
+}
+
+TEST(FlowTable, InitiatorLatchedOnFirstObservation) {
+  FlowTable table(8);
+  std::vector<ConnectionSummary> overflow;
+  const auto k = key(1, 40000, 2, 443);
+  table.observe(k, counters(10), MinuteBucket(0), overflow, Initiator::kLocal);
+  // Later updates with unknown/contradicting direction do not overwrite.
+  table.observe(k, counters(10), MinuteBucket(0), overflow, Initiator::kUnknown);
+  table.observe(k, counters(10), MinuteBucket(0), overflow, Initiator::kRemote);
+  const auto batch = table.flush(MinuteBucket(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].initiator, Initiator::kLocal);
+
+  // Unknown-first flows pick up direction when it becomes known.
+  const auto k2 = key(1, 40001, 2, 443);
+  table.observe(k2, counters(10), MinuteBucket(1), overflow, Initiator::kUnknown);
+  table.observe(k2, counters(10), MinuteBucket(1), overflow, Initiator::kRemote);
+  const auto batch2 = table.flush(MinuteBucket(1));
+  for (const auto& rec : batch2) {
+    if (rec.flow == k2) {
+      EXPECT_EQ(rec.initiator, Initiator::kRemote);
+    }
+  }
+}
+
+TEST(FlowTable, RejectsZeroCapacity) {
+  EXPECT_THROW(FlowTable(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,317 @@
+#include "ccg/graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/graph/comm_graph.hpp"
+
+namespace ccg {
+namespace {
+
+ConnectionSummary record(std::int64_t minute, IpAddr local, std::uint16_t lport,
+                         IpAddr remote, std::uint16_t rport,
+                         std::uint64_t bytes_sent, std::uint64_t bytes_rcvd) {
+  return ConnectionSummary{
+      .time = MinuteBucket(minute),
+      .flow = FlowKey{.local_ip = local, .local_port = lport,
+                      .remote_ip = remote, .remote_port = rport,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = bytes_sent / 1000 + 1,
+                                  .packets_rcvd = bytes_rcvd / 1000 + 1,
+                                  .bytes_sent = bytes_sent,
+                                  .bytes_rcvd = bytes_rcvd}};
+}
+
+const IpAddr kA(0x0A000001), kB(0x0A000002), kC(0x0A000003), kX(0x64000001);
+
+TEST(CommGraph, AddNodeIsIdempotent) {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(kA));
+  EXPECT_EQ(g.add_node(NodeKey::for_ip(kA)), a);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.find_node(NodeKey::for_ip(kA)), a);
+  EXPECT_FALSE(g.find_node(NodeKey::for_ip(kB)).has_value());
+}
+
+TEST(CommGraph, EdgeVolumeAccumulatesAndCanonicalizes) {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(kA));
+  const NodeId b = g.add_node(NodeKey::for_ip(kB));
+  g.add_edge_volume(a, b, 100, 50, 1, 1, 1, 1);
+  // Reverse orientation must land on the same edge, direction-swapped.
+  g.add_edge_volume(b, a, 30, 10, 1, 1, 1, 1);
+
+  EXPECT_EQ(g.edge_count(), 1u);
+  const Edge& e = g.edge(0);
+  EXPECT_EQ(e.a, a);
+  EXPECT_EQ(e.b, b);
+  EXPECT_EQ(e.stats.bytes_ab, 110u);  // 100 + reversed 10
+  EXPECT_EQ(e.stats.bytes_ba, 80u);   // 50 + reversed 30
+  EXPECT_EQ(e.stats.bytes(), 190u);
+  EXPECT_EQ(g.total_bytes(), 190u);
+  EXPECT_EQ(g.node_stats(a).bytes, 190u);
+  EXPECT_EQ(g.node_stats(b).bytes, 190u);
+}
+
+TEST(CommGraph, RejectsSelfEdges) {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(kA));
+  EXPECT_THROW(g.add_edge_volume(a, a, 1, 1, 1, 1, 1, 1), ContractViolation);
+}
+
+TEST(CommGraph, NeighborsAndDegree) {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(kA));
+  const NodeId b = g.add_node(NodeKey::for_ip(kB));
+  const NodeId c = g.add_node(NodeKey::for_ip(kC));
+  g.add_edge_volume(a, b, 1, 0, 1, 0, 1, 1);
+  g.add_edge_volume(a, c, 1, 0, 1, 0, 1, 1);
+  EXPECT_EQ(g.degree(a), 2u);
+  EXPECT_EQ(g.degree(b), 1u);
+  EXPECT_TRUE(g.find_edge(a, c).has_value());
+  EXPECT_TRUE(g.find_edge(c, a).has_value());
+  EXPECT_FALSE(g.find_edge(b, c).has_value());
+}
+
+TEST(CommGraph, DenseByteMatrixIsSymmetric) {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(kA));
+  const NodeId b = g.add_node(NodeKey::for_ip(kB));
+  g.add_edge_volume(a, b, 70, 30, 1, 1, 1, 1);
+  const auto m = g.dense_byte_matrix();
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m[0 * 2 + 1], 100.0);
+  EXPECT_EQ(m[1 * 2 + 0], 100.0);
+  EXPECT_EQ(m[0], 0.0);
+  EXPECT_THROW(g.dense_byte_matrix(1), ContractViolation);
+}
+
+TEST(GraphBuilder, DeduplicatesBothSidesOfOneConversation) {
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, {kA, kB});
+  // The same conversation reported by both endpoints.
+  builder.ingest(record(0, kA, 40000, kB, 443, 500, 1000));
+  builder.ingest(record(0, kB, 443, kA, 40000, 1000, 500));
+  builder.flush();
+
+  ASSERT_EQ(builder.graphs().size(), 1u);
+  const CommGraph& g = builder.graphs()[0];
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(0).stats.bytes(), 1500u);  // NOT 3000: deduplicated
+  EXPECT_EQ(g.edge(0).stats.connection_minutes, 1u);
+}
+
+TEST(GraphBuilder, OneSidedFlowsStillCounted) {
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, {kA});
+  builder.ingest(record(0, kA, 40000, kX, 443, 200, 800));  // internet peer
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(0).stats.bytes(), 1000u);
+  // Monitored flag set only for the local VM.
+  const NodeId a = *g.find_node(NodeKey::for_ip(kA));
+  const NodeId x = *g.find_node(NodeKey::for_ip(kX));
+  EXPECT_TRUE(g.node_stats(a).monitored);
+  EXPECT_FALSE(g.node_stats(x).monitored);
+}
+
+TEST(GraphBuilder, WindowsRollAtAlignedBoundaries) {
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, {kA, kB});
+  builder.ingest(record(10, kA, 40000, kB, 443, 100, 0));
+  builder.ingest(record(59, kA, 40000, kB, 443, 100, 0));
+  builder.ingest(record(60, kA, 40000, kB, 443, 100, 0));  // next hour
+  builder.flush();
+
+  ASSERT_EQ(builder.graphs().size(), 2u);
+  EXPECT_EQ(builder.graphs()[0].window(), TimeWindow::hour(0));
+  EXPECT_EQ(builder.graphs()[1].window(), TimeWindow::hour(1));
+  EXPECT_EQ(builder.graphs()[0].edge(0).stats.bytes(), 200u);
+  EXPECT_EQ(builder.graphs()[1].edge(0).stats.bytes(), 100u);
+}
+
+TEST(GraphBuilder, ActiveMinutesAndConnectionMinutes) {
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, {kA, kB});
+  builder.ingest(record(0, kA, 40000, kB, 443, 100, 0));
+  builder.ingest(record(1, kA, 40000, kB, 443, 100, 0));
+  builder.ingest(record(1, kA, 40001, kB, 443, 100, 0));  // second flow, same pair
+  builder.ingest(record(5, kA, 40000, kB, 443, 100, 0));
+  builder.flush();
+  const Edge& e = builder.graphs()[0].edge(0);
+  EXPECT_EQ(e.stats.active_minutes, 3u);       // minutes 0, 1, 5
+  EXPECT_EQ(e.stats.connection_minutes, 4u);   // four flow-minute records
+}
+
+TEST(GraphBuilder, IpPortFacetSplitsServices) {
+  GraphBuilder builder({.facet = GraphFacet::kIpPort, .window_minutes = 60}, {kA, kB});
+  builder.ingest(record(0, kA, 40000, kB, 443, 100, 0));
+  builder.ingest(record(0, kA, 40000, kB, 8080, 100, 0));
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  // (A,40000), (B,443), (B,8080): the IP-port graph is strictly larger.
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphBuilder, ServiceFacetKeepsServerIdentityOnly) {
+  GraphBuilder builder({.facet = GraphFacet::kService, .window_minutes = 60},
+                       {kA, kB});
+  // kA runs two services (443, 8080); kB's client side uses ephemeral
+  // ports that must NOT become nodes.
+  builder.ingest(record(0, kB, 41000, kA, 443, 100, 200));
+  builder.ingest(record(0, kA, 443, kB, 41000, 200, 100));
+  builder.ingest(record(0, kB, 42000, kA, 8080, 100, 200));
+  builder.ingest(record(0, kA, 8080, kB, 42000, 200, 100));
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+
+  // Nodes: kB (client, IP-level), (kA, 443), (kA, 8080).
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.find_node(NodeKey::for_ip(kB)).has_value());
+  EXPECT_TRUE(g.find_node(NodeKey::for_ip_port(kA, 443)).has_value());
+  EXPECT_TRUE(g.find_node(NodeKey::for_ip_port(kA, 8080)).has_value());
+  EXPECT_FALSE(g.find_node(NodeKey::for_ip(kA)).has_value());
+  EXPECT_EQ(g.edge_count(), 2u);
+  // Both sides' reports still deduplicate into one conversation per edge.
+  EXPECT_EQ(g.total_bytes(), 600u);
+}
+
+TEST(GraphBuilder, ServiceFacetSplitsMultiRoleVm) {
+  // kA is a server on 443 AND a client of kC: it appears as two nodes —
+  // the paper's "resources may have multiple roles".
+  GraphBuilder builder({.facet = GraphFacet::kService, .window_minutes = 60},
+                       {kA, kB, kC});
+  builder.ingest(record(0, kB, 41000, kA, 443, 100, 0));
+  builder.ingest(record(0, kA, 39000, kC, 5432, 50, 0));
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  EXPECT_TRUE(g.find_node(NodeKey::for_ip_port(kA, 443)).has_value());
+  EXPECT_TRUE(g.find_node(NodeKey::for_ip(kA)).has_value());  // client half
+  EXPECT_EQ(g.node_count(), 4u);
+}
+
+TEST(GraphBuilder, CollapsesSmallRemotePeersOnly) {
+  GraphBuilder builder({.facet = GraphFacet::kIp,
+                        .window_minutes = 60,
+                        .collapse_threshold = 0.01},
+                       {kA});
+  // One heavy remote peer (active all hour) and 50 tiny one-shot ones. A
+  // node survives if it clears the threshold on bytes, packets OR
+  // connection-minutes, so the tail must be small on all three axes.
+  for (std::int64_t m = 0; m < 60; ++m) {
+    builder.ingest(record(m, kA, 40000, kB, 443, 1'000'000, 0));
+  }
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    builder.ingest(record(0, kA, 40000, IpAddr(0x64000100 + i), 443, 10, 0));
+  }
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  // kA (monitored, exempt), kB (heavy), <other> (50 collapsed).
+  EXPECT_EQ(g.node_count(), 3u);
+  const auto other = g.find_node(NodeKey::collapsed());
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(g.node_stats(*other).collapsed_members, 50u);
+}
+
+TEST(GraphBuilder, CollapseKeepsMonitoredNodes) {
+  GraphBuilder builder({.facet = GraphFacet::kIp,
+                        .window_minutes = 60,
+                        .collapse_threshold = 0.4},
+                       {kA, kB, kC});
+  for (std::int64_t m = 0; m < 10; ++m) {
+    builder.ingest(record(m, kA, 40000, kB, 443, 1'000'000, 0));
+  }
+  builder.ingest(record(0, kA, 40001, kC, 443, 10, 0));  // kC tiny but monitored
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  EXPECT_TRUE(g.find_node(NodeKey::for_ip(kC)).has_value());
+  EXPECT_FALSE(g.find_node(NodeKey::collapsed()).has_value());
+}
+
+TEST(GraphBuilder, TracksInitiatorDirectionAndServerPort) {
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, {kA, kB});
+  // Client kA -> server kB:443, both sides report.
+  builder.ingest(record(0, kA, 40000, kB, 443, 500, 1000));
+  builder.ingest(record(0, kB, 443, kA, 40000, 1000, 500));
+  builder.ingest(record(1, kA, 40000, kB, 443, 500, 1000));
+  builder.ingest(record(1, kB, 443, kA, 40000, 1000, 500));
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  const NodeId a = *g.find_node(NodeKey::for_ip(kA));
+  const NodeId b = *g.find_node(NodeKey::for_ip(kB));
+  const EdgeId e = *g.find_edge(a, b);
+  EXPECT_EQ(g.edge_role(a, e), CommGraph::EdgeRole::kInitiator);
+  EXPECT_EQ(g.edge_role(b, e), CommGraph::EdgeRole::kResponder);
+  EXPECT_EQ(g.edge(e).stats.server_port_hint, 443);
+}
+
+TEST(GraphBuilder, InitiatorBitOverridesPortHeuristic) {
+  // gRPC-style service port (50051) in the ephemeral range: only the
+  // initiator bit keeps the direction straight on the server-side record.
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, {kA, kB});
+  auto client_side = record(0, kA, 41000, kB, 50051, 100, 200);
+  client_side.initiator = Initiator::kLocal;
+  auto server_side = record(0, kB, 50051, kA, 41000, 200, 100);
+  server_side.initiator = Initiator::kRemote;
+  builder.ingest(client_side);
+  builder.ingest(server_side);
+  builder.flush();
+  const CommGraph& g = builder.graphs()[0];
+  const NodeId a = *g.find_node(NodeKey::for_ip(kA));
+  const EdgeId e = 0;
+  EXPECT_EQ(g.edge_role(a, e), CommGraph::EdgeRole::kInitiator);
+  EXPECT_EQ(g.edge(e).stats.server_port_hint, 50051);
+}
+
+TEST(GraphBuilder, MergeGraphsEqualsSingleBuilder) {
+  const GraphBuildConfig config{.facet = GraphFacet::kIp, .window_minutes = 60};
+  GraphBuilder whole(config, {kA, kB, kC});
+  GraphBuilder part1(config, {kA, kB, kC});
+  GraphBuilder part2(config, {kA, kB, kC});
+
+  const auto r1 = record(0, kA, 40000, kB, 443, 500, 100);
+  const auto r2 = record(0, kA, 40000, kC, 443, 300, 50);
+  whole.ingest(r1);
+  whole.ingest(r2);
+  part1.ingest(r1);  // edge A-B in shard 1
+  part2.ingest(r2);  // edge A-C in shard 2
+  whole.flush();
+  part1.flush();
+  part2.flush();
+
+  std::vector<CommGraph> parts;
+  parts.push_back(part1.graphs()[0]);
+  parts.push_back(part2.graphs()[0]);
+  const CommGraph merged = merge_graphs(parts);
+  const CommGraph& reference = whole.graphs()[0];
+
+  EXPECT_EQ(merged.node_count(), reference.node_count());
+  EXPECT_EQ(merged.edge_count(), reference.edge_count());
+  EXPECT_EQ(merged.total_bytes(), reference.total_bytes());
+}
+
+TEST(CollapseHeavyHitters, PostHocMatchesBuilderCollapse) {
+  const std::unordered_set<IpAddr> monitored{kA};
+  GraphBuilder with({.facet = GraphFacet::kIp,
+                     .window_minutes = 60,
+                     .collapse_threshold = 0.02},
+                    monitored);
+  GraphBuilder without({.facet = GraphFacet::kIp, .window_minutes = 60}, monitored);
+  for (std::int64_t m = 0; m < 60; ++m) {
+    const auto heavy = record(m, kA, 40000, IpAddr(0x64000200), 443, 1'000'000, 0);
+    with.ingest(heavy);
+    without.ingest(heavy);
+  }
+  for (std::uint32_t i = 1; i < 30; ++i) {
+    const auto r = record(59, kA, 40000, IpAddr(0x64000200 + i), 443, 10, 0);
+    with.ingest(r);
+    without.ingest(r);
+  }
+  with.flush();
+  without.flush();
+  const CommGraph post = collapse_heavy_hitters(without.graphs()[0], 0.02);
+  EXPECT_EQ(post.node_count(), with.graphs()[0].node_count());
+  EXPECT_EQ(post.total_bytes(), with.graphs()[0].total_bytes());
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,142 @@
+#include "ccg/graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/graph/delta.hpp"
+
+namespace ccg {
+namespace {
+
+CommGraph path_graph(std::size_t n) {
+  CommGraph g;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(g.add_node(NodeKey::for_ip(IpAddr(0x0A000000u + static_cast<std::uint32_t>(i)))));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge_volume(ids[i], ids[i + 1], 100, 100, 1, 1, 1, 1);
+  }
+  return g;
+}
+
+CommGraph triangle_plus_isolated() {
+  CommGraph g;
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId c = g.add_node(NodeKey::for_ip(IpAddr(3u)));
+  g.add_node(NodeKey::for_ip(IpAddr(4u)));  // isolated
+  g.add_edge_volume(a, b, 10, 0, 1, 0, 1, 1);
+  g.add_edge_volume(b, c, 10, 0, 1, 0, 1, 1);
+  g.add_edge_volume(a, c, 10, 0, 1, 0, 1, 1);
+  return g;
+}
+
+TEST(GraphMetrics, EmptyGraph) {
+  const auto m = compute_metrics(CommGraph{});
+  EXPECT_EQ(m.nodes, 0u);
+  EXPECT_EQ(m.edges, 0u);
+  EXPECT_EQ(m.components, 0u);
+}
+
+TEST(GraphMetrics, PathGraphValues) {
+  const auto m = compute_metrics(path_graph(5));
+  EXPECT_EQ(m.nodes, 5u);
+  EXPECT_EQ(m.edges, 4u);
+  EXPECT_EQ(m.components, 1u);
+  EXPECT_EQ(m.largest_component, 5u);
+  EXPECT_EQ(m.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(m.mean_degree, 1.6);
+  EXPECT_DOUBLE_EQ(m.density, 4.0 / 10.0);
+  EXPECT_DOUBLE_EQ(m.clustering_coefficient, 0.0);  // paths have no triangles
+}
+
+TEST(GraphMetrics, TriangleClustersPerfectly) {
+  const auto m = compute_metrics(triangle_plus_isolated());
+  EXPECT_EQ(m.components, 2u);
+  EXPECT_EQ(m.largest_component, 3u);
+  EXPECT_DOUBLE_EQ(m.clustering_coefficient, 1.0);
+  EXPECT_EQ(m.total_bytes, 30u);
+}
+
+TEST(ConnectedComponents, LabelsAreConsistent) {
+  const auto g = triangle_plus_isolated();
+  const auto labels = connected_components(g);
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(TopDegreeNodes, OrdersHubsFirst) {
+  CommGraph g;
+  const NodeId hub = g.add_node(NodeKey::for_ip(IpAddr(100u)));
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const NodeId spoke = g.add_node(NodeKey::for_ip(IpAddr(200u + i)));
+    g.add_edge_volume(hub, spoke, 10, 0, 1, 0, 1, 1);
+  }
+  const auto top = top_degree_nodes(g, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], hub);
+}
+
+TEST(GraphDelta, IdenticalGraphsAreFullyStable) {
+  const auto g = path_graph(6);
+  const auto d = diff_graphs(g, g);
+  EXPECT_TRUE(d.nodes_added.empty());
+  EXPECT_TRUE(d.nodes_removed.empty());
+  EXPECT_TRUE(d.edges_added.empty());
+  EXPECT_TRUE(d.edges_removed.empty());
+  EXPECT_TRUE(d.edges_changed.empty());
+  EXPECT_EQ(d.edges_stable, 5u);
+  EXPECT_DOUBLE_EQ(d.edge_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(d.byte_weighted_overlap, 1.0);
+}
+
+TEST(GraphDelta, DetectsAddedRemovedAndChangedEdges) {
+  CommGraph before;
+  const NodeId a = before.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = before.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId c = before.add_node(NodeKey::for_ip(IpAddr(3u)));
+  before.add_edge_volume(a, b, 100, 0, 1, 0, 1, 1);   // will stay
+  before.add_edge_volume(b, c, 100, 0, 1, 0, 1, 1);   // will disappear
+
+  CommGraph after;
+  const NodeId a2 = after.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b2 = after.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId d2 = after.add_node(NodeKey::for_ip(IpAddr(4u)));  // new node
+  after.add_edge_volume(a2, b2, 1000, 0, 1, 0, 1, 1);  // grew 10x
+  after.add_edge_volume(a2, d2, 50, 0, 1, 0, 1, 1);    // new edge
+
+  const auto delta = diff_graphs(before, after, 4.0);
+  ASSERT_EQ(delta.nodes_added.size(), 1u);
+  EXPECT_EQ(delta.nodes_added[0].ip, IpAddr(4u));
+  ASSERT_EQ(delta.nodes_removed.size(), 1u);
+  EXPECT_EQ(delta.nodes_removed[0].ip, IpAddr(3u));
+  ASSERT_EQ(delta.edges_added.size(), 1u);
+  ASSERT_EQ(delta.edges_removed.size(), 1u);
+  ASSERT_EQ(delta.edges_changed.size(), 1u);
+  EXPECT_DOUBLE_EQ(delta.edges_changed[0].ratio(), 10.0);
+  EXPECT_EQ(delta.edges_stable, 0u);
+  // 1 common edge of 3 total distinct edges.
+  EXPECT_NEAR(delta.edge_jaccard, 1.0 / 3.0, 1e-12);
+  // 1000 of 1050 after-bytes ride on a pre-existing edge.
+  EXPECT_NEAR(delta.byte_weighted_overlap, 1000.0 / 1050.0, 1e-12);
+}
+
+TEST(GraphDelta, VolumeFactorBoundsChangeDetection) {
+  CommGraph before;
+  const NodeId a = before.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = before.add_node(NodeKey::for_ip(IpAddr(2u)));
+  before.add_edge_volume(a, b, 100, 0, 1, 0, 1, 1);
+
+  CommGraph after;
+  const NodeId a2 = after.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b2 = after.add_node(NodeKey::for_ip(IpAddr(2u)));
+  after.add_edge_volume(a2, b2, 300, 0, 1, 0, 1, 1);  // 3x growth
+
+  EXPECT_EQ(diff_graphs(before, after, 4.0).edges_changed.size(), 0u);
+  EXPECT_EQ(diff_graphs(before, after, 2.0).edges_changed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,186 @@
+#include "ccg/summarize/graph_pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+#include "ccg/summarize/anomaly.hpp"
+
+namespace ccg {
+namespace {
+
+NodeId ip_node(CommGraph& g, std::uint32_t ip) {
+  return g.add_node(NodeKey::for_ip(IpAddr(ip)));
+}
+
+void edge(CommGraph& g, NodeId a, NodeId b, std::uint64_t bytes) {
+  g.add_edge_volume(a, b, bytes, 0, 1, 0, 1, 1);
+}
+
+/// Block-structured graph: `blocks` groups of `size` nodes, dense inside.
+CommGraph block_graph(std::size_t blocks, std::size_t size, std::uint64_t bytes,
+                      std::uint32_t ip_base = 1000) {
+  CommGraph g;
+  std::vector<NodeId> nodes;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < size; ++i) {
+      nodes.push_back(ip_node(g, static_cast<std::uint32_t>(ip_base + b * 100 + i)));
+    }
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        edge(g, nodes[b * size + i], nodes[b * size + j], bytes);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(NodeIndex, StableAcrossGraphs) {
+  CommGraph g1;
+  ip_node(g1, 1);
+  ip_node(g1, 2);
+  CommGraph g2;
+  ip_node(g2, 2);
+  ip_node(g2, 3);
+
+  NodeIndex idx = NodeIndex::from_graphs({&g1, &g2});
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.row_of(NodeKey::for_ip(IpAddr(1u))), 0u);
+  EXPECT_EQ(idx.row_of(NodeKey::for_ip(IpAddr(2u))), 1u);
+  EXPECT_EQ(idx.row_of(NodeKey::for_ip(IpAddr(3u))), 2u);
+  EXPECT_EQ(idx.row_of(NodeKey::for_ip(IpAddr(9u))), NodeIndex::npos);
+}
+
+TEST(AdjacencyMatrix, SymmetricWithLogScale) {
+  CommGraph g;
+  const NodeId a = ip_node(g, 1);
+  const NodeId b = ip_node(g, 2);
+  edge(g, a, b, 1000);
+  const NodeIndex idx = NodeIndex::from_graph(g);
+  const Matrix m = adjacency_matrix(g, idx);
+  EXPECT_TRUE(m.is_symmetric());
+  EXPECT_NEAR(m(0, 1), std::log1p(1000.0), 1e-12);
+
+  const Matrix raw = adjacency_matrix(g, idx, {.log_scale = false});
+  EXPECT_DOUBLE_EQ(raw(0, 1), 1000.0);
+}
+
+TEST(AdjacencyMatrix, UnindexedNodesReportedAsMissedBytes) {
+  CommGraph baseline;
+  ip_node(baseline, 1);
+  ip_node(baseline, 2);
+  const NodeIndex idx = NodeIndex::from_graph(baseline);
+
+  CommGraph later;
+  const NodeId a = ip_node(later, 1);
+  const NodeId stranger = ip_node(later, 77);
+  edge(later, a, stranger, 5000);
+
+  std::uint64_t missed = 0;
+  const Matrix m = adjacency_matrix(later, idx, {}, &missed);
+  EXPECT_EQ(missed, 5000u);
+  EXPECT_DOUBLE_EQ(m.abs_sum(), 0.0);
+}
+
+TEST(PcaOfGraph, BlockGraphNeedsOneComponentPerBlock) {
+  // Each uniform block c(J - I) has one dominant eigenvalue c(n-1) plus
+  // n-1 eigenvalues of -c, so k=3 captures the three block structures.
+  // Analytically, |M - M3|_1 / |M|_1 = (3 * 14c) / (3 * 56c) = 0.25 for
+  // 8-node blocks (the paper's §2.2 claim in miniature: error collapses
+  // once k reaches the number of structures).
+  const CommGraph g = block_graph(3, 8, 100'000);
+  PcaSummary pca = pca_of_graph(g);
+  EXPECT_NEAR(pca.reconstruction_error(3), 0.25, 0.02);
+  EXPECT_GT(pca.reconstruction_error(1), 0.5);
+  // Full rank reconstructs exactly.
+  EXPECT_NEAR(pca.reconstruction_error(pca.dimension()), 0.0, 1e-8);
+  // And the error curve is monotone through the interesting region.
+  const auto curve = pca.error_curve(10);
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_LE(curve[k], curve[k - 1] + 1e-9);
+  }
+}
+
+TEST(SpectralDetector, QuietOnBaselineLikeTraffic) {
+  // Baseline: three stable blocks over two "hours" with mild noise.
+  Rng rng(5);
+  auto noisy_block_graph = [&](std::uint64_t base) {
+    CommGraph g = block_graph(3, 8, base);
+    return g;
+  };
+  const CommGraph h0 = noisy_block_graph(100'000);
+  const CommGraph h1 = noisy_block_graph(105'000);
+  const CommGraph h2 = noisy_block_graph(95'000);
+
+  SpectralAnomalyDetector detector({.rank = 6});
+  detector.fit({&h0, &h1});
+  const auto score = detector.score(h2);
+  EXPECT_LT(std::abs(score.zscore), 3.0) << score.to_string();
+  EXPECT_FALSE(detector.is_alert(score));
+  EXPECT_EQ(score.new_node_byte_share, 0.0);
+}
+
+TEST(SpectralDetector, FlagsStructuralChange) {
+  const CommGraph h0 = block_graph(3, 8, 100'000);
+  const CommGraph h1 = block_graph(3, 8, 102'000);
+
+  SpectralAnomalyDetector detector({.rank = 4});
+  detector.fit({&h0, &h1});
+
+  // Scan-like change: one node suddenly touches every other node.
+  CommGraph attacked = block_graph(3, 8, 100'000);
+  const NodeId scanner = 0;
+  for (NodeId v = 1; v < attacked.node_count(); ++v) {
+    if (!attacked.find_edge(scanner, v)) {
+      attacked.add_edge_volume(scanner, v, 60'000, 0, 60, 0, 1, 1);
+    }
+  }
+  const auto score = detector.score(attacked);
+  EXPECT_TRUE(detector.is_alert(score)) << score.to_string();
+  EXPECT_GT(score.zscore, 3.0);
+}
+
+TEST(SpectralDetector, FlagsNewNodeTraffic) {
+  const CommGraph h0 = block_graph(3, 8, 100'000);
+  SpectralAnomalyDetector detector({.rank = 4});
+  detector.fit({&h0});
+
+  // Exfil-like: traffic to an endpoint the baseline never saw.
+  CommGraph exfil = block_graph(3, 8, 100'000);
+  const NodeId insider = 0;
+  const NodeId sink = ip_node(exfil, 0x64000001);
+  edge(exfil, insider, sink, 50'000'000);
+
+  const auto score = detector.score(exfil);
+  EXPECT_GT(score.new_node_byte_share, 0.02);
+  EXPECT_TRUE(detector.is_alert(score));
+}
+
+TEST(SpectralDetector, TracksEdgeChurnAcrossScores) {
+  const CommGraph h0 = block_graph(3, 8, 100'000);
+  SpectralAnomalyDetector detector({.rank = 4});
+  detector.fit({&h0});
+
+  const auto first = detector.score(h0);
+  EXPECT_DOUBLE_EQ(first.edge_jaccard_vs_prev, 1.0);  // no previous yet
+  const auto second = detector.score(h0);
+  EXPECT_DOUBLE_EQ(second.edge_jaccard_vs_prev, 1.0);  // identical to previous
+
+  const CommGraph different = block_graph(3, 8, 100'000, /*ip_base=*/50'000);
+  const auto third = detector.score(different);
+  EXPECT_LT(third.edge_jaccard_vs_prev, 0.1);
+}
+
+TEST(SpectralDetector, RequiresFitBeforeScore) {
+  SpectralAnomalyDetector detector;
+  const CommGraph g = block_graph(1, 4, 1000);
+  EXPECT_THROW(detector.score(g), ContractViolation);
+  EXPECT_THROW(detector.fit({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,152 @@
+#include "ccg/graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+CommGraph random_graph(std::uint64_t seed, std::size_t nodes = 30,
+                       std::size_t edges = 80) {
+  Rng rng(seed);
+  CommGraph g(TimeWindow::hour(3));
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const bool with_port = rng.chance(0.3);
+    const NodeId id = g.add_node(
+        with_port ? NodeKey::for_ip_port(IpAddr(static_cast<std::uint32_t>(i + 1)),
+                                         static_cast<std::uint16_t>(rng.uniform(65536)))
+                  : NodeKey::for_ip(IpAddr(static_cast<std::uint32_t>(i + 1))));
+    g.set_monitored(id, rng.chance(0.5));
+  }
+  for (std::size_t e = 0; e < edges; ++e) {
+    const NodeId a = static_cast<NodeId>(rng.uniform(nodes));
+    NodeId b = static_cast<NodeId>(rng.uniform(nodes));
+    if (a == b) b = (b + 1) % nodes;
+    g.add_edge_volume(a, b, rng.uniform(1 << 20), rng.uniform(1 << 20),
+                      rng.uniform(1 << 10), rng.uniform(1 << 10),
+                      1 + rng.uniform(60), 1 + static_cast<std::uint32_t>(rng.uniform(60)),
+                      rng.uniform(30), rng.uniform(30),
+                      rng.chance(0.8) ? static_cast<std::int32_t>(rng.uniform(65536)) : -1);
+  }
+  return g;
+}
+
+void expect_graphs_equal(const CommGraph& a, const CommGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.window(), b.window());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  for (NodeId i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.key(i), b.key(i));
+    EXPECT_EQ(a.node_stats(i).monitored, b.node_stats(i).monitored);
+    EXPECT_EQ(a.node_stats(i).bytes, b.node_stats(i).bytes);
+    EXPECT_EQ(a.node_stats(i).collapsed_members, b.node_stats(i).collapsed_members);
+  }
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    const EdgeStats& sa = a.edge(e).stats;
+    const EdgeStats& sb = b.edge(e).stats;
+    EXPECT_EQ(a.edge(e).a, b.edge(e).a);
+    EXPECT_EQ(a.edge(e).b, b.edge(e).b);
+    EXPECT_EQ(sa.bytes_ab, sb.bytes_ab);
+    EXPECT_EQ(sa.bytes_ba, sb.bytes_ba);
+    EXPECT_EQ(sa.packets_ab, sb.packets_ab);
+    EXPECT_EQ(sa.connection_minutes, sb.connection_minutes);
+    EXPECT_EQ(sa.client_minutes_ab, sb.client_minutes_ab);
+    EXPECT_EQ(sa.client_minutes_ba, sb.client_minutes_ba);
+    EXPECT_EQ(sa.server_port_hint, sb.server_port_hint);
+  }
+}
+
+TEST(GraphSerialize, RoundTripsRandomGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const CommGraph original = random_graph(seed);
+    std::stringstream buffer;
+    write_graph(buffer, original);
+    const auto loaded = read_graph(buffer);
+    ASSERT_TRUE(loaded.has_value()) << "seed " << seed;
+    expect_graphs_equal(original, *loaded);
+  }
+}
+
+TEST(GraphSerialize, RoundTripsEmptyGraph) {
+  std::stringstream buffer;
+  write_graph(buffer, CommGraph{});
+  const auto loaded = read_graph(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->node_count(), 0u);
+  EXPECT_EQ(loaded->edge_count(), 0u);
+}
+
+TEST(GraphSerialize, PreservesCollapsedNode) {
+  CommGraph g(TimeWindow::hour(0));
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId other = g.add_node(NodeKey::collapsed());
+  g.note_collapsed_members(other, 42);
+  g.add_edge_volume(a, other, 100, 0, 1, 0, 1, 1);
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  const auto loaded = read_graph(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  const auto found = loaded->find_node(NodeKey::collapsed());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(loaded->node_stats(*found).collapsed_members, 42u);
+}
+
+TEST(GraphSerialize, RejectsCorruptInput) {
+  const CommGraph g = random_graph(7, 5, 6);
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  const std::string text = buffer.str();
+
+  {
+    std::stringstream wrong_magic("ccgraph-v9 0 60 0 0\n");
+    EXPECT_FALSE(read_graph(wrong_magic).has_value());
+  }
+  {
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_FALSE(read_graph(truncated).has_value());
+  }
+  {
+    std::stringstream empty("");
+    EXPECT_FALSE(read_graph(empty).has_value());
+  }
+  {
+    // Edge referencing an out-of-range node.
+    std::stringstream bad("ccgraph-v1 0 60 1 1\nn 1 -1 1 0\ne 0 5 1 1 1 1 1 1 0 0 -1\n");
+    EXPECT_FALSE(read_graph(bad).has_value());
+  }
+}
+
+TEST(PgmHeatmap, WritesValidHeader) {
+  const CommGraph g = random_graph(9, 20, 50);
+  std::stringstream out;
+  ASSERT_TRUE(write_pgm_heatmap(out, g, 16));
+  const std::string pgm = out.str();
+  EXPECT_EQ(pgm.substr(0, 3), "P5\n");
+  EXPECT_NE(pgm.find("16 16\n255\n"), std::string::npos);
+  // Header + 16x16 payload bytes.
+  const std::size_t header_end = pgm.find("255\n") + 4;
+  EXPECT_EQ(pgm.size() - header_end, 16u * 16u);
+}
+
+TEST(PgmHeatmap, AlignsAcrossWindowsWithSameNodes) {
+  // Identical graphs -> identical pixels (the Fig. 5 timelapse property).
+  const CommGraph a = random_graph(11, 20, 40);
+  const CommGraph b = random_graph(11, 20, 40);
+  std::stringstream sa, sb;
+  write_pgm_heatmap(sa, a, 12);
+  write_pgm_heatmap(sb, b, 12);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(PgmHeatmap, HandlesEmptyGraph) {
+  std::stringstream out;
+  EXPECT_TRUE(write_pgm_heatmap(out, CommGraph{}, 8));
+  EXPECT_EQ(out.str().substr(0, 3), "P5\n");
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,275 @@
+#include "ccg/policy/higher_order.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+SegmentMap web_api_segments(std::size_t web_count = 6) {
+  SegmentMap map;
+  for (std::uint32_t i = 0; i < web_count; ++i) {
+    map.assign(IpAddr(0x0A000001 + i), 0);  // web
+  }
+  map.assign(IpAddr(0x0A000100), 1);  // api
+  map.assign(IpAddr(0x0A000200), 2);  // db
+  return map;
+}
+
+Violation violation(std::uint32_t client_ip, std::uint32_t client_seg,
+                    std::uint32_t server_seg, std::uint16_t port) {
+  return Violation{.time = MinuteBucket(0),
+                   .client_ip = IpAddr(client_ip),
+                   .server_ip = IpAddr(0x0A000200),
+                   .server_port = port,
+                   .client_segment = client_seg,
+                   .server_segment = server_seg};
+}
+
+TEST(SimilarityPolicy, SuppressesCoordinatedSegmentWideChange) {
+  const SegmentMap segments = web_api_segments(6);
+  // All six web VMs start talking to the db on 5432 — a code change.
+  std::vector<Violation> violations;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    violations.push_back(violation(0x0A000001 + i, 0, 2, 5432));
+  }
+  const auto classified = apply_similarity_policy(violations, segments);
+  ASSERT_EQ(classified.size(), 6u);
+  for (const auto& cv : classified) {
+    EXPECT_TRUE(cv.suppressed);
+    EXPECT_DOUBLE_EQ(cv.segment_coverage, 1.0);
+  }
+}
+
+TEST(SimilarityPolicy, LoneWolfStaysAlert) {
+  const SegmentMap segments = web_api_segments(6);
+  // One breached web VM probes the db: 1 of 6 members.
+  const auto classified =
+      apply_similarity_policy({violation(0x0A000001, 0, 2, 5432)}, segments);
+  ASSERT_EQ(classified.size(), 1u);
+  EXPECT_FALSE(classified[0].suppressed);
+  EXPECT_NEAR(classified[0].segment_coverage, 1.0 / 6.0, 1e-12);
+}
+
+TEST(SimilarityPolicy, ThresholdIsConfigurable) {
+  const SegmentMap segments = web_api_segments(6);
+  std::vector<Violation> violations;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    violations.push_back(violation(0x0A000001 + i, 0, 2, 5432));
+  }
+  // 3/6 = 0.5 coverage.
+  const auto strict = apply_similarity_policy(violations, segments,
+                                              {.segment_fraction = 0.8});
+  EXPECT_FALSE(strict[0].suppressed);
+  const auto loose = apply_similarity_policy(violations, segments,
+                                             {.segment_fraction = 0.5});
+  EXPECT_TRUE(loose[0].suppressed);
+}
+
+TEST(SimilarityPolicy, DifferentBehavioursCountSeparately) {
+  const SegmentMap segments = web_api_segments(4);
+  // Two web VMs touch the db on 5432, two on 22: neither behaviour is
+  // segment-wide even though 4 members violated something.
+  std::vector<Violation> violations{
+      violation(0x0A000001, 0, 2, 5432), violation(0x0A000002, 0, 2, 5432),
+      violation(0x0A000003, 0, 2, 22), violation(0x0A000004, 0, 2, 22)};
+  const auto classified =
+      apply_similarity_policy(violations, segments, {.segment_fraction = 0.75});
+  for (const auto& cv : classified) {
+    EXPECT_FALSE(cv.suppressed);
+    EXPECT_DOUBLE_EQ(cv.segment_coverage, 0.5);
+  }
+}
+
+TEST(SimilarityPolicy, ExternalClientsNeverSuppressed) {
+  const SegmentMap segments = web_api_segments(2);
+  const auto classified = apply_similarity_policy(
+      {violation(0x64000001, kExternalSegment, 0, 443)}, segments);
+  EXPECT_FALSE(classified[0].suppressed);
+}
+
+TEST(SimilarityPolicy, MinMembersGuardsTinySegments) {
+  SegmentMap map;
+  map.assign(IpAddr(0x0A000001), 0);  // singleton segment
+  map.assign(IpAddr(0x0A000100), 1);
+  const auto classified = apply_similarity_policy(
+      {violation(0x0A000001, 0, 1, 443)}, map, {.min_members = 2});
+  // 1/1 = 100% coverage, but a single member is no evidence of coordination.
+  EXPECT_FALSE(classified[0].suppressed);
+}
+
+// --- Proportionality ---------------------------------------------------------
+
+ConnectionSummary seg_flow(IpAddr client, IpAddr server, std::uint16_t port,
+                           std::uint64_t bytes) {
+  // Client-side record only (external-ish view keeps volume counting simple).
+  return ConnectionSummary{
+      .time = MinuteBucket(0),
+      .flow = FlowKey{.local_ip = client, .local_port = 45000,
+                      .remote_ip = server, .remote_port = port,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = bytes / 1000 + 1,
+                                  .packets_rcvd = 1,
+                                  .bytes_sent = bytes,
+                                  .bytes_rcvd = 0}};
+}
+
+TEST(SegmentVolumeMatrix, AccumulatesBySegmentPair) {
+  const SegmentMap segments = web_api_segments();
+  SegmentVolumeMatrix m(segments);
+  m.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 1000));
+  m.observe(seg_flow(IpAddr(0x0A000002), IpAddr(0x0A000100), 8080, 500));
+  EXPECT_EQ(m.volume(0, 1), 1500u);
+  EXPECT_EQ(m.volume(1, 0), 0u);
+}
+
+TEST(SegmentVolumeMatrix, CountsIntraSubscriptionFlowsOnce) {
+  const SegmentMap segments = web_api_segments();
+  SegmentVolumeMatrix m(segments);
+  const IpAddr web(0x0A000001), api(0x0A000100);
+  // Both sides of one conversation.
+  m.observe(ConnectionSummary{
+      .time = MinuteBucket(0),
+      .flow = {.local_ip = web, .local_port = 45000, .remote_ip = api,
+               .remote_port = 8080, .protocol = Protocol::kTcp},
+      .counters = {.packets_sent = 1, .packets_rcvd = 1, .bytes_sent = 700,
+                   .bytes_rcvd = 300}});
+  m.observe(ConnectionSummary{
+      .time = MinuteBucket(0),
+      .flow = {.local_ip = api, .local_port = 8080, .remote_ip = web,
+               .remote_port = 45000, .protocol = Protocol::kTcp},
+      .counters = {.packets_sent = 1, .packets_rcvd = 1, .bytes_sent = 300,
+                   .bytes_rcvd = 700}});
+  EXPECT_EQ(m.volume(0, 1), 1000u);  // once, not twice
+}
+
+struct ProportionalityFixture {
+  SegmentMap segments = web_api_segments();
+  SegmentVolumeMatrix baseline{segments};
+  SegmentVolumeMatrix current{segments};
+
+  ProportionalityFixture() {
+    // Baseline: web->api 10MB, web->db 1MB (two outbound edges for web).
+    for (int i = 0; i < 10; ++i) {
+      baseline.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 1'000'000));
+    }
+    baseline.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000200), 5432, 1'000'000));
+  }
+};
+
+TEST(ProportionalityPolicy, FlashCrowdExplained) {
+  ProportionalityFixture fx;
+  // Everything from web grows 5x together: a flash crowd.
+  for (int i = 0; i < 50; ++i) {
+    fx.current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 1'000'000));
+  }
+  for (int i = 0; i < 5; ++i) {
+    fx.current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000200), 5432, 1'000'000));
+  }
+  const auto alerts = apply_proportionality_policy(fx.baseline, fx.current);
+  ASSERT_FALSE(alerts.empty());
+  for (const auto& a : alerts) {
+    EXPECT_FALSE(a.flagged) << a.to_string();
+  }
+}
+
+TEST(ProportionalityPolicy, IsolatedSurgeFlagged) {
+  ProportionalityFixture fx;
+  // web->api stays flat; web->db grows 30x in isolation (exfil-like).
+  for (int i = 0; i < 10; ++i) {
+    fx.current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 1'000'000));
+  }
+  for (int i = 0; i < 30; ++i) {
+    fx.current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000200), 5432, 1'000'000));
+  }
+  const auto alerts = apply_proportionality_policy(fx.baseline, fx.current);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].flagged);
+  EXPECT_EQ(alerts[0].client_segment, 0u);
+  EXPECT_EQ(alerts[0].server_segment, 2u);
+  EXPECT_NEAR(alerts[0].growth, 30.0, 1.0);
+}
+
+TEST(ProportionalityPolicy, InboundGrowthExplainsPassThroughSurge) {
+  // web -> api is web's ONLY outbound edge; it grows 8x. Without the
+  // inbound chain this is an isolated surge; with clients pouring 8x into
+  // web, it is an explained flash crowd.
+  SegmentMap segments;
+  const IpAddr client(0x64000001);  // external
+  const IpAddr web(0x0A000001), api(0x0A000100), audit(0x0A000200);
+  segments.assign(web, 0);
+  segments.assign(api, 1);
+  segments.assign(audit, 2);
+
+  SegmentVolumeMatrix baseline(segments), current(segments);
+  for (int i = 0; i < 10; ++i) {
+    baseline.observe(seg_flow(client, web, 443, 1'000'000));   // ext -> web
+    baseline.observe(seg_flow(web, api, 8080, 1'000'000));     // web -> api
+    baseline.observe(seg_flow(web, audit, 9999, 1'000'000));   // flat edge
+    current.observe(seg_flow(web, audit, 9999, 1'000'000));
+  }
+  for (int i = 0; i < 80; ++i) {
+    current.observe(seg_flow(client, web, 443, 1'000'000));
+    current.observe(seg_flow(web, api, 8080, 1'000'000));
+  }
+  // web's outbound median is the flat audit edge (1x): only the inbound
+  // surge can explain the web -> api growth.
+  const auto alerts = apply_proportionality_policy(baseline, current);
+  ASSERT_FALSE(alerts.empty());
+  for (const auto& a : alerts) {
+    if (a.client_segment == 0) {  // the web -> api surge
+      EXPECT_FALSE(a.flagged) << a.to_string();
+      EXPECT_NEAR(a.inbound_growth, 8.0, 0.5);
+    }
+  }
+}
+
+TEST(ProportionalityPolicy, NoInboundGrowthKeepsSurgeFlagged) {
+  // Same topology, but clients stay flat while web -> api surges: an
+  // insider pushing data, not a crowd.
+  SegmentMap segments;
+  const IpAddr client(0x64000001);
+  const IpAddr web(0x0A000001), api(0x0A000100), audit(0x0A000200);
+  segments.assign(web, 0);
+  segments.assign(api, 1);
+  segments.assign(audit, 2);
+
+  SegmentVolumeMatrix baseline(segments), current(segments);
+  for (int i = 0; i < 10; ++i) {
+    baseline.observe(seg_flow(client, web, 443, 1'000'000));
+    baseline.observe(seg_flow(web, api, 8080, 1'000'000));
+    baseline.observe(seg_flow(web, audit, 9999, 1'000'000));
+    current.observe(seg_flow(client, web, 443, 1'000'000));  // flat inbound
+    current.observe(seg_flow(web, audit, 9999, 1'000'000));
+  }
+  for (int i = 0; i < 80; ++i) {
+    current.observe(seg_flow(web, api, 8080, 1'000'000));
+  }
+  const auto alerts = apply_proportionality_policy(baseline, current);
+  bool saw_flagged = false;
+  for (const auto& a : alerts) {
+    if (a.client_segment == 0) saw_flagged |= a.flagged;
+  }
+  EXPECT_TRUE(saw_flagged);
+}
+
+TEST(ProportionalityPolicy, SmallBaselinesIgnored) {
+  const SegmentMap segments = web_api_segments();
+  SegmentVolumeMatrix baseline(segments), current(segments);
+  baseline.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 10));
+  current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 10'000));
+  const auto alerts = apply_proportionality_policy(baseline, current,
+                                                   {.min_baseline_bytes = 100'000});
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(ProportionalityPolicy, NoGrowthNoAlerts) {
+  ProportionalityFixture fx;
+  for (int i = 0; i < 10; ++i) {
+    fx.current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000100), 8080, 1'000'000));
+  }
+  fx.current.observe(seg_flow(IpAddr(0x0A000001), IpAddr(0x0A000200), 5432, 1'000'000));
+  EXPECT_TRUE(apply_proportionality_policy(fx.baseline, fx.current).empty());
+}
+
+}  // namespace
+}  // namespace ccg

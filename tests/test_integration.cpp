@@ -1,0 +1,226 @@
+// End-to-end integration: workload -> SmartNIC telemetry -> graphs ->
+// auto-segmentation -> mined policy -> attack detection with higher-order
+// policies. This is the paper's whole loop on the tiny test cluster.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include <sstream>
+
+#include "ccg/graph/builder.hpp"
+#include "ccg/graph/serialize.hpp"
+#include "ccg/policy/blast_radius.hpp"
+#include "ccg/policy/higher_order.hpp"
+#include "ccg/policy/reachability.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/segmentation/cluster_metrics.hpp"
+#include "ccg/summarize/anomaly.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+namespace ccg {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(presets::tiny(), 31337);
+    hub_ = std::make_unique<TelemetryHub>(ProviderProfile::azure(), 31337);
+    driver_ = std::make_unique<SimulationDriver>(*cluster_, *hub_);
+    const auto ips = cluster_->monitored_ips();
+    monitored_ = {ips.begin(), ips.end()};
+  }
+
+  CommGraph build_graph(TimeWindow window) {
+    GraphBuilder builder({.facet = GraphFacet::kIp,
+                          .window_minutes = window.length()},
+                         monitored_);
+    hub_->set_sink(&builder);
+    driver_->run(window);
+    hub_->set_sink(nullptr);
+    builder.flush();
+    return builder.take_graphs().back();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<TelemetryHub> hub_;
+  std::unique_ptr<SimulationDriver> driver_;
+  std::unordered_set<IpAddr> monitored_;
+};
+
+TEST_F(EndToEnd, SegmentMinePolicyDetectAttackSuppressCodeChange) {
+  // --- Hour 0: learn. --------------------------------------------------
+  std::vector<std::vector<ConnectionSummary>> baseline_batches;
+  for (MinuteBucket m = MinuteBucket(0); m < MinuteBucket(60); m = m.next()) {
+    baseline_batches.push_back(driver_->step(m));
+  }
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60}, monitored_);
+  for (std::size_t i = 0; i < baseline_batches.size(); ++i) {
+    builder.on_batch(MinuteBucket(static_cast<std::int64_t>(i)), baseline_batches[i]);
+  }
+  builder.flush();
+  const CommGraph baseline_graph = builder.take_graphs().at(0);
+
+  // Segmentation recovers the ground-truth roles well.
+  const Segmentation seg =
+      auto_segment(baseline_graph, SegmentationMethod::kJaccardLouvain);
+  const auto truth =
+      ground_truth_labels(baseline_graph, cluster_->ground_truth_roles());
+  const auto agreement = compare_labelings(seg.labels, truth.labels, truth.mask);
+  EXPECT_GT(agreement.ari, 0.8) << agreement.to_string();
+
+  // Mine the default-deny policy from the same hour.
+  const SegmentMap segments = SegmentMap::from_segmentation(baseline_graph, seg);
+  PolicyMiner miner(segments);
+  for (const auto& batch : baseline_batches) miner.observe_batch(batch);
+  const ReachabilityPolicy policy = miner.build();
+  EXPECT_GT(policy.rule_count(), 0u);
+
+  // Segmentation shrinks the blast radius vs the flat network.
+  const auto blast = blast_radius(segments, policy);
+  EXPECT_GT(blast.reduction_factor, 1.0) << blast.summary();
+
+  // --- Hour 1: clean traffic has no violations. -------------------------
+  PolicyChecker clean_checker(segments, policy);
+  for (MinuteBucket m = MinuteBucket(60); m < MinuteBucket(120); m = m.next()) {
+    clean_checker.check_batch(driver_->step(m));
+  }
+  EXPECT_TRUE(clean_checker.violations().empty())
+      << clean_checker.violations().front().to_string();
+
+  // --- Hour 2: inject a scan (attack) and a code change (benign). -------
+  driver_->add_injector(std::make_unique<ScanAttack>(
+      ScanAttack::Config{.active = TimeWindow::hour(2),
+                         .targets_per_minute = 5,
+                         .ports_per_target = 2},
+      1));
+  driver_->add_injector(std::make_unique<CodeChangeScenario>(
+      CodeChangeScenario::Config{.active = TimeWindow::hour(2),
+                                 .role = "web",
+                                 .new_server_role = "db",
+                                 .server_port = 5432,
+                                 .connections_per_minute = 4.0},
+      2));
+
+  PolicyChecker checker(segments, policy);
+  for (MinuteBucket m = MinuteBucket(120); m < MinuteBucket(180); m = m.next()) {
+    checker.check_batch(driver_->step(m));
+  }
+  ASSERT_FALSE(checker.violations().empty());
+
+  // Plain reachability flags both the attack AND the benign change...
+  const auto& malicious = driver_->malicious_pairs();
+  bool flagged_attack = false, flagged_code_change = false;
+  for (const auto& v : checker.violations()) {
+    if (malicious.contains(v.pair())) {
+      flagged_attack = true;
+    } else {
+      flagged_code_change = true;
+    }
+  }
+  EXPECT_TRUE(flagged_attack);
+  EXPECT_TRUE(flagged_code_change) << "reachability alone has false positives";
+
+  // ...while the similarity policy suppresses the coordinated change but
+  // keeps the lone-wolf scan alerts.
+  const auto classified = apply_similarity_policy(checker.violations(), segments);
+  std::size_t attack_alerts = 0, benign_alerts = 0, benign_suppressed = 0;
+  for (const auto& cv : classified) {
+    const bool is_attack = malicious.contains(cv.violation.pair());
+    if (is_attack && !cv.suppressed) ++attack_alerts;
+    if (!is_attack && !cv.suppressed) ++benign_alerts;
+    if (!is_attack && cv.suppressed) ++benign_suppressed;
+  }
+  EXPECT_GT(attack_alerts, 0u);
+  EXPECT_GT(benign_suppressed, 0u);
+  EXPECT_EQ(benign_alerts, 0u) << "similarity policy should absorb the rollout";
+}
+
+TEST_F(EndToEnd, SpectralDetectorSeparatesAttackHourFromQuietHour) {
+  std::vector<CommGraph> hours;
+  for (std::int64_t h = 0; h < 3; ++h) {
+    hours.push_back(build_graph(TimeWindow::hour(h)));
+  }
+  SpectralAnomalyDetector detector({.rank = 8});
+  detector.fit({&hours[0], &hours[1]});
+
+  const auto quiet = detector.score(hours[2]);
+  EXPECT_FALSE(detector.is_alert(quiet)) << quiet.to_string();
+
+  // Hour 3 carries a scan.
+  driver_->add_injector(std::make_unique<ScanAttack>(
+      ScanAttack::Config{.active = TimeWindow::hour(3),
+                         .targets_per_minute = 6,
+                         .ports_per_target = 3},
+      7));
+  const CommGraph attacked = build_graph(TimeWindow::hour(3));
+  const auto alert = detector.score(attacked);
+  EXPECT_GT(alert.zscore, quiet.zscore) << alert.to_string();
+}
+
+TEST_F(EndToEnd, GcpSamplingDegradesButPreservesHeavyStructure) {
+  // Same cluster seen through GCP's 3%-packet/50%-flow sampling.
+  Cluster cluster2(presets::tiny(), 31337);
+  TelemetryHub gcp_hub(ProviderProfile::gcp(), 31337);
+  SimulationDriver gcp_driver(cluster2, gcp_hub);
+  GraphBuilder gcp_builder({.facet = GraphFacet::kIp, .window_minutes = 60},
+                           monitored_);
+  gcp_hub.set_sink(&gcp_builder);
+  gcp_driver.run(TimeWindow::hour(0));
+  gcp_builder.flush();
+  const CommGraph sampled = gcp_builder.take_graphs().at(0);
+
+  const CommGraph full = build_graph(TimeWindow::hour(0));
+  EXPECT_LE(sampled.edge_count(), full.edge_count());
+  EXPECT_GT(sampled.edge_count(), 0u);
+  // Flow sampling halves coverage but heavy role edges survive.
+  EXPECT_GT(static_cast<double>(sampled.edge_count()),
+            0.2 * static_cast<double>(full.edge_count()));
+}
+
+TEST_F(EndToEnd, WholeStackIsDeterministicForSeed) {
+  // Same (preset, seed) -> bit-identical serialized graph, twice through
+  // the full stack: generator, flow tables, collector, builder.
+  auto serialized_hour = [] {
+    Cluster cluster(presets::tiny(), 20260705);
+    TelemetryHub hub(ProviderProfile::azure(), 20260705);
+    SimulationDriver driver(cluster, hub);
+    const auto ips = cluster.monitored_ips();
+    GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60},
+                         {ips.begin(), ips.end()});
+    hub.set_sink(&builder);
+    driver.run(TimeWindow::hour(0));
+    builder.flush();
+    std::stringstream out;
+    write_graph(out, builder.take_graphs().at(0));
+    return out.str();
+  };
+  const std::string first = serialized_hour();
+  const std::string second = serialized_hour();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.size(), 100u);
+}
+
+TEST_F(EndToEnd, ChurnKeepsPipelineConsistent) {
+  // With churn enabled, new IPs appear mid-stream; the hub must register
+  // agents for them and the graph should still carry the role structure.
+  auto spec = presets::tiny();
+  for (auto& role : spec.roles) {
+    if (!role.is_external) role.churn_per_hour = 0.5;
+  }
+  Cluster churny(spec, 99);
+  TelemetryHub hub(ProviderProfile::azure(), 99);
+  SimulationDriver driver(churny, hub);
+  GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 180}, {});
+  hub.set_sink(&builder);
+  driver.run(TimeWindow::minutes(0, 180));
+  EXPECT_GT(driver.stats().churn_events, 0u);
+  builder.flush();
+  const CommGraph g = builder.take_graphs().at(0);
+  // More nodes than the static instance count: retired IPs linger in the
+  // window's graph.
+  EXPECT_GT(g.node_count(), churny.monitored_count());
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,109 @@
+#include "ccg/linalg/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+/// Three well-separated 2-D blobs.
+Matrix three_blobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix data(per_blob * 3, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      data(b * per_blob + i, 0) = centers[b][0] + rng.normal(0, 0.5);
+      data(b * per_blob + i, 1) = centers[b][1] + rng.normal(0, 0.5);
+    }
+  }
+  return data;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  const Matrix data = three_blobs(50, 7);
+  const auto result = kmeans(data, 3);
+  EXPECT_TRUE(result.converged);
+  // All points of one blob share a label; blobs get distinct labels.
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto label = result.labels[b * 50];
+    for (std::size_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(result.labels[b * 50 + i], label) << "blob " << b;
+    }
+  }
+  EXPECT_NE(result.labels[0], result.labels[50]);
+  EXPECT_NE(result.labels[50], result.labels[100]);
+  EXPECT_NE(result.labels[0], result.labels[100]);
+  EXPECT_LT(result.inertia, 150 * 2 * 1.0);  // ~ n * dims * var
+}
+
+TEST(KMeans, KOneGivesGrandMeanCentroid) {
+  const Matrix data = three_blobs(20, 9);
+  const auto result = kmeans(data, 1);
+  for (const auto label : result.labels) EXPECT_EQ(label, 0u);
+  // Centroid ~ mean of the three centers = (10/3, 10/3).
+  EXPECT_NEAR(result.centroids(0, 0), 10.0 / 3.0, 0.5);
+  EXPECT_NEAR(result.centroids(0, 1), 10.0 / 3.0, 0.5);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const Matrix data = three_blobs(30, 11);
+  const auto a = kmeans(data, 3, {.seed = 5});
+  const auto b = kmeans(data, 3, {.seed = 5});
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const Matrix data = three_blobs(30, 13);
+  double prev = kmeans(data, 1).inertia;
+  for (const std::size_t k : {2u, 3u, 6u}) {
+    const double inertia = kmeans(data, k).inertia;
+    EXPECT_LE(inertia, prev + 1e-9);
+    prev = inertia;
+  }
+}
+
+TEST(KMeans, ValidatesArguments) {
+  const Matrix data = three_blobs(5, 15);
+  EXPECT_THROW(kmeans(data, 0), ContractViolation);
+  EXPECT_THROW(kmeans(data, 16), ContractViolation);
+  EXPECT_THROW(kmeans(Matrix{}, 1), ContractViolation);
+}
+
+TEST(KMeans, IdenticalPointsDoNotCrash) {
+  Matrix data(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    data(r, 0) = 1.0;
+    data(r, 1) = 2.0;
+  }
+  const auto result = kmeans(data, 3);
+  EXPECT_EQ(result.labels.size(), 10u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(StandardizeColumns, ZeroMeanUnitVariance) {
+  Rng rng(17);
+  Matrix data(200, 3);
+  for (std::size_t r = 0; r < 200; ++r) {
+    data(r, 0) = rng.normal(100.0, 5.0);
+    data(r, 1) = rng.normal(-2.0, 0.1);
+    data(r, 2) = 7.0;  // constant column
+  }
+  const Matrix z = standardize_columns(data);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < 200; ++r) mean += z(r, c);
+    mean /= 200;
+    for (std::size_t r = 0; r < 200; ++r) var += (z(r, c) - mean) * (z(r, c) - mean);
+    var /= 200;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+  for (std::size_t r = 0; r < 200; ++r) EXPECT_EQ(z(r, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+#include "ccg/linalg/eigen.hpp"
+#include "ccg/linalg/ica.hpp"
+#include "ccg/linalg/matrix.hpp"
+#include "ccg/linalg/pca.hpp"
+
+namespace ccg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, BasicOps) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 5;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t(2, 1), 5.0);
+  EXPECT_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+  EXPECT_THROW(a.multiply(Matrix(3, 2)), ContractViolation);
+}
+
+TEST(Matrix, IdentityMultiplyIsNoop) {
+  const Matrix m = random_symmetric(5, 1);
+  const Matrix i = Matrix::identity(5);
+  const Matrix mi = m.multiply(i);
+  EXPECT_NEAR((m - mi).abs_sum(), 0.0, 1e-12);
+}
+
+TEST(Matrix, NormsAndSymmetry) {
+  Matrix m(2, 2, {3, 0, 4, 0});
+  EXPECT_DOUBLE_EQ(m.frobenius(), 5.0);
+  EXPECT_DOUBLE_EQ(m.abs_sum(), 7.0);
+  EXPECT_FALSE(m.is_symmetric());
+  EXPECT_TRUE(random_symmetric(4, 2).is_symmetric());
+  EXPECT_DOUBLE_EQ(m.max_offdiagonal(), 4.0);
+}
+
+TEST(Matrix, Log1pElementwise) {
+  Matrix m(1, 2, {0.0, std::exp(1.0) - 1.0});
+  const Matrix l = m.log1p();
+  EXPECT_DOUBLE_EQ(l(0, 0), 0.0);
+  EXPECT_NEAR(l(0, 1), 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix m(3, 3);
+  m(0, 0) = 3.0;
+  m(1, 1) = -7.0;
+  m(2, 2) = 1.0;
+  const auto eig = jacobi_eigen(m);
+  // Sorted by |value|: -7, 3, 1.
+  EXPECT_NEAR(eig.values[0], -7.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2, {2, 1, 1, 2});
+  const auto eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::abs(eig.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsRandomSymmetric) {
+  const Matrix m = random_symmetric(20, 3);
+  const auto eig = jacobi_eigen(m);
+  // M == E D E^T.
+  Matrix d(20, 20);
+  for (std::size_t i = 0; i < 20; ++i) d(i, i) = eig.values[i];
+  const Matrix recon = eig.vectors.multiply(d).multiply(eig.vectors.transpose());
+  EXPECT_NEAR((m - recon).frobenius() / m.frobenius(), 0.0, 1e-8);
+}
+
+TEST(JacobiEigen, VectorsAreOrthonormal) {
+  const auto eig = jacobi_eigen(random_symmetric(12, 4));
+  const Matrix vtv = eig.vectors.transpose().multiply(eig.vectors);
+  EXPECT_NEAR((vtv - Matrix::identity(12)).frobenius(), 0.0, 1e-8);
+}
+
+TEST(JacobiEigen, RejectsAsymmetric) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_THROW(jacobi_eigen(m), ContractViolation);
+}
+
+TEST(PowerIteration, FindsDominantEigenpair) {
+  Matrix m(2, 2, {2, 1, 1, 2});
+  const auto result = power_iteration(m);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 3.0, 1e-8);
+}
+
+TEST(PowerIteration, AgreesWithJacobiOnRandomMatrix) {
+  const Matrix m = random_symmetric(15, 5);
+  const auto eig = jacobi_eigen(m);
+  const auto power = power_iteration(m, 5000, 1e-12);
+  EXPECT_NEAR(std::abs(power.value), std::abs(eig.values[0]), 1e-6);
+}
+
+TEST(PcaSummary, FullRankReconstructsExactly) {
+  const Matrix m = random_symmetric(10, 6);
+  PcaSummary pca(m);
+  EXPECT_NEAR(pca.reconstruction_error(10), 0.0, 1e-8);
+}
+
+TEST(PcaSummary, ErrorCurveIsMonotoneNonIncreasing) {
+  const Matrix m = random_symmetric(16, 7);
+  PcaSummary pca(m);
+  const auto curve = pca.error_curve(16);
+  ASSERT_EQ(curve.size(), 17u);
+  EXPECT_NEAR(curve[0], 1.0, 1e-9);  // k=0 keeps nothing
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_LE(curve[k], curve[k - 1] + 1e-9) << "k=" << k;
+  }
+  EXPECT_NEAR(curve[16], 0.0, 1e-8);
+}
+
+TEST(PcaSummary, ErrorCurveMatchesDirectReconstruction) {
+  const Matrix m = random_symmetric(12, 8);
+  PcaSummary pca(m);
+  const auto curve = pca.error_curve(12);
+  for (const std::size_t k : {1u, 4u, 9u}) {
+    EXPECT_NEAR(curve[k], pca.reconstruction_error(k), 1e-9);
+  }
+}
+
+TEST(PcaSummary, LowRankMatrixNeedsFewComponents) {
+  // Rank-2 matrix: v1 v1^T * 5 + v2 v2^T * 2.
+  const std::size_t n = 30;
+  Rng rng(9);
+  std::vector<double> v1(n), v2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v1[i] = rng.normal();
+    v2[i] = rng.normal();
+  }
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = 5.0 * v1[i] * v1[j] + 2.0 * v2[i] * v2[j];
+    }
+  }
+  PcaSummary pca(m);
+  EXPECT_LE(pca.rank_for_error(0.01), 2u);
+  EXPECT_NEAR(pca.spectral_mass(2), 1.0, 1e-8);
+}
+
+TEST(PcaSummary, SpectralMassIsMonotone) {
+  PcaSummary pca(random_symmetric(10, 10));
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= 10; ++k) {
+    const double mass = pca.spectral_mass(k);
+    EXPECT_GE(mass, prev - 1e-12);
+    prev = mass;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(FastIca, RecoversLowRankStructureBetterThanNoise) {
+  // Two independent sources mixed into 6 channels.
+  const std::size_t samples = 400;
+  Rng rng(11);
+  Matrix data(samples, 6);
+  for (std::size_t t = 0; t < samples; ++t) {
+    const double s1 = rng.chance(0.5) ? 1.0 : -1.0;                 // binary source
+    const double s2 = std::sin(0.1 * static_cast<double>(t)) * 2.0;  // deterministic
+    for (std::size_t c = 0; c < 6; ++c) {
+      data(t, c) = s1 * (0.3 + 0.1 * static_cast<double>(c)) +
+                   s2 * (1.0 - 0.1 * static_cast<double>(c)) + 0.01 * rng.normal();
+    }
+  }
+  FastIca ica;
+  const double err2 = ica.reconstruction_error(data, 2);
+  EXPECT_LT(err2, 0.1);  // two components capture two sources
+  const double err1 = ica.reconstruction_error(data, 1);
+  EXPECT_GT(err1, err2);
+}
+
+TEST(FastIca, FitReturnsRequestedComponentCount) {
+  Rng rng(12);
+  Matrix data(100, 5);
+  for (std::size_t t = 0; t < 100; ++t) {
+    for (std::size_t c = 0; c < 5; ++c) data(t, c) = rng.normal();
+  }
+  const auto result = FastIca().fit(data, 3);
+  EXPECT_EQ(result.components.rows(), 3u);
+  EXPECT_EQ(result.components.cols(), 5u);
+  EXPECT_EQ(result.sources.rows(), 100u);
+  EXPECT_EQ(result.sources.cols(), 3u);
+  EXPECT_EQ(result.mixing.rows(), 5u);
+  EXPECT_EQ(result.mixing.cols(), 3u);
+  EXPECT_THROW(FastIca().fit(data, 0), ContractViolation);
+  EXPECT_THROW(FastIca().fit(data, 6), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,124 @@
+#include "ccg/segmentation/louvain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+/// Two k-cliques joined by a single weak bridge.
+WeightedGraph two_cliques(std::size_t k, double internal_weight = 1.0,
+                          double bridge_weight = 0.1) {
+  WeightedGraph g(2 * k);
+  for (std::uint32_t offset : {0u, static_cast<std::uint32_t>(k)}) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = i + 1; j < k; ++j) {
+        g.add_edge(offset + i, offset + j, internal_weight);
+      }
+    }
+  }
+  g.add_edge(0, static_cast<std::uint32_t>(k), bridge_weight);
+  return g;
+}
+
+TEST(WeightedGraph, TracksWeightsAndStrength) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  g.add_edge(0, 1, 0.0);  // zero weights dropped
+  EXPECT_DOUBLE_EQ(g.total_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(g.strength(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.strength(0), 2.0);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), ContractViolation);
+}
+
+TEST(Louvain, SeparatesTwoCliques) {
+  const auto g = two_cliques(8);
+  const auto result = louvain_cluster(g);
+  EXPECT_EQ(result.community_count, 2u);
+  // All of clique 1 together, all of clique 2 together, and apart.
+  for (std::uint32_t i = 1; i < 8; ++i) EXPECT_EQ(result.labels[i], result.labels[0]);
+  for (std::uint32_t i = 9; i < 16; ++i) EXPECT_EQ(result.labels[i], result.labels[8]);
+  EXPECT_NE(result.labels[0], result.labels[8]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, FourCliqueRing) {
+  // Four 6-cliques in a ring with weak bridges: must find 4 communities.
+  constexpr std::size_t k = 6, groups = 4;
+  WeightedGraph g(k * groups);
+  for (std::uint32_t group = 0; group < groups; ++group) {
+    const std::uint32_t base = group * k;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = i + 1; j < k; ++j) {
+        g.add_edge(base + i, base + j, 1.0);
+      }
+    }
+    g.add_edge(base, ((group + 1) % groups) * k, 0.05);
+  }
+  const auto result = louvain_cluster(g);
+  EXPECT_EQ(result.community_count, 4u);
+}
+
+TEST(Louvain, SingletonAndEmptyGraphs) {
+  WeightedGraph empty(0);
+  const auto r0 = louvain_cluster(empty);
+  EXPECT_EQ(r0.community_count, 0u);
+
+  WeightedGraph isolated(3);  // no edges
+  const auto r1 = louvain_cluster(isolated);
+  EXPECT_EQ(r1.labels.size(), 3u);
+  EXPECT_EQ(r1.community_count, 3u);  // nothing merges without edges
+}
+
+TEST(Louvain, DeterministicForSeed) {
+  const auto g = two_cliques(10);
+  const auto a = louvain_cluster(g, {.seed = 5});
+  const auto b = louvain_cluster(g, {.seed = 5});
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Louvain, HigherResolutionGivesMoreCommunities) {
+  // A uniform random graph: resolution controls fragmentation.
+  Rng rng(77);
+  WeightedGraph g(60);
+  for (int e = 0; e < 400; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform(60));
+    const auto b = static_cast<std::uint32_t>(rng.uniform(60));
+    if (a != b) g.add_edge(a, b, 1.0);
+  }
+  const auto low = louvain_cluster(g, {.resolution = 0.5, .seed = 5});
+  const auto high = louvain_cluster(g, {.resolution = 3.0, .seed = 5});
+  EXPECT_LE(low.community_count, high.community_count);
+}
+
+TEST(Modularity, PerfectSplitBeatsMergedLabels) {
+  const auto g = two_cliques(8);
+  std::vector<std::uint32_t> split(16, 0);
+  for (std::size_t i = 8; i < 16; ++i) split[i] = 1;
+  std::vector<std::uint32_t> merged(16, 0);
+  EXPECT_GT(modularity(g, split), modularity(g, merged));
+  EXPECT_NEAR(modularity(g, merged), 0.0, 1e-12);
+}
+
+TEST(Modularity, LabelSizeMustMatch) {
+  const auto g = two_cliques(4);
+  EXPECT_THROW(modularity(g, std::vector<std::uint32_t>(3, 0)), ContractViolation);
+}
+
+TEST(Louvain, LabelsAreDense) {
+  const auto g = two_cliques(5);
+  const auto result = louvain_cluster(g);
+  std::unordered_set<std::uint32_t> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), result.community_count);
+  for (const auto l : labels) EXPECT_LT(l, result.community_count);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,116 @@
+#include "ccg/summarize/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+NodeId ip_node(CommGraph& g, std::uint32_t ip) {
+  return g.add_node(NodeKey::for_ip(IpAddr(ip)));
+}
+
+void edge(CommGraph& g, NodeId a, NodeId b, std::uint64_t bytes) {
+  g.add_edge_volume(a, b, bytes, bytes / 4, 1, 1, 1, 1);
+}
+
+TEST(MinePatterns, EmptyGraph) {
+  const auto report = mine_patterns(CommGraph{});
+  EXPECT_TRUE(report.patterns.empty());
+}
+
+TEST(MinePatterns, DetectsHubAndSpoke) {
+  // One telemetry-sink-like hub with 40 spokes, plus sparse noise.
+  CommGraph g;
+  const NodeId hub = ip_node(g, 1);
+  std::vector<NodeId> spokes;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    spokes.push_back(ip_node(g, 100 + i));
+    edge(g, hub, spokes.back(), 50'000);
+  }
+  for (std::uint32_t i = 0; i + 1 < 8; ++i) {
+    edge(g, spokes[i], spokes[i + 1], 1'000);  // faint chain among spokes
+  }
+  const auto report = mine_patterns(g, {.min_hub_degree = 16});
+  ASSERT_FALSE(report.patterns.empty());
+  EXPECT_EQ(report.patterns[0].kind, PatternKind::kHubAndSpoke);
+  EXPECT_EQ(report.patterns[0].members[0], hub);
+  EXPECT_GT(report.hub_byte_share, 0.9);
+}
+
+TEST(MinePatterns, DetectsChattyClique) {
+  // A dense 6-node clique exchanging lots of data + a sparse tail.
+  CommGraph g;
+  std::vector<NodeId> clique;
+  for (std::uint32_t i = 0; i < 6; ++i) clique.push_back(ip_node(g, 10 + i));
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      edge(g, clique[i], clique[j], 1'000'000);
+    }
+  }
+  NodeId prev = ip_node(g, 100);
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    const NodeId next = ip_node(g, 100 + i);
+    edge(g, prev, next, 500);
+    prev = next;
+  }
+  const auto report = mine_patterns(g);
+  ASSERT_FALSE(report.patterns.empty());
+  EXPECT_EQ(report.patterns[0].kind, PatternKind::kChattyClique);
+  EXPECT_EQ(report.patterns[0].members.size(), 6u);
+  EXPECT_GT(report.patterns[0].internal_density, 0.9);
+  EXPECT_GT(report.clique_byte_share, 0.9);
+}
+
+TEST(MinePatterns, ByteSharesPartitionTotal) {
+  CommGraph g;
+  const NodeId hub = ip_node(g, 1);
+  for (std::uint32_t i = 0; i < 30; ++i) edge(g, hub, ip_node(g, 50 + i), 10'000);
+  std::vector<NodeId> clique;
+  for (std::uint32_t i = 0; i < 5; ++i) clique.push_back(ip_node(g, 200 + i));
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      edge(g, clique[i], clique[j], 100'000);
+    }
+  }
+  const auto report = mine_patterns(g, {.min_hub_degree = 16});
+  double total_share = 0.0;
+  for (const auto& p : report.patterns) total_share += p.byte_share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  EXPECT_NEAR(report.hub_byte_share + report.clique_byte_share +
+                  report.background_byte_share,
+              1.0, 1e-9);
+  EXPECT_GT(report.hub_byte_share, 0.0);
+  EXPECT_GT(report.clique_byte_share, 0.0);
+}
+
+TEST(MinePatterns, SparseRandomGraphIsMostlyBackground) {
+  CommGraph g;
+  // A long path: no hubs, no dense groups.
+  NodeId prev = ip_node(g, 1);
+  for (std::uint32_t i = 2; i <= 40; ++i) {
+    const NodeId next = ip_node(g, i);
+    edge(g, prev, next, 1'000);
+    prev = next;
+  }
+  const auto report = mine_patterns(g);
+  EXPECT_GT(report.background_byte_share, 0.5);
+}
+
+TEST(ExecutiveSummary, RendersTopPatterns) {
+  CommGraph g;
+  const NodeId hub = ip_node(g, 1);
+  for (std::uint32_t i = 0; i < 30; ++i) edge(g, hub, ip_node(g, 50 + i), 10'000);
+  const auto report = mine_patterns(g, {.min_hub_degree = 16});
+  const std::string summary = report.executive_summary(g, 3);
+  EXPECT_NE(summary.find("% of bytes"), std::string::npos);
+  EXPECT_NE(summary.find("hub-and-spoke"), std::string::npos);
+}
+
+TEST(PatternKind, Names) {
+  EXPECT_EQ(to_string(PatternKind::kHubAndSpoke), "hub-and-spoke");
+  EXPECT_EQ(to_string(PatternKind::kChattyClique), "chatty-clique");
+  EXPECT_EQ(to_string(PatternKind::kBackground), "background");
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,206 @@
+#include "ccg/analytics/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ccg/analytics/cogs.hpp"
+#include "ccg/analytics/queue.hpp"
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, BackpressureBlocksProducer) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumers) {
+  BoundedQueue<int> q(16);
+  constexpr int kPerProducer = 2000;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  const long long n = 3LL * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- ShardedGraphPipeline ----------------------------------------------------
+
+std::vector<ConnectionSummary> random_minute(std::int64_t minute, std::size_t n,
+                                             Rng& rng) {
+  std::vector<ConnectionSummary> batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const IpAddr local(0x0A000001 + static_cast<std::uint32_t>(rng.uniform(32)));
+    IpAddr remote(0x0A000001 + static_cast<std::uint32_t>(rng.uniform(32)));
+    if (remote == local) remote = IpAddr(remote.bits() + 1);
+    batch.push_back(ConnectionSummary{
+        .time = MinuteBucket(minute),
+        .flow = FlowKey{.local_ip = local,
+                        .local_port = static_cast<std::uint16_t>(33000 + rng.uniform(1000)),
+                        .remote_ip = remote,
+                        .remote_port = 443,
+                        .protocol = Protocol::kTcp},
+        .counters = TrafficCounters{.packets_sent = 1 + rng.uniform(10),
+                                    .packets_rcvd = 1,
+                                    .bytes_sent = 100 + rng.uniform(10000),
+                                    .bytes_rcvd = 50}});
+  }
+  return batch;
+}
+
+std::unordered_set<IpAddr> all_monitored() {
+  std::unordered_set<IpAddr> monitored;
+  for (std::uint32_t i = 0; i < 64; ++i) monitored.insert(IpAddr(0x0A000001 + i));
+  return monitored;
+}
+
+TEST(ShardedGraphPipeline, MatchesSingleThreadedBuilder) {
+  Rng rng(99);
+  std::vector<std::vector<ConnectionSummary>> minutes;
+  for (std::int64_t m = 0; m < 120; ++m) {
+    minutes.push_back(random_minute(m, 200, rng));
+  }
+
+  const GraphBuildConfig config{.facet = GraphFacet::kIp, .window_minutes = 60};
+  GraphBuilder reference(config, all_monitored());
+  ShardedGraphPipeline pipeline({.shards = 4, .graph = config}, all_monitored());
+
+  for (std::int64_t m = 0; m < 120; ++m) {
+    reference.on_batch(MinuteBucket(m), minutes[static_cast<std::size_t>(m)]);
+    pipeline.on_batch(MinuteBucket(m), minutes[static_cast<std::size_t>(m)]);
+  }
+  reference.flush();
+  const auto expected = reference.take_graphs();
+  const auto actual = pipeline.finish();
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t w = 0; w < actual.size(); ++w) {
+    EXPECT_EQ(actual[w].window(), expected[w].window());
+    EXPECT_EQ(actual[w].node_count(), expected[w].node_count());
+    EXPECT_EQ(actual[w].edge_count(), expected[w].edge_count());
+    EXPECT_EQ(actual[w].total_bytes(), expected[w].total_bytes());
+  }
+  EXPECT_EQ(pipeline.stats().records, 120u * 200u);
+}
+
+TEST(ShardedGraphPipeline, CollapseAppliedAfterMerge) {
+  GraphBuildConfig config{.facet = GraphFacet::kIp,
+                          .window_minutes = 60,
+                          .collapse_threshold = 0.01};
+  ShardedGraphPipeline pipeline({.shards = 3, .graph = config},
+                                {IpAddr(0x0A000001)});
+  std::vector<ConnectionSummary> batch;
+  // Heavy edge (60 concurrent flows) + many tiny remotes spread across
+  // shards; tiny nodes must fall below the byte, packet AND
+  // connection-minute thresholds to collapse.
+  for (std::uint16_t k = 0; k < 60; ++k) {
+    batch.push_back(ConnectionSummary{
+        .time = MinuteBucket(0),
+        .flow = FlowKey{.local_ip = IpAddr(0x0A000001),
+                        .local_port = static_cast<std::uint16_t>(40000 + k),
+                        .remote_ip = IpAddr(0x0B000001), .remote_port = 443,
+                        .protocol = Protocol::kTcp},
+        .counters = TrafficCounters{.packets_sent = 200, .bytes_sent = 10'000'000}});
+  }
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    batch.push_back(ConnectionSummary{
+        .time = MinuteBucket(0),
+        .flow = FlowKey{.local_ip = IpAddr(0x0A000001), .local_port = 39000,
+                        .remote_ip = IpAddr(0x64000000 + i), .remote_port = 443,
+                        .protocol = Protocol::kTcp},
+        .counters = TrafficCounters{.packets_sent = 1, .bytes_sent = 10}});
+  }
+  pipeline.on_batch(MinuteBucket(0), batch);
+  const auto graphs = pipeline.finish();
+  ASSERT_EQ(graphs.size(), 1u);
+  // monitored + heavy remote + <other>.
+  EXPECT_EQ(graphs[0].node_count(), 3u);
+  const auto other = graphs[0].find_node(NodeKey::collapsed());
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(graphs[0].node_stats(*other).collapsed_members, 60u);
+}
+
+TEST(ShardedGraphPipeline, SingleShardWorks) {
+  Rng rng(7);
+  ShardedGraphPipeline pipeline(
+      {.shards = 1, .graph = {.facet = GraphFacet::kIp, .window_minutes = 60}},
+      all_monitored());
+  pipeline.on_batch(MinuteBucket(0), random_minute(0, 100, rng));
+  const auto graphs = pipeline.finish();
+  ASSERT_EQ(graphs.size(), 1u);
+  EXPECT_GT(graphs[0].edge_count(), 0u);
+  EXPECT_GT(pipeline.stats().records_per_second(), 0.0);
+}
+
+TEST(CogsReport, ComputesSurcharge) {
+  TelemetryLedger ledger;
+  ledger.records = 60'000;
+  ledger.intervals = 60;  // 1000 records/min
+  const auto report = cogs_report(ledger, 1000, 50'000.0);
+  EXPECT_EQ(report.monitored_vms, 1000u);
+  EXPECT_NEAR(report.records_per_minute, 1000.0, 1e-9);
+  // 1000/min = 16.7/s << 50k/s: one machine is plenty.
+  EXPECT_LE(report.analytics_vms_needed, 1.0);
+  EXPECT_TRUE(report.within_target);
+  EXPECT_GT(report.total_dollars_per_vm_hour, 0.0);
+  EXPECT_NE(report.summary().find("PASS"), std::string::npos);
+}
+
+TEST(CogsReport, FlagsUnderprovisionedAnalytics) {
+  TelemetryLedger ledger;
+  ledger.records = 2'300'000ull * 60;  // KQuery-scale: 2.3M/min for an hour
+  ledger.intervals = 60;
+  // A slow analytics machine: 1k records/s -> needs ~38 machines.
+  const auto report = cogs_report(ledger, 10, 1000.0);
+  EXPECT_GT(report.analytics_vms_needed, 30.0);
+  EXPECT_FALSE(report.within_target);
+}
+
+}  // namespace
+}  // namespace ccg

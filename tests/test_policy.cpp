@@ -1,0 +1,209 @@
+#include "ccg/policy/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+const IpAddr kWeb1(0x0A000001), kWeb2(0x0A000002), kApi(0x0A000011),
+    kDb(0x0A000021), kExt(0x64000001);
+
+SegmentMap three_segments() {
+  SegmentMap map;
+  map.assign(kWeb1, 0);
+  map.assign(kWeb2, 0);
+  map.assign(kApi, 1);
+  map.assign(kDb, 2);
+  return map;
+}
+
+ConnectionSummary record(IpAddr local, std::uint16_t lport, IpAddr remote,
+                         std::uint16_t rport, std::int64_t minute = 0) {
+  return ConnectionSummary{
+      .time = MinuteBucket(minute),
+      .flow = FlowKey{.local_ip = local, .local_port = lport,
+                      .remote_ip = remote, .remote_port = rport,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = 2, .packets_rcvd = 2,
+                                  .bytes_sent = 512, .bytes_rcvd = 2048}};
+}
+
+TEST(ClassifyEndpoints, EphemeralHeuristic) {
+  // Client-side record: local ephemeral, remote service.
+  const auto ep1 = classify_endpoints(
+      FlowKey{.local_ip = kWeb1, .local_port = 40000, .remote_ip = kApi,
+              .remote_port = 8080});
+  EXPECT_EQ(ep1.client_ip, kWeb1);
+  EXPECT_EQ(ep1.server_ip, kApi);
+  EXPECT_EQ(ep1.server_port, 8080);
+
+  // Server-side record of the same flow.
+  const auto ep2 = classify_endpoints(
+      FlowKey{.local_ip = kApi, .local_port = 8080, .remote_ip = kWeb1,
+              .remote_port = 40000});
+  EXPECT_EQ(ep2.client_ip, kWeb1);
+  EXPECT_EQ(ep2.server_ip, kApi);
+  EXPECT_EQ(ep2.server_port, 8080);
+}
+
+TEST(ClassifyEndpoints, InitiatorBitBeatsPortHeuristic) {
+  // gRPC-style service port inside the ephemeral range: the heuristic is
+  // helpless on the server-side record, the initiator bit is not.
+  ConnectionSummary rec = record(kApi, 50051, kWeb1, 41000);
+  rec.initiator = Initiator::kRemote;  // remote (web) opened the connection
+  const auto ep = classify_endpoints(rec);
+  EXPECT_EQ(ep.client_ip, kWeb1);
+  EXPECT_EQ(ep.server_ip, kApi);
+  EXPECT_EQ(ep.server_port, 50051);
+
+  // Same flow, client-side record.
+  ConnectionSummary client_rec = record(kWeb1, 41000, kApi, 50051);
+  client_rec.initiator = Initiator::kLocal;
+  const auto ep2 = classify_endpoints(client_rec);
+  EXPECT_EQ(ep2.client_ip, kWeb1);
+  EXPECT_EQ(ep2.server_port, 50051);
+
+  // Unknown initiator falls back to the (here: wrong) heuristic.
+  const auto ep3 = classify_endpoints(record(kApi, 50051, kWeb1, 41000));
+  EXPECT_EQ(ep3.server_port, 41000);
+}
+
+TEST(ClassifyEndpoints, BothPortsLowPicksLower) {
+  const auto ep = classify_endpoints(
+      FlowKey{.local_ip = kWeb1, .local_port = 5432, .remote_ip = kApi,
+              .remote_port = 8080});
+  EXPECT_EQ(ep.server_ip, kWeb1);
+  EXPECT_EQ(ep.server_port, 5432);
+}
+
+TEST(PolicyMiner, LearnsSegmentRulesFromBothSides) {
+  const SegmentMap segments = three_segments();
+  PolicyMiner miner(segments);
+  miner.observe(record(kWeb1, 40000, kApi, 8080));
+  miner.observe(record(kApi, 8080, kWeb1, 40000));  // mirrored report
+  const auto policy = miner.build();
+  // Both records describe the same channel -> one rule.
+  EXPECT_EQ(policy.rule_count(), 1u);
+  EXPECT_TRUE(policy.allows({.from_segment = 0, .to_segment = 1, .server_port = 8080}));
+  EXPECT_FALSE(policy.allows({.from_segment = 1, .to_segment = 0, .server_port = 8080}));
+  EXPECT_FALSE(policy.allows({.from_segment = 0, .to_segment = 1, .server_port = 9090}));
+}
+
+TEST(PolicyMiner, ExternalPeersMapToExternalSegment) {
+  const SegmentMap segments = three_segments();
+  PolicyMiner miner(segments);
+  miner.observe(record(kWeb1, 443, kExt, 51234));  // internet client hits web:443
+  const auto policy = miner.build();
+  EXPECT_TRUE(policy.allows(
+      {.from_segment = kExternalSegment, .to_segment = 0, .server_port = 443}));
+}
+
+TEST(PolicyMiner, SupportCountingFiltersOneOffChannels) {
+  const SegmentMap segments = three_segments();
+  PolicyMiner miner(segments);
+  // Window 1: the steady channel plus a one-off (attacker inside the
+  // baseline, or a rare batch job).
+  miner.observe(record(kWeb1, 40000, kApi, 8080));
+  miner.observe(record(kWeb1, 41000, kDb, 5432));  // one-off
+  miner.end_window();
+  // Windows 2 and 3: only the steady channel.
+  miner.observe(record(kWeb2, 40000, kApi, 8080, 60));
+  miner.end_window();
+  miner.observe(record(kWeb1, 42000, kApi, 8080, 120));
+  miner.end_window();
+
+  EXPECT_EQ(miner.windows_observed(), 3u);
+  const auto permissive = miner.build(1);
+  EXPECT_EQ(permissive.rule_count(), 2u);
+  const auto strict = miner.build(2);
+  EXPECT_EQ(strict.rule_count(), 1u);
+  EXPECT_TRUE(strict.allows({.from_segment = 0, .to_segment = 1, .server_port = 8080}));
+  EXPECT_FALSE(strict.allows({.from_segment = 0, .to_segment = 2, .server_port = 5432}));
+  EXPECT_THROW(miner.build(0), ContractViolation);
+}
+
+TEST(PolicyMiner, RepeatsWithinOneWindowCountOnce) {
+  const SegmentMap segments = three_segments();
+  PolicyMiner miner(segments);
+  for (int i = 0; i < 50; ++i) {
+    miner.observe(record(kWeb1, 40000, kApi, 8080, i));
+  }
+  miner.end_window();
+  EXPECT_EQ(miner.build(2).rule_count(), 0u);  // one window, not two
+  EXPECT_EQ(miner.build(1).rule_count(), 1u);
+}
+
+TEST(PolicyChecker, FlagsUnmindedChannels) {
+  const SegmentMap segments = three_segments();
+  PolicyMiner miner(segments);
+  miner.observe(record(kWeb1, 40000, kApi, 8080));
+  PolicyChecker checker(segments, miner.build());
+
+  // Allowed: same channel from the other web instance (same segment).
+  EXPECT_FALSE(checker.check(record(kWeb2, 41000, kApi, 8080)).has_value());
+  // Violation: web talking straight to the db.
+  const auto v = checker.check(record(kWeb1, 42000, kDb, 5432));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->client_segment, 0u);
+  EXPECT_EQ(v->server_segment, 2u);
+  EXPECT_EQ(v->server_port, 5432);
+  EXPECT_EQ(v->client_ip, kWeb1);
+  EXPECT_EQ(checker.violations().size(), 1u);
+}
+
+TEST(PolicyChecker, DeduplicatesWithinWindow) {
+  const SegmentMap segments = three_segments();
+  PolicyChecker checker(segments, ReachabilityPolicy{});
+  for (int minute = 0; minute < 5; ++minute) {
+    checker.check(record(kWeb1, 42000, kDb, 5432, minute));
+  }
+  EXPECT_EQ(checker.violations().size(), 1u);
+  checker.reset_window();
+  checker.check(record(kWeb1, 42000, kDb, 5432, 60));
+  EXPECT_EQ(checker.violations().size(), 2u);
+}
+
+TEST(PolicyChecker, TakeViolationsDrains) {
+  const SegmentMap segments = three_segments();
+  PolicyChecker checker(segments, ReachabilityPolicy{});
+  checker.check(record(kWeb1, 42000, kDb, 5432));
+  EXPECT_EQ(checker.take_violations().size(), 1u);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST(ReachabilityPolicy, ReachableSegmentsIgnoresExternal) {
+  ReachabilityPolicy policy;
+  policy.allow({.from_segment = 0, .to_segment = 1, .server_port = 80});
+  policy.allow({.from_segment = 0, .to_segment = 1, .server_port = 443});  // same pair
+  policy.allow({.from_segment = 1, .to_segment = 2, .server_port = 5432});
+  policy.allow({.from_segment = kExternalSegment, .to_segment = 0, .server_port = 443});
+  policy.allow({.from_segment = 2, .to_segment = kExternalSegment, .server_port = 443});
+
+  const auto adj = policy.reachable_segments(3);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0], std::vector<std::uint32_t>{1});  // deduplicated pair
+  EXPECT_EQ(adj[1], std::vector<std::uint32_t>{2});
+  EXPECT_TRUE(adj[2].empty());
+}
+
+TEST(SegmentMap, FromRolesAndLookups) {
+  std::unordered_map<IpAddr, std::string> roles{
+      {kWeb1, "web"}, {kWeb2, "web"}, {kApi, "api"}};
+  const auto map = SegmentMap::from_roles(roles);
+  EXPECT_EQ(map.segment_count(), 2u);
+  EXPECT_EQ(map.member_count(), 3u);
+  EXPECT_EQ(map.segment_of(kWeb1), map.segment_of(kWeb2));
+  EXPECT_NE(map.segment_of(kWeb1), map.segment_of(kApi));
+  EXPECT_EQ(map.segment_of(kExt), kUnsegmented);
+  EXPECT_EQ(map.segment_size(map.segment_of(kWeb1)), 2u);
+
+  const auto members = map.members();
+  std::size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, 3u);
+}
+
+}  // namespace
+}  // namespace ccg

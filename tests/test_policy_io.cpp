@@ -1,0 +1,98 @@
+#include "ccg/policy/policy_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccg {
+namespace {
+
+ReachabilityPolicy sample_policy() {
+  ReachabilityPolicy p;
+  p.allow({.from_segment = 0, .to_segment = 1, .server_port = 8080});
+  p.allow({.from_segment = 1, .to_segment = 2, .server_port = 5432});
+  p.allow({.from_segment = kExternalSegment, .to_segment = 0, .server_port = 443});
+  p.allow({.from_segment = 2, .to_segment = kExternalSegment, .server_port = 443});
+  return p;
+}
+
+TEST(PolicyIo, RoundTrips) {
+  const ReachabilityPolicy original = sample_policy();
+  std::stringstream buffer;
+  write_policy(buffer, original);
+  const auto loaded = read_policy(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->rule_count(), original.rule_count());
+  for (const AllowRule& rule : original.rules()) {
+    EXPECT_TRUE(loaded->allows(rule)) << to_string(rule);
+  }
+}
+
+TEST(PolicyIo, ExternalSegmentUsesToken) {
+  std::stringstream buffer;
+  write_policy(buffer, sample_policy());
+  EXPECT_NE(buffer.str().find("allow ext 0 443"), std::string::npos);
+  EXPECT_NE(buffer.str().find("allow 2 ext 443"), std::string::npos);
+}
+
+TEST(PolicyIo, OutputIsDeterministicallySorted) {
+  std::stringstream a, b;
+  write_policy(a, sample_policy());
+  write_policy(b, sample_policy());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(PolicyIo, RejectsCorruptInput) {
+  {
+    std::stringstream bad("ccgpolicy-v2 1\nallow 0 1 80\n");
+    EXPECT_FALSE(read_policy(bad).has_value());
+  }
+  {
+    std::stringstream truncated("ccgpolicy-v1 2\nallow 0 1 80\n");
+    EXPECT_FALSE(read_policy(truncated).has_value());
+  }
+  {
+    std::stringstream bad_port("ccgpolicy-v1 1\nallow 0 1 99999\n");
+    EXPECT_FALSE(read_policy(bad_port).has_value());
+  }
+  {
+    std::stringstream bad_seg("ccgpolicy-v1 1\nallow zero 1 80\n");
+    EXPECT_FALSE(read_policy(bad_seg).has_value());
+  }
+  {
+    std::stringstream empty("");
+    EXPECT_FALSE(read_policy(empty).has_value());
+  }
+}
+
+TEST(PolicyDiffTest, DetectsAddedAndRemoved) {
+  ReachabilityPolicy prev = sample_policy();
+  ReachabilityPolicy next = sample_policy();
+  next.allow({.from_segment = 0, .to_segment = 3, .server_port = 9090});
+  const auto diff = diff_policies(prev, next);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].to_segment, 3u);
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_EQ(diff.unchanged, prev.rule_count());
+  EXPECT_FALSE(diff.empty());
+  EXPECT_EQ(diff.summary(), "+1 / -0 rules (4 unchanged)");
+
+  const auto reverse = diff_policies(next, prev);
+  EXPECT_EQ(reverse.removed.size(), 1u);
+  EXPECT_TRUE(reverse.added.empty());
+}
+
+TEST(PolicyDiffTest, IdenticalPoliciesAreEmptyDiff) {
+  const auto diff = diff_policies(sample_policy(), sample_policy());
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.unchanged, 4u);
+}
+
+TEST(AllowRuleToString, Renders) {
+  EXPECT_EQ(to_string(AllowRule{.from_segment = 3, .to_segment = kExternalSegment,
+                                .server_port = 443}),
+            "allow 3 -> ext:443");
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,112 @@
+#include "ccg/telemetry/provider.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+ConnectionSummary record(std::uint16_t lport, std::uint64_t packets,
+                         std::uint64_t bytes) {
+  return ConnectionSummary{
+      .time = MinuteBucket(0),
+      .flow = FlowKey{.local_ip = IpAddr(0x0A000001), .local_port = lport,
+                      .remote_ip = IpAddr(0x0A000002), .remote_port = 443,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = packets, .packets_rcvd = packets,
+                                  .bytes_sent = bytes, .bytes_rcvd = bytes}};
+}
+
+TEST(ProviderProfile, Table3Values) {
+  const auto azure = ProviderProfile::azure();
+  EXPECT_EQ(azure.aggregation_seconds, 60);
+  EXPECT_FALSE(azure.samples());
+
+  const auto aws = ProviderProfile::aws();
+  EXPECT_EQ(aws.aggregation_seconds, 60);
+  EXPECT_FALSE(aws.samples());
+
+  const auto gcp = ProviderProfile::gcp();
+  EXPECT_EQ(gcp.aggregation_seconds, 5);
+  EXPECT_TRUE(gcp.samples());
+  EXPECT_DOUBLE_EQ(gcp.packet_sample_rate, 0.03);
+  EXPECT_DOUBLE_EQ(gcp.flow_sample_rate, 0.50);
+
+  EXPECT_EQ(ProviderProfile::all().size(), 3u);
+}
+
+TEST(ProviderSampler, AzurePassesEverythingThrough) {
+  ProviderSampler sampler(ProviderProfile::azure(), 1);
+  std::vector<ConnectionSummary> in;
+  for (std::uint16_t p = 0; p < 100; ++p) in.push_back(record(40000 + p, 10, 5000));
+  const auto out = sampler.apply(in);
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(sampler.stats().records_in, 100u);
+  EXPECT_EQ(sampler.stats().records_out, 100u);
+}
+
+TEST(ProviderSampler, GcpFlowSamplingKeepsAboutHalf) {
+  ProviderSampler sampler(ProviderProfile::gcp(), 7);
+  std::vector<ConnectionSummary> in;
+  for (std::uint16_t p = 0; p < 2000; ++p) {
+    in.push_back(record(static_cast<std::uint16_t>(30000 + p), 1000, 1000000));
+  }
+  const auto out = sampler.apply(in);
+  EXPECT_NEAR(static_cast<double>(out.size()), 1000.0, 120.0);
+}
+
+TEST(ProviderSampler, FlowDecisionIsStableAcrossIntervals) {
+  ProviderSampler sampler(ProviderProfile::gcp(), 7);
+  auto r = record(40123, 1000, 1000000);
+  const bool kept_first = !sampler.apply({r}).empty();
+  for (int minute = 1; minute < 5; ++minute) {
+    r.time = MinuteBucket(minute);
+    EXPECT_EQ(!sampler.apply({r}).empty(), kept_first) << "minute " << minute;
+  }
+}
+
+TEST(ProviderSampler, PacketThinningIsRoughlyUnbiased) {
+  ProviderSampler sampler(ProviderProfile::gcp(), 11);
+  std::vector<ConnectionSummary> in;
+  for (std::uint16_t p = 0; p < 3000; ++p) {
+    in.push_back(record(static_cast<std::uint16_t>(20000 + p), 10000, 10000000));
+  }
+  const auto out = sampler.apply(in);
+  ASSERT_FALSE(out.empty());
+  // Scaled-up estimates should average back to the true value.
+  double mean_bytes = 0.0;
+  for (const auto& r : out) mean_bytes += static_cast<double>(r.counters.bytes_sent);
+  mean_bytes /= static_cast<double>(out.size());
+  EXPECT_NEAR(mean_bytes, 1e7, 1e7 * 0.05);
+}
+
+TEST(ProviderSampler, SmallFlowsCanVanishUnderSampling) {
+  // A 1-packet flow survives packet sampling only ~3% of the time; across
+  // many tiny flows, most disappear — the fidelity cost of GCP's model.
+  ProviderSampler sampler(ProviderProfile::gcp(), 13);
+  std::vector<ConnectionSummary> in;
+  for (std::uint16_t p = 0; p < 1000; ++p) {
+    in.push_back(record(static_cast<std::uint16_t>(20000 + p), 1, 64));
+  }
+  const auto out = sampler.apply(in);
+  EXPECT_LT(out.size(), 100u);
+}
+
+TEST(ProviderSampler, DeterministicForSameSeed) {
+  std::vector<ConnectionSummary> in;
+  for (std::uint16_t p = 0; p < 500; ++p) {
+    in.push_back(record(static_cast<std::uint16_t>(30000 + p), 100, 100000));
+  }
+  ProviderSampler a(ProviderProfile::gcp(), 99);
+  ProviderSampler b(ProviderProfile::gcp(), 99);
+  EXPECT_EQ(a.apply(in), b.apply(in));
+}
+
+TEST(CollectionCost, ScalesWithRecords) {
+  EXPECT_DOUBLE_EQ(collection_cost_dollars(0, 0.5), 0.0);
+  // 1e9 / 40 = 25e6 records per GB; at 0.5 $/GB.
+  EXPECT_NEAR(collection_cost_dollars(25'000'000, 0.5), 0.5, 1e-9);
+  EXPECT_NEAR(collection_cost_dollars(50'000'000, 0.5), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,180 @@
+#include "ccg/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), ContractViolation);
+}
+
+TEST(Rng, UniformIsRoughlyUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(17);
+  std::vector<double> draws;
+  for (int i = 0; i < 20001; ++i) draws.push_back(rng.lognormal(3.0, 1.0));
+  std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+  EXPECT_NEAR(draws[10000], std::exp(3.0), std::exp(3.0) * 0.1);
+}
+
+TEST(Rng, ParetoRespectsScaleAndTail) {
+  Rng rng(19);
+  double min_seen = 1e18;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.pareto(2.0, 1.5);
+    EXPECT_GE(x, 2.0);
+    min_seen = std::min(min_seen, x);
+  }
+  EXPECT_LT(min_seen, 2.1);  // infimum is the scale parameter
+  EXPECT_THROW(rng.pareto(0.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), ContractViolation);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(23);
+  for (const double mean : {0.1, 3.0, 40.0, 200.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kDraws, mean, std::max(0.05, mean * 0.05)) << "mean " << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkYieldsIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(29);
+  parent2.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next() == parent.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler zipf(4, 0.0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 0.25, 1e-9);
+  }
+}
+
+TEST(ZipfSampler, SkewsTowardLowRanks) {
+  ZipfSampler zipf(100, 1.2);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+  EXPECT_GT(zipf.pmf(10), zipf.pmf(99));
+
+  Rng rng(31);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(ZipfSampler, SamplesMatchPmf) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / kDraws, zipf.pmf(r),
+                0.01 + zipf.pmf(r) * 0.1);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,160 @@
+#include "ccg/policy/rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+/// 3 segments: web x 10, api x 5, db x 2. Policy: ext->web:443,
+/// web->api:8080, api->db:5432, api->ext:443.
+struct Fixture {
+  SegmentMap segments;
+  ReachabilityPolicy policy;
+
+  Fixture() {
+    std::uint32_t next_ip = 0x0A000001;
+    for (int i = 0; i < 10; ++i) segments.assign(IpAddr(next_ip++), 0);
+    for (int i = 0; i < 5; ++i) segments.assign(IpAddr(next_ip++), 1);
+    for (int i = 0; i < 2; ++i) segments.assign(IpAddr(next_ip++), 2);
+    policy.allow({.from_segment = kExternalSegment, .to_segment = 0, .server_port = 443});
+    policy.allow({.from_segment = 0, .to_segment = 1, .server_port = 8080});
+    policy.allow({.from_segment = 1, .to_segment = 2, .server_port = 5432});
+    policy.allow({.from_segment = 1, .to_segment = kExternalSegment, .server_port = 443});
+  }
+};
+
+TEST(CompileRules, IpUnrolledCountsAreExact) {
+  Fixture fx;
+  const auto compiled =
+      compile_rules(fx.segments, fx.policy, RuleCompilerKind::kIpUnrolled);
+  EXPECT_EQ(compiled.per_vm.size(), 17u);
+
+  for (const auto& vm : compiled.per_vm) {
+    const auto seg = fx.segments.segment_of(vm.vm);
+    if (seg == 0) {
+      // web: outbound to 5 api members; inbound one external CIDR rule.
+      EXPECT_EQ(vm.outbound_rules, 5u);
+      EXPECT_EQ(vm.inbound_rules, 1u);
+    } else if (seg == 1) {
+      // api: outbound 2 db members + 1 external rule; inbound from 10 web.
+      EXPECT_EQ(vm.outbound_rules, 3u);
+      EXPECT_EQ(vm.inbound_rules, 10u);
+    } else {
+      // db: inbound from 5 api.
+      EXPECT_EQ(vm.outbound_rules, 0u);
+      EXPECT_EQ(vm.inbound_rules, 5u);
+    }
+  }
+  EXPECT_EQ(compiled.total_rules,
+            10u * 6 + 5u * 13 + 2u * 5);  // 60 + 65 + 10
+  EXPECT_EQ(compiled.max_per_vm, 13u);
+  EXPECT_EQ(compiled.vms_over_budget, 0u);
+}
+
+TEST(CompileRules, TagBasedCountsAreSegmentSizeIndependent) {
+  Fixture fx;
+  const auto compiled =
+      compile_rules(fx.segments, fx.policy, RuleCompilerKind::kTagBased);
+  for (const auto& vm : compiled.per_vm) {
+    const auto seg = fx.segments.segment_of(vm.vm);
+    if (seg == 0) {
+      EXPECT_EQ(vm.outbound_rules, 1u);  // one tag rule for api
+      EXPECT_EQ(vm.inbound_rules, 1u);   // external
+    } else if (seg == 1) {
+      EXPECT_EQ(vm.outbound_rules, 2u);  // db tag + external
+      EXPECT_EQ(vm.inbound_rules, 1u);   // web tag
+    } else {
+      EXPECT_EQ(vm.inbound_rules, 1u);
+    }
+  }
+}
+
+TEST(CompileRules, CompilerOrderingHolds) {
+  Fixture fx;
+  const auto ip = compile_rules(fx.segments, fx.policy, RuleCompilerKind::kIpUnrolled);
+  const auto cidr =
+      compile_rules(fx.segments, fx.policy, RuleCompilerKind::kCidrAggregated);
+  const auto tag = compile_rules(fx.segments, fx.policy, RuleCompilerKind::kTagBased);
+  EXPECT_LE(tag.total_rules, cidr.total_rules);
+  EXPECT_LE(cidr.total_rules, ip.total_rules);
+  EXPECT_LE(tag.max_per_vm, cidr.max_per_vm);
+  EXPECT_LE(cidr.max_per_vm, ip.max_per_vm);
+}
+
+TEST(CompileRules, CidrAggregationCompressesContiguousSegments) {
+  // One segment of 64 perfectly aligned IPs reachable from one client
+  // segment: unrolled needs 64 outbound rules per client, CIDR needs 1.
+  SegmentMap segments;
+  segments.assign(IpAddr(0x0A000001), 0);  // lone client
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    segments.assign(IpAddr(0x0A000100u + i), 1);  // aligned /26
+  }
+  ReachabilityPolicy policy;
+  policy.allow({.from_segment = 0, .to_segment = 1, .server_port = 443});
+
+  const auto cidr =
+      compile_rules(segments, policy, RuleCompilerKind::kCidrAggregated);
+  for (const auto& vm : cidr.per_vm) {
+    if (segments.segment_of(vm.vm) == 0) {
+      EXPECT_EQ(vm.outbound_rules, 1u);  // one /26 block
+    }
+  }
+  const auto ip = compile_rules(segments, policy, RuleCompilerKind::kIpUnrolled);
+  EXPECT_EQ(ip.per_vm.front().total() + ip.per_vm.back().total() > 0, true);
+  EXPECT_LT(cidr.total_rules, ip.total_rules);
+}
+
+TEST(CompileRules, BudgetViolationsDetected) {
+  // One segment of 50 VMs fully meshed to another of 60 on 30 ports:
+  // unrolled = 60 * 30 = 1800 outbound rules per client VM.
+  SegmentMap segments;
+  std::uint32_t next_ip = 0x0A010000;
+  for (int i = 0; i < 50; ++i) segments.assign(IpAddr(next_ip++), 0);
+  for (int i = 0; i < 60; ++i) segments.assign(IpAddr(next_ip++), 1);
+  ReachabilityPolicy policy;
+  for (std::uint16_t p = 0; p < 30; ++p) {
+    policy.allow({.from_segment = 0, .to_segment = 1,
+                  .server_port = static_cast<std::uint16_t>(8000 + p)});
+  }
+  const auto ip = compile_rules(segments, policy, RuleCompilerKind::kIpUnrolled, 1000);
+  EXPECT_EQ(ip.vms_over_budget, 110u);  // both sides blow the budget
+  const auto tag = compile_rules(segments, policy, RuleCompilerKind::kTagBased, 1000);
+  EXPECT_EQ(tag.vms_over_budget, 0u);
+  EXPECT_EQ(tag.max_per_vm, 30u);
+}
+
+TEST(ChurnCost, TagBasedTouchesOnlyTheReplacement) {
+  Fixture fx;
+  const auto cost = churn_cost_of_replacement(fx.segments, fx.policy, 0,
+                                              RuleCompilerKind::kTagBased);
+  EXPECT_EQ(cost.vm_tables_touched, 1u);
+  EXPECT_EQ(cost.rules_rewritten, 2u);  // ext->web and web->api involve seg 0
+}
+
+TEST(ChurnCost, IpUnrolledRipplesToPeers) {
+  Fixture fx;
+  // Churn in api (segment 1): web (allowed to reach api) and db (reached by
+  // api) plus api itself must be touched.
+  const auto cost = churn_cost_of_replacement(fx.segments, fx.policy, 1,
+                                              RuleCompilerKind::kIpUnrolled);
+  EXPECT_EQ(cost.vm_tables_touched, 17u);  // everyone, in this topology
+  EXPECT_GT(cost.rules_rewritten, cost.vm_tables_touched);
+}
+
+TEST(CompileRules, EmptySegmentsAndPolicy) {
+  SegmentMap segments;
+  ReachabilityPolicy policy;
+  const auto compiled = compile_rules(segments, policy, RuleCompilerKind::kIpUnrolled);
+  EXPECT_EQ(compiled.total_rules, 0u);
+  EXPECT_EQ(compiled.per_vm.size(), 0u);
+  EXPECT_EQ(compiled.mean_per_vm, 0.0);
+}
+
+TEST(CompileRules, SummaryRenders) {
+  Fixture fx;
+  const auto compiled = compile_rules(fx.segments, fx.policy, RuleCompilerKind::kTagBased);
+  EXPECT_NE(compiled.summary().find("tag-based"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,143 @@
+#include "ccg/telemetry/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+ConnectionSummary sample_record() {
+  return ConnectionSummary{
+      .time = MinuteBucket(125),
+      .flow = FlowKey{.local_ip = *IpAddr::parse("10.0.1.5"),
+                      .local_port = 44123,
+                      .remote_ip = *IpAddr::parse("10.0.2.9"),
+                      .remote_port = 443,
+                      .protocol = Protocol::kTcp},
+      .counters = TrafficCounters{.packets_sent = 12, .packets_rcvd = 20,
+                                  .bytes_sent = 3400, .bytes_rcvd = 128000}};
+}
+
+std::vector<ConnectionSummary> random_batch(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ConnectionSummary> batch;
+  std::int64_t minute = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.1)) ++minute;
+    const Protocol proto = rng.chance(0.8)   ? Protocol::kTcp
+                           : rng.chance(0.5) ? Protocol::kUdp
+                                             : Protocol::kIcmp;
+    batch.push_back(ConnectionSummary{
+        .time = MinuteBucket(minute),
+        .flow = FlowKey{.local_ip = IpAddr(static_cast<std::uint32_t>(rng.next())),
+                        .local_port = static_cast<std::uint16_t>(rng.uniform(65536)),
+                        .remote_ip = IpAddr(static_cast<std::uint32_t>(rng.next())),
+                        .remote_port = static_cast<std::uint16_t>(rng.uniform(65536)),
+                        .protocol = proto},
+        .counters = TrafficCounters{.packets_sent = rng.uniform(1 << 20),
+                                    .packets_rcvd = rng.uniform(1 << 20),
+                                    .bytes_sent = rng.next() % (1ull << 40),
+                                    .bytes_rcvd = rng.next() % (1ull << 40)},
+        .initiator = static_cast<Initiator>(rng.uniform(3))});
+  }
+  return batch;
+}
+
+TEST(CsvSerialize, RoundTripsSingleRecord) {
+  const auto rec = sample_record();
+  const auto parsed = from_csv(to_csv(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(CsvSerialize, HeaderMatchesTable2Schema) {
+  const std::string header = csv_header();
+  for (const char* column :
+       {"time_minute", "local_ip", "local_port", "remote_ip", "remote_port",
+        "packets_sent", "packets_rcvd", "bytes_sent", "bytes_rcvd",
+        "initiator"}) {
+    EXPECT_NE(header.find(column), std::string::npos) << column;
+  }
+}
+
+TEST(CsvSerialize, RejectsMalformedRows) {
+  EXPECT_FALSE(from_csv("").has_value());
+  EXPECT_FALSE(from_csv("1,2,3").has_value());
+  // Sanity: this well-formed row parses...
+  EXPECT_TRUE(from_csv("0,6,10.0.0.1,1,10.0.0.2,2,1,1,1,1,0").has_value());
+  // ...and each corruption is rejected.
+  EXPECT_FALSE(from_csv("x,6,10.0.0.1,1,10.0.0.2,2,1,1,1,1,0").has_value());
+  EXPECT_FALSE(from_csv("0,6,999.0.0.1,1,10.0.0.2,2,1,1,1,1,0").has_value());
+  EXPECT_FALSE(from_csv("0,6,10.0.0.1,70000,10.0.0.2,2,1,1,1,1,0").has_value());
+  EXPECT_FALSE(from_csv("0,5,10.0.0.1,1,10.0.0.2,2,1,1,1,1,0").has_value());  // bad proto
+  EXPECT_FALSE(from_csv("0,6,10.0.0.1,1,10.0.0.2,2,1,1,1,-5,0").has_value());
+  EXPECT_FALSE(from_csv("0,6,10.0.0.1,1,10.0.0.2,2,1,1,1,1,3").has_value());  // bad initiator
+  EXPECT_FALSE(from_csv("0,6,10.0.0.1,1,10.0.0.2,2,1,1,1,1").has_value());  // missing field
+}
+
+TEST(CsvSerialize, StreamRoundTripWithHeaderAndBadRows) {
+  const auto batch = random_batch(200, 5);
+  std::ostringstream out;
+  write_csv(out, batch);
+  std::string text = out.str();
+  text += "this,is,not,a,record\n";
+
+  std::istringstream in(text);
+  std::size_t dropped = 0;
+  const auto parsed = read_csv(in, &dropped);
+  EXPECT_EQ(parsed, batch);
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(BinarySerialize, RoundTripsEmptyBatch) {
+  const auto buf = encode_binary({});
+  const auto decoded = decode_binary(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(BinarySerialize, RoundTripsRandomBatches) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto batch = random_batch(500, seed);
+    const auto decoded = decode_binary(encode_binary(batch));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, batch);
+  }
+}
+
+TEST(BinarySerialize, HandlesNegativeTimeDeltas) {
+  auto batch = random_batch(10, 9);
+  batch[5].time = MinuteBucket(-100);  // unsorted batch: delta goes negative
+  const auto decoded = decode_binary(encode_binary(batch));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(BinarySerialize, DetectsTruncation) {
+  auto buf = encode_binary(random_batch(50, 11));
+  for (const std::size_t cut : {buf.size() - 1, buf.size() / 2, std::size_t{1}}) {
+    std::vector<std::uint8_t> truncated(buf.begin(),
+                                        buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_binary(truncated).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(BinarySerialize, DetectsTrailingGarbage) {
+  auto buf = encode_binary(random_batch(20, 13));
+  buf.push_back(0x00);
+  EXPECT_FALSE(decode_binary(buf).has_value());
+}
+
+TEST(BinarySerialize, CompactsBetterThanCsv) {
+  const auto batch = random_batch(1000, 17);
+  std::ostringstream csv;
+  write_csv(csv, batch);
+  const auto binary = encode_binary(batch);
+  EXPECT_LT(binary.size(), csv.str().size());
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,107 @@
+#include "ccg/analytics/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+namespace ccg {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  std::vector<WindowReport> run_hours(int hours, bool attack_last_hour) {
+    Cluster cluster(presets::tiny(), 4242);
+    TelemetryHub hub(ProviderProfile::azure(), 4242);
+    SimulationDriver driver(cluster, hub);
+    if (attack_last_hour) {
+      driver.add_injector(std::make_unique<ScanAttack>(
+          ScanAttack::Config{.active = TimeWindow::hour(hours - 1),
+                             .targets_per_minute = 8,
+                             .ports_per_target = 3},
+          7));
+    }
+
+    std::vector<WindowReport> reports;
+    const auto ips = cluster.monitored_ips();
+    AnalyticsService service(
+        {.graph = {.facet = GraphFacet::kIp, .window_minutes = 60},
+         .training_windows = 3,
+         .spectral = {.rank = 8},
+         // Scan probes are tiny; lower the localizer's volume floor so the
+         // attack test can see them (quiet hours still stay quiet).
+         .edge_detector = {.min_bytes = 500}},
+        {ips.begin(), ips.end()},
+        [&](const WindowReport& r) { reports.push_back(r); });
+    hub.set_sink(&service);
+    driver.run(TimeWindow::minutes(0, hours * 60));
+    service.flush();
+    EXPECT_EQ(service.windows_reported(), reports.size());
+    return reports;
+  }
+};
+
+TEST_F(ServiceTest, ReportsOneWindowPerHourInOrder) {
+  const auto reports = run_hours(5, false);
+  ASSERT_EQ(reports.size(), 5u);
+  for (std::size_t h = 0; h < reports.size(); ++h) {
+    EXPECT_EQ(reports[h].window, TimeWindow::hour(static_cast<std::int64_t>(h)));
+    EXPECT_GT(reports[h].nodes, 0u);
+    EXPECT_GT(reports[h].bytes, 0u);
+  }
+}
+
+TEST_F(ServiceTest, TrainsThenScores) {
+  const auto reports = run_hours(5, false);
+  ASSERT_EQ(reports.size(), 5u);
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_FALSE(reports[h].trained) << h;
+    EXPECT_FALSE(reports[h].anomaly.has_value());
+  }
+  for (std::size_t h = 3; h < 5; ++h) {
+    EXPECT_TRUE(reports[h].trained) << h;
+    ASSERT_TRUE(reports[h].anomaly.has_value());
+    EXPECT_FALSE(reports[h].alert) << reports[h].anomaly->to_string();
+  }
+}
+
+TEST_F(ServiceTest, QuietHoursHaveStableSegmentsAndFewEdgeAnomalies) {
+  const auto reports = run_hours(5, false);
+  for (std::size_t h = 1; h < reports.size(); ++h) {
+    EXPECT_EQ(reports[h].segments.relabeled_nodes, 0u) << h;
+    EXPECT_LE(reports[h].anomalous_edges.size(), 2u) << h;
+  }
+}
+
+TEST_F(ServiceTest, AttackHourAlertsAndLocalizes) {
+  const auto reports = run_hours(6, true);
+  ASSERT_EQ(reports.size(), 6u);
+  const WindowReport& attacked = reports.back();
+  ASSERT_TRUE(attacked.trained);
+  EXPECT_TRUE(attacked.alert) << attacked.anomaly->to_string();
+  EXPECT_GT(attacked.anomalous_edges.size(), 3u) << "scan edges localized";
+  // The quiet scored hours before it stayed quiet.
+  for (std::size_t h = 3; h + 1 < reports.size(); ++h) {
+    EXPECT_FALSE(reports[h].alert) << h;
+  }
+  EXPECT_NE(attacked.summary().find("ALERT"), std::string::npos);
+}
+
+TEST(ServiceValidation, RejectsBadOptions) {
+  auto noop = [](const WindowReport&) {};
+  EXPECT_THROW(AnalyticsService(
+                   {.graph = {.facet = GraphFacet::kIp, .window_minutes = 60},
+                    .training_windows = 0},
+                   {}, noop),
+               ContractViolation);
+  EXPECT_THROW(AnalyticsService(
+                   {.graph = {.facet = GraphFacet::kIp, .window_minutes = 60}},
+                   {}, nullptr),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

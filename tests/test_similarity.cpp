@@ -1,0 +1,207 @@
+#include "ccg/segmentation/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+NodeId ip_node(CommGraph& g, std::uint32_t ip) {
+  return g.add_node(NodeKey::for_ip(IpAddr(ip)));
+}
+
+void edge(CommGraph& g, NodeId a, NodeId b, std::uint64_t bytes = 1000) {
+  g.add_edge_volume(a, b, bytes, bytes / 2, 1, 1, 1, 1);
+}
+
+/// Classic role structure: two "frontends" (f1, f2) never talk to each
+/// other but both talk to the same three "backends".
+struct RoleFixture {
+  CommGraph g;
+  NodeId f1, f2, b1, b2, b3;
+  RoleFixture() {
+    f1 = ip_node(g, 1);
+    f2 = ip_node(g, 2);
+    b1 = ip_node(g, 11);
+    b2 = ip_node(g, 12);
+    b3 = ip_node(g, 13);
+    for (const NodeId f : {f1, f2}) {
+      for (const NodeId b : {b1, b2, b3}) edge(g, f, b);
+    }
+  }
+};
+
+TEST(NodeSimilarity, IdenticalNeighborSetsScoreOne) {
+  RoleFixture fx;
+  EXPECT_DOUBLE_EQ(node_similarity(fx.g, fx.f1, fx.f2), 1.0);
+}
+
+TEST(NodeSimilarity, PartialOverlap) {
+  RoleFixture fx;
+  // b1 and b2 share neighbors {f1, f2}: identical -> 1.0.
+  EXPECT_DOUBLE_EQ(node_similarity(fx.g, fx.b1, fx.b2), 1.0);
+  // f1's neighbors {b1,b2,b3}; b1's neighbors {f1,f2}: disjoint -> 0.
+  EXPECT_DOUBLE_EQ(node_similarity(fx.g, fx.f1, fx.b1), 0.0);
+}
+
+TEST(NodeSimilarity, SelfIsOne) {
+  RoleFixture fx;
+  EXPECT_DOUBLE_EQ(node_similarity(fx.g, fx.f1, fx.f1), 1.0);
+}
+
+TEST(NodeSimilarity, DirectEdgeExclusion) {
+  // a - b directly connected; both also talk to c.
+  CommGraph g;
+  const NodeId a = ip_node(g, 1);
+  const NodeId b = ip_node(g, 2);
+  const NodeId c = ip_node(g, 3);
+  edge(g, a, b);
+  edge(g, a, c);
+  edge(g, b, c);
+  // With exclusion: N(a)\{b} = {c}, N(b)\{a} = {c} -> Jaccard 1.
+  EXPECT_DOUBLE_EQ(node_similarity(g, a, b, {.exclude_self_edges = true}), 1.0);
+  // Without: N(a) = {b, c}, N(b) = {a, c} -> 1 common of 3 in union.
+  EXPECT_NEAR(node_similarity(g, a, b, {.exclude_self_edges = false}), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(SimilarityClique, ScoresRolePairsHigh) {
+  RoleFixture fx;
+  const WeightedGraph clique = similarity_clique(fx.g, {.min_score = 0.01});
+  // Frontends pair up; backends pair up.
+  double f_pair = 0.0, fb_pair = 0.0;
+  for (const auto& [peer, w] : clique.neighbors(fx.f1)) {
+    if (peer == fx.f2) f_pair = w;
+    if (peer == fx.b1) fb_pair = w;
+  }
+  EXPECT_DOUBLE_EQ(f_pair, 1.0);
+  EXPECT_DOUBLE_EQ(fb_pair, 0.0);  // cross-role pairs score 0 and are dropped
+}
+
+TEST(SimilarityClique, MinScoreFilters) {
+  // Two nodes sharing 1 of many neighbors: small score, filtered out.
+  CommGraph g;
+  const NodeId a = ip_node(g, 1);
+  const NodeId b = ip_node(g, 2);
+  const NodeId shared = ip_node(g, 3);
+  edge(g, a, shared);
+  edge(g, b, shared);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    edge(g, a, ip_node(g, 100 + i));
+    edge(g, b, ip_node(g, 200 + i));
+  }
+  // Jaccard(a,b) = 1/41.
+  const auto strict = similarity_clique(g, {.min_score = 0.1});
+  double w_strict = 0.0;
+  for (const auto& [peer, w] : strict.neighbors(a)) {
+    if (peer == b) w_strict = w;
+  }
+  EXPECT_EQ(w_strict, 0.0);
+
+  const auto loose = similarity_clique(g, {.min_score = 0.01});
+  double w_loose = 0.0;
+  for (const auto& [peer, w] : loose.neighbors(a)) {
+    if (peer == b) w_loose = w;
+  }
+  EXPECT_NEAR(w_loose, 1.0 / 41.0, 1e-12);
+}
+
+TEST(SimilarityClique, WeightedJaccardSeparatesVolumeProfiles) {
+  // Two clients hit the same two servers, but with inverted volume mixes.
+  CommGraph g;
+  const NodeId c1 = ip_node(g, 1);
+  const NodeId c2 = ip_node(g, 2);
+  const NodeId c3 = ip_node(g, 3);
+  const NodeId s1 = ip_node(g, 11);
+  const NodeId s2 = ip_node(g, 12);
+  edge(g, c1, s1, 1'000'000);
+  edge(g, c1, s2, 100);
+  edge(g, c2, s1, 1'000'000);
+  edge(g, c2, s2, 100);
+  edge(g, c3, s1, 100);
+  edge(g, c3, s2, 1'000'000);
+
+  // Set Jaccard can't tell c1/c2 from c1/c3; weighted overlap can.
+  EXPECT_DOUBLE_EQ(node_similarity(g, c1, c3), 1.0);
+  const SimilarityOptions weighted{.kind = SimilarityKind::kWeightedJaccard};
+  const double same_profile = node_similarity(g, c1, c2, weighted);
+  const double diff_profile = node_similarity(g, c1, c3, weighted);
+  EXPECT_GT(same_profile, 0.99);
+  EXPECT_LT(diff_profile, same_profile - 0.2);
+}
+
+TEST(SimilarityClique, CosineVariantBehaves) {
+  RoleFixture fx;
+  const SimilarityOptions cosine{.kind = SimilarityKind::kCosine};
+  EXPECT_NEAR(node_similarity(fx.g, fx.f1, fx.f2, cosine), 1.0, 1e-9);
+  EXPECT_NEAR(node_similarity(fx.g, fx.f1, fx.b1, cosine), 0.0, 1e-9);
+}
+
+TEST(SimilarityClique, MinHashPathFindsRolePairs) {
+  // > 2500 nodes forces the MinHash/LSH path: 2700 "workers" in 3 families,
+  // each family sharing its own 40 "servers".
+  CommGraph g;
+  std::vector<NodeId> servers;
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    for (std::uint32_t s = 0; s < 40; ++s) {
+      servers.push_back(ip_node(g, 100000 + f * 100 + s));
+    }
+  }
+  std::vector<NodeId> workers;
+  for (std::uint32_t w = 0; w < 2700; ++w) {
+    const NodeId node = ip_node(g, 200000 + w);
+    workers.push_back(node);
+    const std::uint32_t family = w % 3;
+    for (std::uint32_t s = 0; s < 40; ++s) {
+      edge(g, node, servers[family * 40 + s]);
+    }
+  }
+  const WeightedGraph clique = similarity_clique(g, {.min_score = 0.3});
+  // Same-family worker pairs (Jaccard 1.0) must be found.
+  std::size_t same_family_hits = 0;
+  for (const auto& [peer, w] : clique.neighbors(workers[0])) {
+    if (peer >= workers[0] && (peer - servers.size()) % 3 == 0) ++same_family_hits;
+  }
+  EXPECT_GT(same_family_hits, 100u);
+  // And the weights are near 1.
+  for (const auto& [peer, w] : clique.neighbors(workers[0])) {
+    EXPECT_GT(w, 0.3);
+  }
+}
+
+TEST(NodeSimilarity, ServerPortHintSeparatesServicesOnOneClientSet) {
+  // The db/cache ambiguity of the IP facet: two backends serve the SAME
+  // clients, so their neighbor sets are identical — only the service port
+  // differs. The port-typed feature must separate them, while two replicas
+  // of the same service (same port) stay similar.
+  CommGraph g;
+  const NodeId db = ip_node(g, 1);
+  const NodeId db2 = ip_node(g, 2);
+  const NodeId cache = ip_node(g, 3);
+  const NodeId api1 = ip_node(g, 11);
+  const NodeId api2 = ip_node(g, 12);
+  for (const NodeId api : {api1, api2}) {
+    // api initiates to all three backends; direction + port attached.
+    g.add_edge_volume(api, db, 1000, 500, 1, 1, 1, 1, 5, 0, 5432);
+    g.add_edge_volume(api, db2, 1000, 500, 1, 1, 1, 1, 5, 0, 5432);
+    g.add_edge_volume(api, cache, 1000, 500, 1, 1, 1, 1, 5, 0, 6379);
+  }
+  const double same_service = node_similarity(g, db, db2);
+  const double diff_service = node_similarity(g, db, cache);
+  EXPECT_DOUBLE_EQ(same_service, 1.0);
+  EXPECT_DOUBLE_EQ(diff_service, 0.0);
+  // Without direction typing the ambiguity returns.
+  EXPECT_DOUBLE_EQ(node_similarity(g, db, cache, {.use_direction = false}), 1.0);
+}
+
+TEST(SimilarityClique, EmptyAndTinyGraphs) {
+  CommGraph empty;
+  EXPECT_EQ(similarity_clique(empty).size(), 0u);
+
+  CommGraph one;
+  ip_node(one, 1);
+  EXPECT_EQ(similarity_clique(one).size(), 1u);
+  EXPECT_EQ(similarity_clique(one).total_weight(), 0.0);
+}
+
+}  // namespace
+}  // namespace ccg

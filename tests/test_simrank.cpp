@@ -1,0 +1,153 @@
+#include "ccg/segmentation/simrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+NodeId ip_node(CommGraph& g, std::uint32_t ip) {
+  return g.add_node(NodeKey::for_ip(IpAddr(ip)));
+}
+
+void edge(CommGraph& g, NodeId a, NodeId b, std::uint64_t bytes = 1000) {
+  g.add_edge_volume(a, b, bytes, bytes, 1, 1, 1, 1);
+}
+
+TEST(SimRank, SelfSimilarityIsOne) {
+  CommGraph g;
+  const NodeId a = ip_node(g, 1);
+  const NodeId b = ip_node(g, 2);
+  edge(g, a, b);
+  const auto s = simrank_scores(g);
+  EXPECT_DOUBLE_EQ(s[a * 2 + a], 1.0);
+  EXPECT_DOUBLE_EQ(s[b * 2 + b], 1.0);
+}
+
+TEST(SimRank, SymmetricAndBounded) {
+  CommGraph g;
+  const NodeId a = ip_node(g, 1), b = ip_node(g, 2), c = ip_node(g, 3),
+               d = ip_node(g, 4);
+  edge(g, a, c);
+  edge(g, b, c);
+  edge(g, b, d);
+  const std::size_t n = g.node_count();
+  const auto s = simrank_scores(g);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(s[i * n + j], s[j * n + i]);
+      EXPECT_GE(s[i * n + j], 0.0);
+      EXPECT_LE(s[i * n + j], 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SimRank, SharedNeighborFirstIteration) {
+  // a and b both (only) talk to c: after one iteration s(a,b) = C * s(c,c) = C.
+  CommGraph g;
+  const NodeId a = ip_node(g, 1), b = ip_node(g, 2), c = ip_node(g, 3);
+  edge(g, a, c);
+  edge(g, b, c);
+  const auto s = simrank_scores(g, {.decay = 0.8, .iterations = 1});
+  EXPECT_NEAR(s[a * 3 + b], 0.8, 1e-12);
+  // a and c share no structural equivalence at iteration 1 beyond a-b link:
+  // s(a,c) = C/ (1*2) * (s(c,a) + s(c,b)) with s from iteration 0 = 0.
+  EXPECT_NEAR(s[a * 3 + c], 0.0, 1e-12);
+}
+
+TEST(SimRank, RecursivePropagationBeyondOneHop) {
+  // Two parallel chains: a1-m1-z, a2-m2-z. a1 and a2 share no neighbor
+  // (m1 != m2) so Jaccard(a1,a2) = 0, but SimRank finds them similar
+  // because m1 and m2 are similar (both talk to z).
+  CommGraph g;
+  const NodeId a1 = ip_node(g, 1), a2 = ip_node(g, 2);
+  const NodeId m1 = ip_node(g, 11), m2 = ip_node(g, 12);
+  const NodeId z = ip_node(g, 99);
+  edge(g, a1, m1);
+  edge(g, a2, m2);
+  edge(g, m1, z);
+  edge(g, m2, z);
+  const std::size_t n = g.node_count();
+  const auto s = simrank_scores(g, {.decay = 0.8, .iterations = 6});
+  EXPECT_GT(s[a1 * n + a2], 0.2);
+}
+
+TEST(SimRank, IsolatedNodesScoreZero) {
+  CommGraph g;
+  const NodeId a = ip_node(g, 1), b = ip_node(g, 2), c = ip_node(g, 3);
+  edge(g, a, b);
+  (void)c;  // no edges
+  const auto s = simrank_scores(g);
+  EXPECT_DOUBLE_EQ(s[a * 3 + c], 0.0);
+  EXPECT_DOUBLE_EQ(s[c * 3 + c], 1.0);
+}
+
+TEST(SimRankPlusPlus, EvidenceDampsSingleSharedNeighbor) {
+  // Pair (a,b): 1 shared neighbor. Pair (c,d): 3 shared neighbors.
+  CommGraph g;
+  const NodeId a = ip_node(g, 1), b = ip_node(g, 2);
+  const NodeId h = ip_node(g, 10);
+  edge(g, a, h);
+  edge(g, b, h);
+  const NodeId c = ip_node(g, 3), d = ip_node(g, 4);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const NodeId shared = ip_node(g, 20 + i);
+    edge(g, c, shared);
+    edge(g, d, shared);
+  }
+  const std::size_t n = g.node_count();
+  const auto plain = simrank_scores(g, {.plus_plus = false});
+  const auto plus = simrank_scores(g, {.plus_plus = true});
+  // Evidence: 1 - 2^-1 = 0.5 for one shared neighbor, 1 - 2^-3 = 0.875 for 3.
+  // The many-shared pair keeps relatively more of its score.
+  const double damp_ab = plus[a * n + b] / std::max(1e-12, plain[a * n + b]);
+  const double damp_cd = plus[c * n + d] / std::max(1e-12, plain[c * n + d]);
+  EXPECT_LT(damp_ab, damp_cd);
+}
+
+TEST(SimRankPlusPlus, WeightsInfluenceScores) {
+  // c's traffic to its shared neighbors is skewed; SimRank++ uses weighted
+  // transitions, so scores differ from plain SimRank.
+  CommGraph g;
+  const NodeId a = ip_node(g, 1), b = ip_node(g, 2);
+  const NodeId s1 = ip_node(g, 11), s2 = ip_node(g, 12);
+  edge(g, a, s1, 1'000'000);
+  edge(g, a, s2, 100);
+  edge(g, b, s1, 100);
+  edge(g, b, s2, 1'000'000);
+  const std::size_t n = g.node_count();
+  const auto plain = simrank_scores(g, {.plus_plus = false});
+  const auto plus = simrank_scores(g, {.plus_plus = true});
+  EXPECT_NE(plain[a * n + b], plus[a * n + b]);
+}
+
+TEST(SimRankClique, BuildsFromScores) {
+  CommGraph g;
+  const NodeId a = ip_node(g, 1), b = ip_node(g, 2), c = ip_node(g, 3);
+  edge(g, a, c);
+  edge(g, b, c);
+  const auto clique = simrank_clique(g, {.min_score = 0.1});
+  double w_ab = 0.0;
+  for (const auto& [peer, w] : clique.neighbors(a)) {
+    if (peer == b) w_ab = w;
+  }
+  EXPECT_GT(w_ab, 0.5);
+}
+
+TEST(SimRank, GuardsAgainstHugeGraphs) {
+  CommGraph g;
+  for (std::uint32_t i = 0; i < 3001; ++i) ip_node(g, i + 1);
+  EXPECT_THROW(simrank_scores(g), ContractViolation);
+}
+
+TEST(SimRank, OptionValidation) {
+  CommGraph g;
+  ip_node(g, 1);
+  EXPECT_THROW(simrank_scores(g, {.decay = 0.0}), ContractViolation);
+  EXPECT_THROW(simrank_scores(g, {.decay = 1.0}), ContractViolation);
+  EXPECT_THROW(simrank_scores(g, {.iterations = 0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,159 @@
+#include "ccg/telemetry/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch cms(256, 4);
+  Rng rng(3);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  ZipfSampler zipf(500, 1.1);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    const std::uint64_t w = 1 + rng.uniform(100);
+    truth[key] += w;
+    cms.add(key, w);
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cms.estimate(key), count) << key;
+  }
+}
+
+TEST(CountMinSketch, ErrorWithinClassicBound) {
+  constexpr std::size_t kWidth = 1024;
+  CountMinSketch cms(kWidth, 5);
+  Rng rng(5);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.uniform(3000);
+    truth[key] += 1;
+    cms.add(key);
+  }
+  // e/width * total is the textbook bound; allow 2x slack for our hashes.
+  const double bound = 2.0 * 2.72 * static_cast<double>(cms.total()) / kWidth;
+  std::size_t violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (static_cast<double>(cms.estimate(key) - count) > bound) ++violations;
+  }
+  EXPECT_LE(violations, truth.size() / 20);  // ~ 1 - 2^-depth confidence
+}
+
+TEST(CountMinSketch, UnseenKeysUsuallySmall) {
+  CountMinSketch cms(512, 4);
+  for (std::uint64_t k = 0; k < 100; ++k) cms.add(k, 10);
+  // An unseen key's estimate is bounded by collision noise, not by any
+  // real count.
+  EXPECT_LE(cms.estimate(987654321), 40u);
+  EXPECT_EQ(CountMinSketch(512, 4).estimate(42), 0u);
+}
+
+TEST(CountMinSketch, ValidatesParameters) {
+  EXPECT_THROW(CountMinSketch(4, 4), ContractViolation);
+  EXPECT_THROW(CountMinSketch(64, 0), ContractViolation);
+  EXPECT_THROW(CountMinSketch(64, 17), ContractViolation);
+}
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving ss(16);
+  for (std::uint64_t k = 0; k < 10; ++k) ss.add(k, (k + 1) * 10);
+  const auto entries = ss.entries();
+  ASSERT_EQ(entries.size(), 10u);
+  EXPECT_EQ(entries[0].key, 9u);
+  EXPECT_EQ(entries[0].count, 100u);
+  EXPECT_EQ(entries[0].overestimate, 0u);
+  EXPECT_EQ(ss.total(), 550u);
+}
+
+TEST(SpaceSaving, HeavyHittersAlwaysPresent) {
+  // Deterministic guarantee: any key above total/capacity survives.
+  SpaceSaving ss(64);
+  Rng rng(11);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  // 5 elephants among 5000 mice.
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    truth[1000 + e] = 0;
+  }
+  for (int i = 0; i < 100000; ++i) {
+    std::uint64_t key;
+    if (rng.chance(0.5)) {
+      key = 1000 + rng.uniform(5);  // elephants: ~10% of stream each
+    } else {
+      key = 10000 + rng.uniform(5000);  // mice
+    }
+    truth[key] += 1;
+    ss.add(key);
+  }
+  const auto entries = ss.entries();
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    bool found = false;
+    for (const auto& entry : entries) {
+      if (entry.key == 1000 + e) {
+        found = true;
+        // count is an upper bound; count - overestimate a lower bound.
+        EXPECT_GE(entry.count, truth[entry.key]);
+        EXPECT_LE(entry.count - entry.overestimate, truth[entry.key]);
+      }
+    }
+    EXPECT_TRUE(found) << "elephant " << e << " evicted";
+  }
+}
+
+TEST(SpaceSaving, GuaranteedHeavyHittersHaveNoFalsePositives) {
+  SpaceSaving ss(64);
+  Rng rng(13);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key =
+        rng.chance(0.3) ? 7 : 10000 + rng.uniform(2000);
+    truth[key] += 1;
+    ss.add(key);
+  }
+  for (const auto& hh : ss.heavy_hitters(0.05)) {
+    EXPECT_GE(truth[hh.key], static_cast<std::uint64_t>(0.05 * 50000));
+  }
+  // And the single 30% elephant is reported.
+  const auto hhs = ss.heavy_hitters(0.05);
+  ASSERT_FALSE(hhs.empty());
+  EXPECT_EQ(hhs[0].key, 7u);
+}
+
+TEST(SpaceSaving, MajorityElementSurvivesInterleavedChurn) {
+  // Capacity 2, one 50% majority key interleaved with ever-fresh mice:
+  // the mice churn through the min slot while the majority accumulates.
+  SpaceSaving ss(2);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ss.add(7);
+    ss.add(1000 + i);
+  }
+  const auto entries = ss.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 7u);
+  EXPECT_GE(entries[0].count, 100u);                       // upper bound
+  EXPECT_LE(entries[0].count - entries[0].overestimate, 100u);  // lower bound
+  EXPECT_THROW(SpaceSaving(0), ContractViolation);
+}
+
+TEST(RemoteHeavyHitterSketch, FindsHeavyRemotes) {
+  RemoteHeavyHitterSketch sketch(32);
+  Rng rng(17);
+  const IpAddr elephant(0x08080808);
+  for (int i = 0; i < 10000; ++i) {
+    sketch.observe(elephant, 1000);
+    sketch.observe(IpAddr(0x64000000 + static_cast<std::uint32_t>(rng.uniform(4000))), 10);
+  }
+  const auto survivors = sketch.survivors(0.01);
+  ASSERT_FALSE(survivors.empty());
+  EXPECT_EQ(survivors[0], elephant);
+  // Memory stays bounded regardless of the 4000 distinct mice.
+  EXPECT_LE(sketch.sketch().memory_bytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,92 @@
+#include "ccg/summarize/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg {
+namespace {
+
+CommGraph hour_graph(std::int64_t hour, std::uint32_t extra_nodes = 0,
+                     std::uint64_t bytes = 1000) {
+  CommGraph g(TimeWindow::hour(hour));
+  const NodeId a = g.add_node(NodeKey::for_ip(IpAddr(1u)));
+  const NodeId b = g.add_node(NodeKey::for_ip(IpAddr(2u)));
+  const NodeId c = g.add_node(NodeKey::for_ip(IpAddr(3u)));
+  g.add_edge_volume(a, b, bytes, 0, 1, 0, 1, 1);
+  g.add_edge_volume(b, c, bytes, 0, 1, 0, 1, 1);
+  for (std::uint32_t i = 0; i < extra_nodes; ++i) {
+    const NodeId n = g.add_node(NodeKey::for_ip(IpAddr(100u + i)));
+    g.add_edge_volume(a, n, bytes / 10, 0, 1, 0, 1, 1);
+  }
+  return g;
+}
+
+TEST(AnalyzeSeries, StableSeriesScoresHigh) {
+  std::vector<CommGraph> series{hour_graph(0), hour_graph(1), hour_graph(2)};
+  const auto stability = analyze_series(series);
+  EXPECT_EQ(stability.transitions.size(), 2u);
+  EXPECT_DOUBLE_EQ(stability.mean_edge_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(stability.min_edge_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(stability.mean_byte_overlap, 1.0);
+  EXPECT_EQ(stability.transitions[0].from, TimeWindow::hour(0));
+  EXPECT_EQ(stability.transitions[0].to, TimeWindow::hour(1));
+}
+
+TEST(AnalyzeSeries, DriftLowersJaccard) {
+  std::vector<CommGraph> series{hour_graph(0), hour_graph(1, 5)};
+  const auto stability = analyze_series(series);
+  EXPECT_LT(stability.mean_edge_jaccard, 1.0);
+  EXPECT_EQ(stability.transitions[0].edges_added, 5u);
+  EXPECT_LT(stability.transitions[0].node_jaccard, 1.0);
+}
+
+TEST(AnalyzeSeries, VolumeChangesCounted) {
+  std::vector<CommGraph> series{hour_graph(0, 0, 1000), hour_graph(1, 0, 100'000)};
+  const auto stability = analyze_series(series, 4.0);
+  EXPECT_EQ(stability.transitions[0].edges_changed, 2u);
+  EXPECT_DOUBLE_EQ(stability.transitions[0].edge_jaccard, 1.0);  // same structure
+}
+
+TEST(AnalyzeSeries, RequiresTwoGraphs) {
+  std::vector<CommGraph> one{hour_graph(0)};
+  EXPECT_THROW(analyze_series(one), ContractViolation);
+}
+
+TEST(AsciiAdjacency, RendersGridOfExpectedShape) {
+  const auto g = hour_graph(0, 20);
+  const std::string art = ascii_adjacency(g, 8);
+  std::size_t rows = 0;
+  for (const char ch : art) rows += ch == '\n';
+  EXPECT_EQ(rows, 8u);
+  // Something is non-blank.
+  EXPECT_NE(art.find_first_not_of(" \n"), std::string::npos);
+}
+
+TEST(AsciiAdjacency, SmallerGraphThanGrid) {
+  const auto g = hour_graph(0);
+  const std::string art = ascii_adjacency(g, 32);  // only 3 nodes
+  std::size_t rows = 0;
+  for (const char ch : art) rows += ch == '\n';
+  EXPECT_EQ(rows, 3u);
+}
+
+TEST(AsciiAdjacency, EmptyGraph) {
+  EXPECT_EQ(ascii_adjacency(CommGraph{}), "(empty graph)\n");
+}
+
+TEST(AsciiAdjacency, ConsecutiveHoursAlign) {
+  // Same node set -> same rendering (stable key ordering).
+  const auto h0 = hour_graph(0);
+  const auto h1 = hour_graph(1);
+  EXPECT_EQ(ascii_adjacency(h0, 3), ascii_adjacency(h1, 3));
+}
+
+TEST(SeriesStability, SummaryRenders) {
+  std::vector<CommGraph> series{hour_graph(0), hour_graph(1)};
+  EXPECT_NE(analyze_series(series).summary().find("edge-jaccard"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,65 @@
+#include "ccg/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccg {
+namespace {
+
+TEST(MinuteBucket, HourAndMinuteOfHour) {
+  EXPECT_EQ(MinuteBucket(0).hour(), 0);
+  EXPECT_EQ(MinuteBucket(59).hour(), 0);
+  EXPECT_EQ(MinuteBucket(60).hour(), 1);
+  EXPECT_EQ(MinuteBucket(75).minute_of_hour(), 15);
+  EXPECT_EQ(MinuteBucket(75).to_string(), "h1:15");
+  EXPECT_EQ(MinuteBucket(61).to_string(), "h1:01");
+}
+
+TEST(MinuteBucket, NegativeIndicesFloorCorrectly) {
+  EXPECT_EQ(MinuteBucket(-1).hour(), -1);
+  EXPECT_EQ(MinuteBucket(-1).minute_of_hour(), 59);
+  EXPECT_EQ(MinuteBucket(-60).hour(), -1);
+  EXPECT_EQ(MinuteBucket(-60).minute_of_hour(), 0);
+  EXPECT_EQ(MinuteBucket(-61).hour(), -2);
+}
+
+TEST(MinuteBucket, Arithmetic) {
+  const MinuteBucket m(100);
+  EXPECT_EQ((m + 5).index(), 105);
+  EXPECT_EQ(m.next().index(), 101);
+  EXPECT_EQ(MinuteBucket(105) - m, 5);
+  EXPECT_LT(m, m.next());
+}
+
+TEST(TimeWindow, HourFactory) {
+  const TimeWindow w = TimeWindow::hour(2);
+  EXPECT_EQ(w.begin().index(), 120);
+  EXPECT_EQ(w.end().index(), 180);
+  EXPECT_EQ(w.length(), 60);
+  EXPECT_TRUE(w.contains(MinuteBucket(120)));
+  EXPECT_TRUE(w.contains(MinuteBucket(179)));
+  EXPECT_FALSE(w.contains(MinuteBucket(180)));
+  EXPECT_FALSE(w.contains(MinuteBucket(119)));
+}
+
+TEST(TimeWindow, MinutesFactoryAndFollowing) {
+  const TimeWindow w = TimeWindow::minutes(30, 15);
+  EXPECT_EQ(w.length(), 15);
+  const TimeWindow next = w.following();
+  EXPECT_EQ(next.begin().index(), 45);
+  EXPECT_EQ(next.length(), 15);
+}
+
+TEST(TimeWindow, EmptyWindows) {
+  EXPECT_TRUE(TimeWindow().empty());
+  EXPECT_TRUE(TimeWindow(MinuteBucket(5), MinuteBucket(5)).empty());
+  EXPECT_TRUE(TimeWindow(MinuteBucket(6), MinuteBucket(5)).empty());
+  EXPECT_EQ(TimeWindow(MinuteBucket(6), MinuteBucket(5)).length(), 0);
+  EXPECT_FALSE(TimeWindow(MinuteBucket(5), MinuteBucket(6)).empty());
+}
+
+TEST(TimeWindow, ToString) {
+  EXPECT_EQ(TimeWindow::hour(1).to_string(), "[h1:00, h2:00)");
+}
+
+}  // namespace
+}  // namespace ccg

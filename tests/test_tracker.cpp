@@ -1,0 +1,108 @@
+#include "ccg/segmentation/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/graph/builder.hpp"
+#include "ccg/telemetry/collector.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+namespace ccg {
+namespace {
+
+/// Streams the tiny cluster and yields one graph per hour.
+struct HourlyGraphs {
+  Cluster cluster;
+  std::vector<CommGraph> graphs;
+
+  explicit HourlyGraphs(int hours, double churn_per_hour = 0.0,
+                        std::uint64_t seed = 77)
+      : cluster([&] {
+          auto spec = presets::tiny();
+          for (auto& role : spec.roles) {
+            if (!role.is_external) role.churn_per_hour = churn_per_hour;
+          }
+          return spec;
+        }(), seed) {
+    TelemetryHub hub(ProviderProfile::azure(), seed);
+    SimulationDriver driver(cluster, hub);
+    const auto ips = cluster.monitored_ips();
+    GraphBuilder builder({.facet = GraphFacet::kIp, .window_minutes = 60},
+                         {ips.begin(), ips.end()});
+    hub.set_sink(&builder);
+    for (int h = 0; h < hours; ++h) {
+      driver.run(TimeWindow::hour(h));
+      // Register any churn replacements as they appear.
+      for (const IpAddr ip : cluster.monitored_ips()) hub.add_host(ip);
+    }
+    builder.flush();
+    graphs = builder.take_graphs();
+  }
+};
+
+TEST(SegmentTracker, FirstWindowIsAllNewWithoutChurnReported) {
+  HourlyGraphs sim(1);
+  SegmentTracker tracker;
+  const auto t = tracker.observe(sim.graphs.at(0));
+  EXPECT_EQ(t.matched_segments, 0u);
+  EXPECT_EQ(t.new_segments, 0u);  // first window: baseline, not "new"
+  EXPECT_EQ(t.tracked_nodes, 0u);
+  EXPECT_EQ(t.label_churn, 0.0);
+  EXPECT_GT(tracker.next_stable_id(), 0u);
+  EXPECT_FALSE(tracker.assignment().empty());
+}
+
+TEST(SegmentTracker, StableAcrossQuietHours) {
+  HourlyGraphs sim(3);
+  SegmentTracker tracker;
+  tracker.observe(sim.graphs.at(0));
+  const auto id_count = tracker.next_stable_id();
+  const auto before = tracker.assignment();
+
+  for (std::size_t h = 1; h < sim.graphs.size(); ++h) {
+    const auto t = tracker.observe(sim.graphs.at(h));
+    EXPECT_EQ(t.new_segments, 0u) << "hour " << h;
+    EXPECT_EQ(t.retired_segments, 0u);
+    EXPECT_EQ(t.relabeled_nodes, 0u);
+    EXPECT_GT(t.tracked_nodes, 0u);
+  }
+  EXPECT_EQ(tracker.next_stable_id(), id_count) << "no identity inflation";
+  for (const auto& [ip, stable] : before) {
+    EXPECT_EQ(tracker.assignment().at(ip), stable);
+  }
+}
+
+TEST(SegmentTracker, ChurnedReplacementsInheritTheSegmentIdentity) {
+  HourlyGraphs sim(3, /*churn_per_hour=*/0.4);
+  SegmentTracker tracker;
+  tracker.observe(sim.graphs.at(0));
+  const auto id_count_after_first = tracker.next_stable_id();
+  for (std::size_t h = 1; h < sim.graphs.size(); ++h) {
+    const auto t = tracker.observe(sim.graphs.at(h));
+    // Replacement IPs join existing segments; identities persist.
+    EXPECT_LE(t.new_segments, 1u) << t.to_string();
+    EXPECT_LE(t.label_churn, 0.35) << t.to_string();
+  }
+  EXPECT_LE(tracker.next_stable_id(), id_count_after_first + 2);
+}
+
+TEST(SegmentTracker, ValidatesOverlapThreshold) {
+  EXPECT_THROW(SegmentTracker(SegmentationMethod::kJaccardLouvain, {}, 0.0),
+               ContractViolation);
+  EXPECT_THROW(SegmentTracker(SegmentationMethod::kJaccardLouvain, {}, 1.5),
+               ContractViolation);
+}
+
+TEST(SegmentTransition, RendersSummary) {
+  SegmentTransition t;
+  t.matched_segments = 3;
+  t.tracked_nodes = 10;
+  t.relabeled_nodes = 1;
+  t.label_churn = 0.1;
+  EXPECT_NE(t.to_string().find("3 matched"), std::string::npos);
+  EXPECT_NE(t.to_string().find("10.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -1,0 +1,488 @@
+// ccgraph — command-line front end.
+//
+//   ccgraph simulate --preset k8s --hours 2 --seed 7 --out flows.csv
+//   ccgraph graph    --in flows.csv [--facet ip|ipport] [--collapse 0.001]
+//   ccgraph segment  --in flows.csv [--resolution 2.0]
+//   ccgraph policy   --baseline hour0.csv --check hour1.csv
+//   ccgraph report   --in flows.csv
+//
+// Flow logs are the CSV schema of `ccg::csv_header()` (paper Table 2 plus
+// the initiator bit). An IP is treated as *monitored* iff it ever appears
+// as a record's local endpoint — exactly the set of NICs that produced the
+// log.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "ccg/analytics/counterfactual.hpp"
+#include "ccg/analytics/service.hpp"
+#include "ccg/graph/builder.hpp"
+#include "ccg/graph/delta.hpp"
+#include "ccg/graph/metrics.hpp"
+#include "ccg/graph/serialize.hpp"
+#include "ccg/policy/higher_order.hpp"
+#include "ccg/policy/policy_io.hpp"
+#include "ccg/policy/reachability.hpp"
+#include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/summarize/patterns.hpp"
+#include "ccg/summarize/temporal.hpp"
+#include "ccg/telemetry/serialize.hpp"
+#include "ccg/workload/driver.hpp"
+#include "ccg/workload/presets.hpp"
+
+namespace {
+
+using namespace ccg;
+
+/// Trivial --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::make_optional(it->second);
+  }
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    auto v = get(key);
+    return v ? std::stol(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ccgraph <command> [options]\n"
+               "  simulate --preset tiny|portal|microservice|k8s|kquery\n"
+               "           [--hours N] [--seed S] [--rate-scale R]\n"
+               "           [--attack scan|lateral|exfil --attack-hour H]\n"
+               "           --out flows.csv\n"
+               "  graph    --in flows.csv [--facet ip|ipport] [--collapse F]\n"
+               "           [--window MIN] [--pgm heatmap.pgm] [--save g.ccg]\n"
+               "  segment  --in flows.csv [--resolution R] [--collapse F]\n"
+               "  policy   --baseline a.csv --check b.csv [--coverage F]\n"
+               "           [--min-support N] [--save policy.txt]\n"
+               "  diff     --before a.csv --after b.csv [--factor F]\n"
+               "  anomaly  --in flows.csv [--window MIN] [--train N] [--rank K]\n"
+               "  report   --in flows.csv [--collapse F]\n");
+  return 2;
+}
+
+std::optional<ClusterSpec> preset_by_name(const std::string& name, double scale) {
+  if (name == "tiny") return presets::tiny(scale);
+  if (name == "portal") return presets::portal(scale);
+  if (name == "microservice") return presets::microservice_bench(scale);
+  if (name == "k8s") return presets::k8s_paas(scale);
+  if (name == "kquery") return presets::kquery(scale);
+  return std::nullopt;
+}
+
+std::optional<std::vector<ConnectionSummary>> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ccgraph: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::size_t dropped = 0;
+  auto records = read_csv(in, &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr, "ccgraph: warning: %zu malformed rows skipped\n", dropped);
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "ccgraph: %s contains no records\n", path.c_str());
+    return std::nullopt;
+  }
+  return records;
+}
+
+std::unordered_set<IpAddr> monitored_from(const std::vector<ConnectionSummary>& records) {
+  std::unordered_set<IpAddr> out;
+  for (const auto& r : records) out.insert(r.flow.local_ip);
+  return out;
+}
+
+std::vector<CommGraph> build_graphs(const std::vector<ConnectionSummary>& records,
+                                    GraphFacet facet, double collapse,
+                                    std::int64_t window_minutes) {
+  GraphBuilder builder({.facet = facet,
+                        .window_minutes = window_minutes,
+                        .collapse_threshold = collapse},
+                       monitored_from(records));
+  for (const auto& r : records) builder.ingest(r);
+  builder.flush();
+  return builder.take_graphs();
+}
+
+// --- commands ---------------------------------------------------------------
+
+int cmd_simulate(const Args& args) {
+  const std::string preset_name = args.get_or("preset", "tiny");
+  const double scale = args.get_double("rate-scale", 1.0);
+  const auto spec = preset_by_name(preset_name, scale);
+  if (!spec) {
+    std::fprintf(stderr, "ccgraph: unknown preset '%s'\n", preset_name.c_str());
+    return 2;
+  }
+  const auto out_path = args.get("out");
+  if (!out_path) {
+    std::fprintf(stderr, "ccgraph: simulate requires --out\n");
+    return 2;
+  }
+  const long hours = args.get_long("hours", 1);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 2023));
+
+  Cluster cluster(*spec, seed);
+  TelemetryHub hub(ProviderProfile::azure(), seed);
+  SimulationDriver driver(cluster, hub);
+
+  if (const auto attack = args.get("attack")) {
+    const long hour = args.get_long("attack-hour", hours - 1);
+    const TimeWindow window = TimeWindow::hour(hour);
+    if (*attack == "scan") {
+      driver.add_injector(std::make_unique<ScanAttack>(
+          ScanAttack::Config{.active = window}, seed ^ 0xA));
+    } else if (*attack == "lateral") {
+      driver.add_injector(std::make_unique<LateralMovementAttack>(
+          LateralMovementAttack::Config{.active = window}, seed ^ 0xB));
+    } else if (*attack == "exfil") {
+      driver.add_injector(std::make_unique<ExfiltrationAttack>(
+          ExfiltrationAttack::Config{.active = window}, seed ^ 0xC));
+    } else {
+      std::fprintf(stderr, "ccgraph: unknown attack '%s'\n", attack->c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "injecting %s in hour %ld\n", attack->c_str(), hour);
+  }
+
+  std::ofstream out(*out_path);
+  if (!out) {
+    std::fprintf(stderr, "ccgraph: cannot write %s\n", out_path->c_str());
+    return 1;
+  }
+  out << csv_header() << '\n';
+  std::uint64_t records = 0;
+  for (std::int64_t m = 0; m < hours * 60; ++m) {
+    for (const auto& rec : driver.step(MinuteBucket(m))) {
+      out << to_csv(rec) << '\n';
+      ++records;
+    }
+  }
+  std::printf("wrote %llu records (%ld h of %s, seed %llu) to %s\n",
+              static_cast<unsigned long long>(records), hours,
+              spec->name.c_str(), static_cast<unsigned long long>(seed),
+              out_path->c_str());
+  return 0;
+}
+
+int cmd_graph(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) return usage();
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+
+  const GraphFacet facet =
+      args.get_or("facet", "ip") == "ipport" ? GraphFacet::kIpPort : GraphFacet::kIp;
+  const auto graphs = build_graphs(*records, facet,
+                                   args.get_double("collapse", 0.001),
+                                   args.get_long("window", 60));
+  for (const auto& g : graphs) {
+    const GraphMetrics m = compute_metrics(g);
+    std::printf("window %s: %s\n", g.window().to_string().c_str(),
+                m.to_string().c_str());
+    if (facet == GraphFacet::kIp && g.node_count() >= 2) {
+      std::printf("%s\n", ascii_adjacency(g, 32).c_str());
+    }
+  }
+  if (graphs.size() >= 2) {
+    std::printf("stability: %s\n", analyze_series(graphs).summary().c_str());
+  }
+
+  // Optional artifacts from the last window.
+  if (const auto pgm_path = args.get("pgm")) {
+    std::ofstream pgm(*pgm_path, std::ios::binary);
+    if (!pgm || !write_pgm_heatmap(pgm, graphs.back())) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", pgm_path->c_str());
+      return 1;
+    }
+    std::printf("wrote heatmap image to %s\n", pgm_path->c_str());
+  }
+  if (const auto save_path = args.get("save")) {
+    std::ofstream save(*save_path);
+    if (!save) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", save_path->c_str());
+      return 1;
+    }
+    write_graph(save, graphs.back());
+    std::printf("saved graph to %s\n", save_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_diff(const Args& args) {
+  const auto before_path = args.get("before");
+  const auto after_path = args.get("after");
+  if (!before_path || !after_path) return usage();
+  const auto before_records = load_csv(*before_path);
+  const auto after_records = load_csv(*after_path);
+  if (!before_records || !after_records) return 1;
+
+  // One graph per log, whole-file windows, no collapsing (diffs should see
+  // every endpoint).
+  const auto before = build_graphs(*before_records, GraphFacet::kIp, 0.0, 1 << 20);
+  const auto after = build_graphs(*after_records, GraphFacet::kIp, 0.0, 1 << 20);
+  const GraphDelta delta = diff_graphs(before.back(), after.back(),
+                                       args.get_double("factor", 4.0));
+  std::printf("%s\n", delta.summary().c_str());
+  std::size_t shown = 0;
+  for (const auto& e : delta.edges_added) {
+    if (shown++ >= 15) {
+      std::printf("... and %zu more new edges\n", delta.edges_added.size() - 15);
+      break;
+    }
+    std::printf("NEW     %s <-> %s (%llu bytes)\n", e.a.to_string().c_str(),
+                e.b.to_string().c_str(),
+                static_cast<unsigned long long>(e.bytes_after));
+  }
+  shown = 0;
+  for (const auto& e : delta.edges_changed) {
+    if (shown++ >= 15) {
+      std::printf("... and %zu more changed edges\n",
+                  delta.edges_changed.size() - 15);
+      break;
+    }
+    std::printf("CHANGED %s <-> %s (%.1fx: %llu -> %llu bytes)\n",
+                e.a.to_string().c_str(), e.b.to_string().c_str(), e.ratio(),
+                static_cast<unsigned long long>(e.bytes_before),
+                static_cast<unsigned long long>(e.bytes_after));
+  }
+  return delta.edges_added.empty() && delta.edges_changed.empty() ? 0 : 3;
+}
+
+int cmd_segment(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) return usage();
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+
+  const auto graphs = build_graphs(*records, GraphFacet::kIp,
+                                   args.get_double("collapse", 0.001),
+                                   args.get_long("window", 60));
+  const CommGraph& g = graphs.back();
+  const Segmentation seg = auto_segment(
+      g, SegmentationMethod::kJaccardLouvain,
+      {.louvain_resolution = args.get_double("resolution", 2.0)});
+
+  std::printf("%zu nodes -> %zu microsegments\n", g.node_count(), seg.segment_count);
+  for (std::uint32_t s = 0; s < seg.segment_count; ++s) {
+    const auto members = seg.members_of(s);
+    std::printf("segment %u (%zu members):", s, members.size());
+    std::size_t shown = 0;
+    for (const NodeId member : members) {
+      if (shown++ >= 8) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" %s", g.key(member).to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_policy(const Args& args) {
+  const auto baseline_path = args.get("baseline");
+  const auto check_path = args.get("check");
+  if (!baseline_path || !check_path) return usage();
+  const auto baseline = load_csv(*baseline_path);
+  const auto check = load_csv(*check_path);
+  if (!baseline || !check) return 1;
+
+  // Segment the baseline graph, mine the default-deny policy from the
+  // baseline stream, then check the second stream.
+  const auto graphs = build_graphs(*baseline, GraphFacet::kIp, 0.001, 1 << 20);
+  const CommGraph& g = graphs.back();
+  const Segmentation seg = auto_segment(g, SegmentationMethod::kJaccardLouvain);
+  const SegmentMap segments = SegmentMap::from_segmentation(g, seg);
+
+  // Mine with per-hour support counting so --min-support can drop one-off
+  // channels (including attacker traffic hiding inside the baseline).
+  PolicyMiner miner(segments);
+  std::int64_t current_hour = baseline->front().time.hour();
+  for (const auto& record : *baseline) {
+    if (record.time.hour() != current_hour) {
+      miner.end_window();
+      current_hour = record.time.hour();
+    }
+    miner.observe(record);
+  }
+  miner.end_window();
+  const auto min_support =
+      static_cast<std::size_t>(args.get_long("min-support", 1));
+  const ReachabilityPolicy policy = miner.build(min_support);
+  std::printf("baseline: %zu segments, %zu allow rules from %llu records "
+              "(%zu windows, min-support %zu)\n",
+              segments.segment_count(), policy.rule_count(),
+              static_cast<unsigned long long>(miner.records_observed()),
+              miner.windows_observed(), min_support);
+
+  if (const auto save_path = args.get("save")) {
+    std::ofstream save(*save_path);
+    if (!save) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", save_path->c_str());
+      return 1;
+    }
+    write_policy(save, policy);
+    std::printf("saved policy to %s\n", save_path->c_str());
+  }
+
+  PolicyChecker checker(segments, policy);
+  checker.check_batch(*check);
+  const auto classified = apply_similarity_policy(
+      checker.violations(), segments,
+      {.segment_fraction = args.get_double("coverage", 0.5)});
+
+  std::size_t alerts = 0, suppressed = 0;
+  for (const auto& cv : classified) {
+    if (cv.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++alerts;
+    if (alerts <= 20) {
+      std::printf("ALERT %s\n", cv.violation.to_string().c_str());
+    }
+  }
+  if (alerts > 20) std::printf("... and %zu more alerts\n", alerts - 20);
+  std::printf("%zu alerts, %zu suppressed as coordinated changes (%llu records checked)\n",
+              alerts, suppressed,
+              static_cast<unsigned long long>(checker.records_checked()));
+  return alerts > 0 ? 3 : 0;  // distinct exit code when violations exist
+}
+
+int cmd_anomaly(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) return usage();
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+
+  bool any_alert = false;
+  AnalyticsService service(
+      {.graph = {.facet = GraphFacet::kIp,
+                 .window_minutes = args.get_long("window", 60),
+                 .collapse_threshold = args.get_double("collapse", 0.001)},
+       .training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
+       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))}},
+      monitored_from(*records), [&](const WindowReport& report) {
+        std::printf("%s\n", report.summary().c_str());
+        if (report.alert) {
+          any_alert = true;
+          for (std::size_t i = 0;
+               i < std::min<std::size_t>(5, report.anomalous_edges.size()); ++i) {
+            std::printf("  %s\n", report.anomalous_edges[i].to_string().c_str());
+          }
+        }
+      });
+  // Records arrive sorted by minute from simulate/collectors; group them.
+  std::vector<ConnectionSummary> minute_batch;
+  MinuteBucket current = records->front().time;
+  for (const auto& rec : *records) {
+    if (rec.time != current) {
+      service.on_batch(current, minute_batch);
+      minute_batch.clear();
+      current = rec.time;
+    }
+    minute_batch.push_back(rec);
+  }
+  service.on_batch(current, minute_batch);
+  service.flush();
+  std::printf("%zu windows analyzed\n", service.windows_reported());
+  return any_alert ? 3 : 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) return usage();
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+
+  const auto graphs = build_graphs(*records, GraphFacet::kIp,
+                                   args.get_double("collapse", 0.001), 60);
+  const CommGraph& g = graphs.back();
+  const GraphMetrics m = compute_metrics(g);
+  std::printf("== graph ==\n%s\n", m.to_string().c_str());
+
+  std::printf("\n== executive summary ==\n%s",
+              mine_patterns(g).executive_summary(g).c_str());
+
+  std::printf("\n== traffic concentration ==\n");
+  const auto curve = node_traffic_ccdf(g);
+  for (const double f : {0.01, 0.05, 0.1, 0.25}) {
+    double ccdf = 1.0;
+    for (const auto& p : curve) {
+      if (p.fraction_of_nodes <= f) ccdf = p.ccdf;
+    }
+    std::printf("top %4.0f%% of nodes carry %5.1f%% of bytes\n", 100 * f,
+                100 * (1.0 - ccdf));
+  }
+
+  std::printf("\n== capacity hotspots ==\n");
+  for (const auto& h : capacity_hotspots(g, 5)) {
+    std::printf("%-20s %5.1f%% of traffic\n", h.node.to_string().c_str(),
+                100 * h.share);
+  }
+
+  const Segmentation seg = auto_segment(g, SegmentationMethod::kJaccardLouvain);
+  std::printf("\n== microsegments ==\n%zu segments over %zu nodes\n",
+              seg.segment_count, g.node_count());
+
+  if (graphs.size() >= 2) {
+    std::printf("\n== stability ==\n%s\n", analyze_series(graphs).summary().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc - 2, argv + 2);
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "graph") return cmd_graph(args);
+    if (command == "segment") return cmd_segment(args);
+    if (command == "policy") return cmd_policy(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "anomaly") return cmd_anomaly(args);
+    if (command == "report") return cmd_report(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ccgraph: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

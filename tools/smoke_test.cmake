@@ -1,0 +1,38 @@
+# Drives the ccgraph CLI end to end: simulate two hours (second one with a
+# scan), then graph/segment/report on hour data and policy-check the attack
+# hour against the clean baseline (which must produce alerts, exit 3).
+function(run_cli expect_rc)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "ccgraph ${ARGN} -> rc=${rc} (want ${expect_rc})\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_cli(0 simulate --preset tiny --hours 1 --seed 7 --out clean.csv)
+run_cli(0 simulate --preset tiny --hours 1 --seed 7 --attack scan --attack-hour 0 --out attacked.csv)
+run_cli(0 graph --in clean.csv)
+run_cli(0 segment --in clean.csv)
+run_cli(0 report --in clean.csv)
+run_cli(3 policy --baseline clean.csv --check attacked.csv)
+run_cli(0 policy --baseline clean.csv --check clean.csv)
+run_cli(2 simulate --preset nonsense)
+
+run_cli(0 graph --in clean.csv --pgm heat.pgm --save graph.ccg)
+if(NOT EXISTS ${WORKDIR}/heat.pgm OR NOT EXISTS ${WORKDIR}/graph.ccg)
+  message(FATAL_ERROR "graph artifacts not written")
+endif()
+run_cli(3 diff --before clean.csv --after attacked.csv)
+run_cli(0 diff --before clean.csv --after clean.csv)
+run_cli(0 policy --baseline clean.csv --check clean.csv --save policy.txt --min-support 1)
+if(NOT EXISTS ${WORKDIR}/policy.txt)
+  message(FATAL_ERROR "policy file not written")
+endif()
+
+run_cli(0 simulate --preset tiny --hours 5 --seed 9 --out long.csv)
+run_cli(0 anomaly --in long.csv --train 3 --rank 8)
+run_cli(0 simulate --preset tiny --hours 5 --seed 9 --attack lateral --attack-hour 4 --out long_attacked.csv)
+run_cli(3 anomaly --in long_attacked.csv --train 3 --rank 8)
