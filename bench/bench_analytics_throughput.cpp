@@ -7,6 +7,7 @@
 
 #include "ccg/analytics/cogs.hpp"
 #include "ccg/analytics/pipeline.hpp"
+#include "ccg/obs/export.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -116,5 +117,12 @@ int main(int argc, char** argv) {
   const auto report = cogs_report(stream.ledger, stream.monitored.size(), rps);
   std::printf("\n==== COGS verdict (paper target: 0.02 $/hr/VM, ~0.5%% of VM cost) ====\n%s\n",
               report.summary().c_str());
+
+  // Per-stage / per-shard diagnosis behind the throughput numbers above:
+  // queue-depth high-water marks say which shard was the bottleneck,
+  // enqueue_stall whether the producer ever blocked on backpressure.
+  std::printf("\n==== pipeline & stage metrics ====\n%s",
+              obs::summary_text(obs::Registry::global().snapshot()).c_str());
+  emit_metrics_snapshot();
   return 0;
 }

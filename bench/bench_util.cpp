@@ -2,9 +2,18 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "ccg/obs/export.hpp"
+
 namespace ccg::bench {
+
+void emit_metrics_snapshot() {
+  std::printf("\n==== metrics snapshot (json) ====\n%s",
+              obs::to_json(obs::Registry::global().snapshot()).c_str());
+  std::fflush(stdout);
+}
 
 double default_rate_scale(const std::string& preset_name) {
   // KQuery at full calibration generates ~100k records/min; scale the big
@@ -16,6 +25,15 @@ double default_rate_scale(const std::string& preset_name) {
 }
 
 SimulationResult simulate(const ClusterSpec& spec, SimulateOptions options) {
+  // Every bench funnels through here, so this is the one place to hook the
+  // end-of-run metrics dump. Registered once; the global registry is
+  // leaked, so it is still alive when the handler runs.
+  static const bool metrics_at_exit = [] {
+    obs::Registry::global();
+    return std::atexit(emit_metrics_snapshot) == 0;
+  }();
+  (void)metrics_at_exit;
+
   SimulationResult result;
   Cluster cluster(spec, options.seed);
   TelemetryHub hub(options.provider, options.seed);

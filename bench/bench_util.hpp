@@ -69,4 +69,11 @@ void print_row(const std::vector<std::string>& cells,
 std::string fmt(double v, int precision = 2);
 std::string fmt_count(std::uint64_t v);  // 12345678 -> "12.3M"
 
+/// Prints the global obs::Registry as a delimited JSON block so perf
+/// trajectory files capture per-stage latency, not just end-to-end
+/// throughput. simulate() arranges (once) for this to run at process exit,
+/// so every bench binary emits it after its tables; call it directly for
+/// an extra mid-run snapshot.
+void emit_metrics_snapshot();
+
 }  // namespace ccg::bench

@@ -16,6 +16,7 @@
 
 #include "ccg/analytics/queue.hpp"
 #include "ccg/graph/builder.hpp"
+#include "ccg/obs/metrics.hpp"
 #include "ccg/telemetry/collector.hpp"
 
 namespace ccg {
@@ -27,6 +28,7 @@ struct PipelineOptions {
   GraphBuildConfig graph;               // facet/window/collapse settings
 };
 
+/// Value snapshot of the pipeline's throughput counters.
 struct PipelineStats {
   std::uint64_t records = 0;
   std::uint64_t batches = 0;
@@ -39,6 +41,18 @@ struct PipelineStats {
 
 /// Sharded streaming graph builder. Thread-safe for a single producer
 /// (the telemetry hub); shard workers run on their own threads.
+///
+/// Threading contract:
+///  - on_batch() and finish() must be called from one producer thread.
+///  - Shard workers ingest concurrently on their own threads.
+///  - stats() may be called from any thread at any time: the underlying
+///    counters are relaxed atomics, so totals are exact once quiescent and
+///    never torn mid-run. wall_seconds is only meaningful after finish().
+///
+/// The pipeline also feeds the global obs::Registry ("ccg.pipeline.*"):
+/// per-shard record counters and queue-depth high-water marks, enqueue
+/// stall and per-batch build latency histograms, and the window-merge
+/// latency at finish().
 class ShardedGraphPipeline : public TelemetrySink {
  public:
   ShardedGraphPipeline(PipelineOptions options,
@@ -55,7 +69,10 @@ class ShardedGraphPipeline : public TelemetrySink {
   /// After finish() the pipeline cannot be reused.
   std::vector<CommGraph> finish();
 
-  const PipelineStats& stats() const { return stats_; }
+  PipelineStats stats() const {
+    return {records_.load(std::memory_order_relaxed),
+            batches_.load(std::memory_order_relaxed), wall_seconds_};
+  }
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
@@ -63,14 +80,24 @@ class ShardedGraphPipeline : public TelemetrySink {
     std::unique_ptr<BoundedQueue<std::vector<ConnectionSummary>>> queue;
     std::unique_ptr<GraphBuilder> builder;
     std::thread worker;
+    obs::Counter* records = nullptr;    // ccg.pipeline.shard.N.records
+    obs::Gauge* queue_hwm = nullptr;    // ccg.pipeline.shard.N.queue_depth_hwm
   };
 
   std::size_t shard_of(const ConnectionSummary& record) const;
+  void push_pending(std::size_t shard);
 
   PipelineOptions options_;
   std::vector<Shard> shards_;
   std::vector<std::vector<ConnectionSummary>> pending_;  // per shard
-  PipelineStats stats_;
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  double wall_seconds_ = 0.0;  // written by finish(), producer thread only
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Histogram* m_enqueue_stall_ = nullptr;
+  obs::Histogram* m_batch_build_ = nullptr;
+  obs::Histogram* m_window_merge_ = nullptr;
   std::chrono::steady_clock::time_point started_;
   bool finished_ = false;
 };

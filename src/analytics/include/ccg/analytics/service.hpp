@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ccg/graph/builder.hpp"
+#include "ccg/obs/metrics.hpp"
 #include "ccg/segmentation/tracker.hpp"
 #include "ccg/summarize/anomaly.hpp"
 #include "ccg/summarize/edge_anomaly.hpp"
@@ -85,6 +86,19 @@ class AnalyticsService : public TelemetrySink {
   SegmentTracker tracker_;
   std::size_t windows_reported_ = 0;
   std::vector<WindowReport> history_;
+
+  // Per-window stage latencies in the global registry, registered at
+  // construction so every stage appears in exports even before it first
+  // runs ("ccg.analytics.stage.<stage>.seconds"):
+  obs::Histogram* m_stage_build_ = nullptr;     // graph construction
+  obs::Histogram* m_stage_spectral_ = nullptr;  // PCA subspace scoring
+  obs::Histogram* m_stage_edges_ = nullptr;     // edge localization
+  obs::Histogram* m_stage_tracker_ = nullptr;   // segment tracking
+  obs::Histogram* m_stage_patterns_ = nullptr;  // pattern census
+  obs::Histogram* m_spectral_fit_ = nullptr;    // one-off baseline fit
+  obs::Counter* m_windows_ = nullptr;
+  obs::Counter* m_training_windows_ = nullptr;
+  obs::Counter* m_alerts_ = nullptr;
 };
 
 }  // namespace ccg

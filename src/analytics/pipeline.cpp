@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <string>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/span.hpp"
 
 namespace ccg {
 
@@ -14,6 +16,13 @@ ShardedGraphPipeline::ShardedGraphPipeline(PipelineOptions options,
   CCG_EXPECT(options.shards >= 1);
   CCG_EXPECT(options.shard_batch_size >= 1);
 
+  obs::Registry& registry = obs::Registry::global();
+  m_records_ = &registry.counter("ccg.pipeline.records");
+  m_batches_ = &registry.counter("ccg.pipeline.batches");
+  m_enqueue_stall_ = &obs::span_histogram("ccg.pipeline.enqueue_stall");
+  m_batch_build_ = &obs::span_histogram("ccg.pipeline.batch_build");
+  m_window_merge_ = &obs::span_histogram("ccg.pipeline.window_merge");
+
   // Shard builders never collapse: a shard only sees its own edges, so
   // traffic shares are meaningless locally. Collapse runs after the merge.
   GraphBuildConfig shard_config = options_.graph;
@@ -21,15 +30,23 @@ ShardedGraphPipeline::ShardedGraphPipeline(PipelineOptions options,
 
   shards_.resize(options.shards);
   pending_.resize(options.shards);
-  for (auto& shard : shards_) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    const std::string prefix = "ccg.pipeline.shard." + std::to_string(s);
+    shard.records = &registry.counter(prefix + ".records");
+    shard.queue_hwm = &registry.gauge(prefix + ".queue_depth_hwm");
     shard.queue = std::make_unique<BoundedQueue<std::vector<ConnectionSummary>>>(
         options.queue_capacity);
     shard.builder = std::make_unique<GraphBuilder>(shard_config, monitored);
     GraphBuilder* builder = shard.builder.get();
     auto* queue = shard.queue.get();
-    shard.worker = std::thread([builder, queue] {
+    obs::Counter* shard_records = shard.records;
+    obs::Histogram* batch_build = m_batch_build_;
+    shard.worker = std::thread([builder, queue, shard_records, batch_build] {
       while (auto batch = queue->pop()) {
+        obs::ScopedSpan span(*batch_build, "ccg.pipeline.batch_build");
         for (const auto& record : *batch) builder->ingest(record);
+        shard_records->add(batch->size());
       }
     });
   }
@@ -57,27 +74,33 @@ std::size_t ShardedGraphPipeline::shard_of(const ConnectionSummary& record) cons
   return h % shards_.size();
 }
 
+void ShardedGraphPipeline::push_pending(std::size_t shard) {
+  // A blocked push is backpressure from a lagging shard worker; the stall
+  // histogram is how that shows up in a metrics scrape.
+  obs::ScopedSpan stall(*m_enqueue_stall_, "ccg.pipeline.enqueue_stall");
+  shards_[shard].queue->push(std::move(pending_[shard]));
+  pending_[shard] = {};
+  shards_[shard].queue_hwm->update_max(
+      static_cast<double>(shards_[shard].queue->size()));
+}
+
 void ShardedGraphPipeline::on_batch(MinuteBucket time,
                                     const std::vector<ConnectionSummary>& batch) {
   CCG_EXPECT(!finished_);
-  ++stats_.batches;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  m_batches_->add();
   for (const auto& record : batch) {
     ConnectionSummary stamped = record;
     stamped.time = time;
     const std::size_t s = shard_of(stamped);
     pending_[s].push_back(stamped);
-    if (pending_[s].size() >= options_.shard_batch_size) {
-      shards_[s].queue->push(std::move(pending_[s]));
-      pending_[s] = {};
-    }
-    ++stats_.records;
+    if (pending_[s].size() >= options_.shard_batch_size) push_pending(s);
   }
+  records_.fetch_add(batch.size(), std::memory_order_relaxed);
+  m_records_->add(batch.size());
   // Flush small leftovers each minute so shard windows close promptly.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (!pending_[s].empty()) {
-      shards_[s].queue->push(std::move(pending_[s]));
-      pending_[s] = {};
-    }
+    if (!pending_[s].empty()) push_pending(s);
   }
 }
 
@@ -85,11 +108,11 @@ std::vector<CommGraph> ShardedGraphPipeline::finish() {
   CCG_EXPECT(!finished_);
   finished_ = true;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (!pending_[s].empty()) shards_[s].queue->push(std::move(pending_[s]));
+    if (!pending_[s].empty()) push_pending(s);
     shards_[s].queue->close();
   }
   for (auto& shard : shards_) shard.worker.join();
-  stats_.wall_seconds =
+  wall_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
           .count();
 
@@ -104,6 +127,7 @@ std::vector<CommGraph> ShardedGraphPipeline::finish() {
   std::vector<CommGraph> out;
   out.reserve(by_window.size());
   for (auto& [start, parts] : by_window) {
+    obs::ScopedSpan span(*m_window_merge_, "ccg.pipeline.window_merge");
     CommGraph merged = merge_graphs(parts);
     if (options_.graph.collapse_threshold > 0.0) {
       merged = collapse_heavy_hitters(merged, options_.graph.collapse_threshold,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/span.hpp"
 
 namespace ccg {
 
@@ -17,16 +18,32 @@ AnalyticsService::AnalyticsService(AnalyticsServiceOptions options,
       tracker_(options.segmentation, options.segmentation_options) {
   CCG_EXPECT(options.training_windows >= 1);
   CCG_EXPECT(on_report_ != nullptr);
+  obs::Registry& registry = obs::Registry::global();
+  m_stage_build_ = &obs::span_histogram("ccg.analytics.stage.build");
+  m_stage_spectral_ = &obs::span_histogram("ccg.analytics.stage.spectral");
+  m_stage_edges_ = &obs::span_histogram("ccg.analytics.stage.edges");
+  m_stage_tracker_ = &obs::span_histogram("ccg.analytics.stage.tracker");
+  m_stage_patterns_ = &obs::span_histogram("ccg.analytics.stage.patterns");
+  m_spectral_fit_ = &obs::span_histogram("ccg.analytics.spectral_fit");
+  m_windows_ = &registry.counter("ccg.analytics.windows");
+  m_training_windows_ = &registry.counter("ccg.analytics.training_windows");
+  m_alerts_ = &registry.counter("ccg.analytics.alerts");
 }
 
 void AnalyticsService::on_batch(MinuteBucket time,
                                 const std::vector<ConnectionSummary>& batch) {
-  builder_.on_batch(time, batch);
+  {
+    obs::ScopedSpan span(*m_stage_build_, "ccg.analytics.stage.build");
+    builder_.on_batch(time, batch);
+  }
   drain_closed_windows();
 }
 
 void AnalyticsService::flush() {
-  builder_.flush();
+  {
+    obs::ScopedSpan span(*m_stage_build_, "ccg.analytics.stage.build");
+    builder_.flush();
+  }
   drain_closed_windows();
 }
 
@@ -46,18 +63,31 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
   report.edges = graph.edge_count();
   report.bytes = graph.total_bytes();
 
+  m_windows_->add();
+
   // These run from window one: they carry their own baselines.
-  report.anomalous_edges = edge_detector_.observe(graph);
-  report.segments = tracker_.observe(graph);
-  report.patterns = mine_patterns(graph);
+  {
+    obs::ScopedSpan span(*m_stage_edges_, "ccg.analytics.stage.edges");
+    report.anomalous_edges = edge_detector_.observe(graph);
+  }
+  {
+    obs::ScopedSpan span(*m_stage_tracker_, "ccg.analytics.stage.tracker");
+    report.segments = tracker_.observe(graph);
+  }
+  {
+    obs::ScopedSpan span(*m_stage_patterns_, "ccg.analytics.stage.patterns");
+    report.patterns = mine_patterns(graph);
+  }
 
   // The spectral detector needs a fitted subspace: accumulate training
   // windows, fit once, then score everything after.
   if (!spectral_.fitted()) {
+    m_training_windows_->add();
     training_graphs_.push_back(graph);
     if (training_graphs_.size() >= options_.training_windows) {
       training_refs_.clear();
       for (const CommGraph& g : training_graphs_) training_refs_.push_back(&g);
+      obs::ScopedSpan span(*m_spectral_fit_, "ccg.analytics.spectral_fit");
       spectral_.fit(training_refs_);
     }
     report.trained = false;
@@ -65,8 +95,12 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
   }
 
   report.trained = true;
-  report.anomaly = spectral_.score(graph);
-  report.alert = spectral_.is_alert(*report.anomaly);
+  {
+    obs::ScopedSpan span(*m_stage_spectral_, "ccg.analytics.stage.spectral");
+    report.anomaly = spectral_.score(graph);
+    report.alert = spectral_.is_alert(*report.anomaly);
+  }
+  if (report.alert) m_alerts_->add();
   return report;
 }
 

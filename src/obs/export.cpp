@@ -1,0 +1,210 @@
+#include "ccg/obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ccg::obs {
+namespace {
+
+/// %.9g round-trips every value we emit and keeps goldens readable.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// "0.00123" -> "1.23ms": durations dominate the summary table and raw
+/// seconds are unreadable at µs scale.
+std::string fmt_duration(double seconds) {
+  char buf[48];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", seconds * 1e9);
+  }
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    std::string name = prom_name(c.name);
+    if (!ends_with(name, "_total")) name += "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prom_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + fmt_double(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prom_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [bound, n] : h.buckets) {
+      cumulative += n;
+      const std::string le =
+          std::isinf(bound) ? std::string("+Inf") : fmt_double(bound);
+      out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += name + "_sum " + fmt_double(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, c.name);
+    out += "\": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, g.name);
+    out += "\": " + fmt_double(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, h.name);
+    out += "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + fmt_double(h.sum) +
+           ", \"min\": " + fmt_double(h.min) +
+           ", \"max\": " + fmt_double(h.max) +
+           ", \"p50\": " + fmt_double(h.p50) +
+           ", \"p90\": " + fmt_double(h.p90) +
+           ", \"p99\": " + fmt_double(h.p99) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [bound, n] : h.buckets) {
+      // All-zero buckets are noise in the file; the bounds are implied by
+      // the bucket layout, so only occupied buckets are listed.
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      const std::string le =
+          std::isinf(bound) ? std::string("\"+Inf\"") : fmt_double(bound);
+      out += "{\"le\": " + le + ", \"n\": " + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string summary_text(const Snapshot& snapshot) {
+  std::ostringstream out;
+  char line[256];
+  if (!snapshot.histograms.empty()) {
+    std::snprintf(line, sizeof(line), "%-44s %8s %10s %10s %10s %10s %10s\n",
+                  "histogram", "count", "mean", "p50", "p90", "p99", "max");
+    out << line;
+    for (const auto& h : snapshot.histograms) {
+      if (h.count == 0) continue;
+      const bool secs = ends_with(h.name, ".seconds");
+      const auto cell = [secs](double v) {
+        return secs ? fmt_duration(v) : fmt_double(v);
+      };
+      std::snprintf(line, sizeof(line), "%-44s %8llu %10s %10s %10s %10s %10s\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    cell(h.sum / static_cast<double>(h.count)).c_str(),
+                    cell(h.p50).c_str(), cell(h.p90).c_str(),
+                    cell(h.p99).c_str(), cell(h.max).c_str());
+      out << line;
+    }
+  }
+  bool header = false;
+  for (const auto& c : snapshot.counters) {
+    if (c.value == 0) continue;
+    if (!header) {
+      out << "counters:\n";
+      header = true;
+    }
+    std::snprintf(line, sizeof(line), "  %-44s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out << line;
+  }
+  header = false;
+  for (const auto& g : snapshot.gauges) {
+    if (g.value == 0.0) continue;
+    if (!header) {
+      out << "gauges:\n";
+      header = true;
+    }
+    std::snprintf(line, sizeof(line), "  %-44s %s\n", g.name.c_str(),
+                  fmt_double(g.value).c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+bool write_json_file(const std::string& path, const Snapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(snapshot);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ccg::obs

@@ -1,0 +1,31 @@
+// Exporters for Registry snapshots: Prometheus text exposition format
+// (scrape-ready), a JSON snapshot (for `--metrics-out` files and the bench
+// perf-trajectory logs), and a human-readable summary table for CLI
+// output. All three render the same Snapshot, so they always agree.
+#pragma once
+
+#include <string>
+
+#include "ccg/obs/metrics.hpp"
+
+namespace ccg::obs {
+
+/// Prometheus text format (version 0.0.4). Dotted metric names are
+/// sanitized to underscores; counters get a `_total` suffix; histograms
+/// emit cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// Histogram buckets carry non-cumulative occupancy; the overflow bucket's
+/// "le" is the string "+Inf" (JSON numbers cannot express infinity).
+std::string to_json(const Snapshot& snapshot);
+
+/// Fixed-width table of histograms (count/mean/p50/p90/p99/max, with
+/// `.seconds` metrics pretty-printed as durations) followed by non-zero
+/// counters and gauges. For `ccgraph report` and bench output.
+std::string summary_text(const Snapshot& snapshot);
+
+/// Writes to_json(snapshot) to `path`. Returns false on I/O failure.
+bool write_json_file(const std::string& path, const Snapshot& snapshot);
+
+}  // namespace ccg::obs

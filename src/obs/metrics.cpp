@@ -1,0 +1,181 @@
+#include "ccg/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg::obs {
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  CCG_EXPECT(options.first_bound > 0.0);
+  CCG_EXPECT(options.growth > 1.0);
+  CCG_EXPECT(options.buckets >= 1);
+  bounds_.reserve(options.buckets);
+  double bound = options.first_bound;
+  for (std::size_t i = 0; i < options.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::record(double value) noexcept {
+  // upper_bound: first bucket whose bound is >= value (bounds are upper
+  // inclusive); everything past the last finite bound lands in overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+
+  double cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::upper_bound(std::size_t i) const noexcept {
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t i) const noexcept {
+  return i <= bounds_.size() ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double lo = min();
+  const double hi = max();
+
+  // Rank of the requested quantile, 1-based ("nearest rank" with
+  // interpolation inside the owning bucket).
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double bucket_lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // The overflow bucket has no finite upper bound; the observed max is
+      // the tightest honest cap. Same for any bucket that contains it.
+      const double bucket_hi = i < bounds_.size() ? std::min(bounds_[i], hi) : hi;
+      const double frac = (target - cumulative) / in_bucket;
+      const double v = bucket_lo + frac * (bucket_hi - bucket_lo);
+      return std::clamp(v, lo, hi);
+    }
+    cumulative += in_bucket;
+  }
+  return hi;  // unreachable unless counts raced; max is the safe answer
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instruments are referenced from other statics and
+  // atexit hooks whose destruction order we do not control.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, HistogramOptions options) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(options))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.buckets.reserve(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      s.buckets.emplace_back(h->upper_bound(i), h->bucket_value(i));
+    }
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->quantile(0.50);
+    s.p90 = h->quantile(0.90);
+    s.p99 = h->quantile(0.99);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t Registry::instrument_count() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace ccg::obs

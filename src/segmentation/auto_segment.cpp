@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/span.hpp"
 #include "ccg/segmentation/similarity.hpp"
 #include "ccg/segmentation/simrank.hpp"
 
@@ -57,35 +58,50 @@ WeightedGraph volume_weighted(const CommGraph& graph, bool bytes) {
 
 Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
                           SegmentationOptions options) {
+  CCG_OBS_SPAN("ccg.segment.total");
+  obs::Registry::global().counter("ccg.segment.runs").add();
+
+  // Phase 1: build the clustering objective (similarity clique or the
+  // volume-weighted graph itself). Dominates runtime for similarity methods.
   WeightedGraph objective(0);
-  switch (method) {
-    case SegmentationMethod::kJaccardLouvain:
-      objective = similarity_clique(
-          graph, {.kind = SimilarityKind::kJaccard, .min_score = options.min_similarity});
-      break;
-    case SegmentationMethod::kWeightedJaccardLouvain:
-      objective = similarity_clique(graph, {.kind = SimilarityKind::kWeightedJaccard,
-                                            .min_score = options.min_similarity});
-      break;
-    case SegmentationMethod::kSimRank:
-      objective = simrank_clique(
-          graph, {.min_score = options.min_similarity, .plus_plus = false});
-      break;
-    case SegmentationMethod::kSimRankPlusPlus:
-      objective = simrank_clique(
-          graph, {.min_score = options.min_similarity, .plus_plus = true});
-      break;
-    case SegmentationMethod::kConnectivityModularity:
-      objective = volume_weighted(graph, /*bytes=*/false);
-      break;
-    case SegmentationMethod::kByteModularity:
-      objective = volume_weighted(graph, /*bytes=*/true);
-      break;
+  {
+    CCG_OBS_SPAN("ccg.segment.objective");
+    switch (method) {
+      case SegmentationMethod::kJaccardLouvain:
+        objective = similarity_clique(
+            graph,
+            {.kind = SimilarityKind::kJaccard, .min_score = options.min_similarity});
+        break;
+      case SegmentationMethod::kWeightedJaccardLouvain:
+        objective = similarity_clique(graph,
+                                      {.kind = SimilarityKind::kWeightedJaccard,
+                                       .min_score = options.min_similarity});
+        break;
+      case SegmentationMethod::kSimRank:
+        objective = simrank_clique(
+            graph, {.min_score = options.min_similarity, .plus_plus = false});
+        break;
+      case SegmentationMethod::kSimRankPlusPlus:
+        objective = simrank_clique(
+            graph, {.min_score = options.min_similarity, .plus_plus = true});
+        break;
+      case SegmentationMethod::kConnectivityModularity:
+        objective = volume_weighted(graph, /*bytes=*/false);
+        break;
+      case SegmentationMethod::kByteModularity:
+        objective = volume_weighted(graph, /*bytes=*/true);
+        break;
+    }
   }
 
-  const LouvainResult lr = louvain_cluster(
-      objective,
-      {.resolution = options.louvain_resolution, .seed = options.seed});
+  // Phase 2: Louvain community detection over the objective.
+  LouvainResult lr;
+  {
+    CCG_OBS_SPAN("ccg.segment.louvain");
+    lr = louvain_cluster(
+        objective,
+        {.resolution = options.louvain_resolution, .seed = options.seed});
+  }
 
   Segmentation out;
   out.method = method;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/span.hpp"
 
 namespace ccg {
 
@@ -31,7 +32,12 @@ TelemetryHub::TelemetryHub(ProviderProfile profile, std::uint64_t seed,
                            std::size_t flow_table_capacity)
     : profile_(std::move(profile)),
       seed_(seed),
-      flow_table_capacity_(flow_table_capacity) {}
+      flow_table_capacity_(flow_table_capacity) {
+  obs::Registry& registry = obs::Registry::global();
+  m_records_ = &registry.counter("ccg.telemetry.records");
+  m_batches_ = &registry.counter("ccg.telemetry.batches");
+  m_flush_latency_ = &obs::span_histogram("ccg.telemetry.flush");
+}
 
 void TelemetryHub::add_host(IpAddr host_ip) {
   if (agents_.contains(host_ip)) return;
@@ -48,22 +54,29 @@ void TelemetryHub::observe(const FlowKey& key, const TrafficCounters& delta,
 
 std::vector<ConnectionSummary> TelemetryHub::end_interval(MinuteBucket now) {
   std::vector<ConnectionSummary> merged;
-  for (auto& [ip, agent] : agents_) {
-    auto batch = agent->collect(now);
-    merged.insert(merged.end(), batch.begin(), batch.end());
+  {
+    // Spans only the hub's own work (collect + sort), not the sink's
+    // downstream processing — that has its own stage histograms.
+    obs::ScopedSpan flush_span(*m_flush_latency_, "ccg.telemetry.flush");
+    for (auto& [ip, agent] : agents_) {
+      auto batch = agent->collect(now);
+      merged.insert(merged.end(), batch.begin(), batch.end());
+    }
+    // Deterministic order regardless of hash-map iteration: time is fixed,
+    // so order by flow key.
+    std::sort(merged.begin(), merged.end(),
+              [](const ConnectionSummary& a, const ConnectionSummary& b) {
+                return a.flow < b.flow;
+              });
   }
-  // Deterministic order regardless of hash-map iteration: time is fixed, so
-  // order by flow key.
-  std::sort(merged.begin(), merged.end(),
-            [](const ConnectionSummary& a, const ConnectionSummary& b) {
-              return a.flow < b.flow;
-            });
 
   ledger_.records += merged.size();
   ledger_.wire_bytes += merged.size() * ConnectionSummary::kWireBytes;
   ledger_.cost_dollars =
       collection_cost_dollars(ledger_.records, profile_.price_per_gb);
   ++ledger_.intervals;
+  m_records_->add(merged.size());
+  m_batches_->add();
 
   if (sink_ != nullptr) sink_->on_batch(now, merged);
   return merged;

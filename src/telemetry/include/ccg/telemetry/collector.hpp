@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ccg/common/ip.hpp"
+#include "ccg/obs/metrics.hpp"
 #include "ccg/telemetry/flow_table.hpp"
 #include "ccg/telemetry/provider.hpp"
 #include "ccg/telemetry/record.hpp"
@@ -101,6 +102,11 @@ class TelemetryHub {
   std::unordered_map<IpAddr, std::unique_ptr<HostAgent>> agents_;
   TelemetrySink* sink_ = nullptr;
   TelemetryLedger ledger_;
+  // Global-registry mirrors of the ledger ("ccg.telemetry.*"): records and
+  // batches flushed, plus an end_interval (flush) latency histogram.
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Histogram* m_flush_latency_ = nullptr;
 };
 
 }  // namespace ccg

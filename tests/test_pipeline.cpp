@@ -166,6 +166,33 @@ TEST(ShardedGraphPipeline, CollapseAppliedAfterMerge) {
   EXPECT_EQ(graphs[0].node_stats(*other).collapsed_members, 60u);
 }
 
+TEST(ShardedGraphPipeline, StatsReadableWhileStreaming) {
+  // The threading contract allows stats() from any thread mid-run: the
+  // counters are atomics, so a concurrent reader sees monotone totals
+  // (and TSan stays quiet — this was a data race before the obs refactor).
+  Rng rng(5);
+  ShardedGraphPipeline pipeline(
+      {.shards = 2, .graph = {.facet = GraphFacet::kIp, .window_minutes = 60}},
+      all_monitored());
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load()) {
+      const PipelineStats s = pipeline.stats();
+      EXPECT_GE(s.records, last);
+      last = s.records;
+    }
+  });
+  for (std::int64_t m = 0; m < 30; ++m) {
+    pipeline.on_batch(MinuteBucket(m), random_minute(m, 200, rng));
+  }
+  done = true;
+  reader.join();
+  pipeline.finish();
+  EXPECT_EQ(pipeline.stats().records, 30u * 200u);
+  EXPECT_EQ(pipeline.stats().batches, 30u);
+}
+
 TEST(ShardedGraphPipeline, SingleShardWorks) {
   Rng rng(7);
   ShardedGraphPipeline pipeline(

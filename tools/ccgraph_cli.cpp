@@ -20,11 +20,14 @@
 #include <string>
 
 #include "ccg/analytics/counterfactual.hpp"
+#include "ccg/analytics/pipeline.hpp"
 #include "ccg/analytics/service.hpp"
 #include "ccg/graph/builder.hpp"
 #include "ccg/graph/delta.hpp"
 #include "ccg/graph/metrics.hpp"
 #include "ccg/graph/serialize.hpp"
+#include "ccg/obs/export.hpp"
+#include "ccg/obs/metrics.hpp"
 #include "ccg/policy/higher_order.hpp"
 #include "ccg/policy/policy_io.hpp"
 #include "ccg/policy/reachability.hpp"
@@ -89,7 +92,10 @@ int usage() {
                "           [--min-support N] [--save policy.txt]\n"
                "  diff     --before a.csv --after b.csv [--factor F]\n"
                "  anomaly  --in flows.csv [--window MIN] [--train N] [--rank K]\n"
-               "  report   --in flows.csv [--collapse F]\n");
+               "  report   --in flows.csv [--collapse F] [--shards N]\n"
+               "every command also accepts:\n"
+               "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
+               "  --metrics-prom FILE  same registry in Prometheus text format\n");
   return 2;
 }
 
@@ -136,6 +142,23 @@ std::vector<CommGraph> build_graphs(const std::vector<ConnectionSummary>& record
   for (const auto& r : records) builder.ingest(r);
   builder.flush();
   return builder.take_graphs();
+}
+
+/// Replays a (minute-sorted) flow log into a sink as per-minute batches —
+/// the shape the TelemetryHub would deliver live.
+void replay_minutes(const std::vector<ConnectionSummary>& records,
+                    TelemetrySink& sink) {
+  std::vector<ConnectionSummary> minute_batch;
+  MinuteBucket current = records.front().time;
+  for (const auto& rec : records) {
+    if (rec.time != current) {
+      sink.on_batch(current, minute_batch);
+      minute_batch.clear();
+      current = rec.time;
+    }
+    minute_batch.push_back(rec);
+  }
+  sink.on_batch(current, minute_batch);
 }
 
 // --- commands ---------------------------------------------------------------
@@ -408,17 +431,7 @@ int cmd_anomaly(const Args& args) {
         }
       });
   // Records arrive sorted by minute from simulate/collectors; group them.
-  std::vector<ConnectionSummary> minute_batch;
-  MinuteBucket current = records->front().time;
-  for (const auto& rec : *records) {
-    if (rec.time != current) {
-      service.on_batch(current, minute_batch);
-      minute_batch.clear();
-      current = rec.time;
-    }
-    minute_batch.push_back(rec);
-  }
-  service.on_batch(current, minute_batch);
+  replay_minutes(*records, service);
   service.flush();
   std::printf("%zu windows analyzed\n", service.windows_reported());
   return any_alert ? 3 : 0;
@@ -429,10 +442,39 @@ int cmd_report(const Args& args) {
   if (!in_path) return usage();
   const auto records = load_csv(*in_path);
   if (!records) return 1;
+  const auto monitored = monitored_from(*records);
 
-  const auto graphs = build_graphs(*records, GraphFacet::kIp,
-                                   args.get_double("collapse", 0.001), 60);
+  // Build graphs through the sharded streaming pipeline (the production
+  // path) so the report's metrics section shows per-shard counters, queue
+  // high-water marks and merge latency for this log.
+  ShardedGraphPipeline pipeline(
+      {.shards = static_cast<std::size_t>(args.get_long("shards", 4)),
+       .graph = {.facet = GraphFacet::kIp,
+                 .window_minutes = 60,
+                 .collapse_threshold = args.get_double("collapse", 0.001)}},
+      monitored);
+  replay_minutes(*records, pipeline);
+  const auto graphs = pipeline.finish();
+  if (graphs.empty()) {
+    std::fprintf(stderr, "ccgraph: no complete windows in %s\n", in_path->c_str());
+    return 1;
+  }
   const CommGraph& g = graphs.back();
+
+  // One analytics pass over the same log populates the per-stage latency
+  // histograms (build/spectral/edges/tracker/patterns) and, when the log
+  // is long enough to finish training, an anomaly verdict per window.
+  std::vector<WindowReport> window_reports;
+  AnalyticsService service(
+      {.graph = {.facet = GraphFacet::kIp,
+                 .window_minutes = 60,
+                 .collapse_threshold = args.get_double("collapse", 0.001)},
+       .training_windows =
+           static_cast<std::size_t>(args.get_long("train", 3))},
+      monitored,
+      [&](const WindowReport& report) { window_reports.push_back(report); });
+  replay_minutes(*records, service);
+  service.flush();
   const GraphMetrics m = compute_metrics(g);
   std::printf("== graph ==\n%s\n", m.to_string().c_str());
 
@@ -463,6 +505,59 @@ int cmd_report(const Args& args) {
   if (graphs.size() >= 2) {
     std::printf("\n== stability ==\n%s\n", analyze_series(graphs).summary().c_str());
   }
+
+  if (window_reports.size() >= 2) {
+    std::printf("\n== window timeline ==\n");
+    for (const auto& report : window_reports) {
+      std::printf("%s\n", report.summary().c_str());
+    }
+  }
+
+  std::printf("\n== pipeline ==\n");
+  const PipelineStats stats = pipeline.stats();
+  std::printf("%llu records in %llu batches across %zu shards (%.0f records/s)\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.batches),
+              pipeline.shard_count(), stats.records_per_second());
+
+  std::printf("\n== metrics ==\n%s",
+              obs::summary_text(obs::Registry::global().snapshot()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+namespace {
+
+int dispatch(const std::string& command, const Args& args) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "graph") return cmd_graph(args);
+  if (command == "segment") return cmd_segment(args);
+  if (command == "policy") return cmd_policy(args);
+  if (command == "diff") return cmd_diff(args);
+  if (command == "anomaly") return cmd_anomaly(args);
+  if (command == "report") return cmd_report(args);
+  return usage();
+}
+
+/// --metrics-out / --metrics-prom: dump whatever the command recorded into
+/// the global registry, even when the command itself failed (a metrics
+/// file from a failed run is exactly what you want when diagnosing it).
+int export_metrics(const Args& args) {
+  const auto snapshot = ccg::obs::Registry::global().snapshot();
+  if (const auto path = args.get("metrics-out")) {
+    if (!ccg::obs::write_json_file(*path, snapshot)) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      return 1;
+    }
+  }
+  if (const auto path = args.get("metrics-prom")) {
+    std::ofstream out(*path);
+    if (!out || !(out << ccg::obs::to_prometheus(snapshot))) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -473,16 +568,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc - 2, argv + 2);
   try {
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "graph") return cmd_graph(args);
-    if (command == "segment") return cmd_segment(args);
-    if (command == "policy") return cmd_policy(args);
-    if (command == "diff") return cmd_diff(args);
-    if (command == "anomaly") return cmd_anomaly(args);
-    if (command == "report") return cmd_report(args);
+    const int rc = dispatch(command, args);
+    const int metrics_rc = export_metrics(args);
+    return rc != 0 ? rc : metrics_rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ccgraph: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
