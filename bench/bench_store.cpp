@@ -1,0 +1,137 @@
+// Snapshot store: append/scan throughput and on-disk footprint.
+//
+// 60 hours of the tiny preset at hourly windows — the granularity the
+// repo's text snapshots (`ccgraph graph --save`) are kept at. Three
+// encodings of the same window series are compared:
+//   text    — one ccgraph-v1 text snapshot per window (write_graph)
+//   full    — the store with keyframe_interval 1 (every frame standalone)
+//   delta   — the store's default (keyframe every 8, GraphPatch between)
+// The delta store must come in at least 3x smaller than the text series;
+// the bench fails loudly when it does not.
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "ccg/graph/serialize.hpp"
+#include "ccg/store/store.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ccg;
+  using namespace ccg::bench;
+  namespace fs = std::filesystem;
+
+  constexpr std::int64_t kMinutes = 60 * 60;
+  constexpr std::int64_t kWindowMinutes = 60;
+
+  Cluster cluster(presets::tiny(), 2023);
+  TelemetryHub hub(ProviderProfile::azure(), 2023);
+  SimulationDriver driver(cluster, hub);
+  const auto ips = cluster.monitored_ips();
+  GraphBuilder builder({.facet = GraphFacet::kIp,
+                        .window_minutes = kWindowMinutes,
+                        .collapse_threshold = 0.001},
+                       {ips.begin(), ips.end()});
+  hub.set_sink(&builder);
+  driver.run(TimeWindow::minutes(0, kMinutes));
+  builder.flush();
+  const auto windows = builder.take_graphs();
+
+  std::uint64_t total_nodes = 0, total_edges = 0;
+  for (const auto& g : windows) {
+    total_nodes += g.node_count();
+    total_edges += g.edge_count();
+  }
+  print_header("Snapshot store (tiny preset, 60 hourly windows)");
+  std::printf("%zu windows, %.1f nodes / %.1f edges per window\n\n",
+              windows.size(),
+              static_cast<double>(total_nodes) / static_cast<double>(windows.size()),
+              static_cast<double>(total_edges) / static_cast<double>(windows.size()));
+
+  const fs::path root = fs::temp_directory_path() / "ccg_bench_store";
+  fs::remove_all(root);
+
+  // Baseline: the text snapshot series a store-less deployment would keep.
+  std::uint64_t text_bytes = 0;
+  {
+    Stopwatch timer;
+    for (const auto& g : windows) {
+      std::ostringstream out;
+      write_graph(out, g);
+      text_bytes += out.str().size();
+    }
+    std::printf("%-22s %9s %12.0f windows/s  %8.1f KiB (%.0f B/window)\n",
+                "text snapshots", "encode",
+                static_cast<double>(windows.size()) / timer.seconds(),
+                static_cast<double>(text_bytes) / 1024.0,
+                static_cast<double>(text_bytes) / static_cast<double>(windows.size()));
+  }
+
+  struct Variant {
+    const char* name;
+    std::size_t keyframe_interval;
+    std::uint64_t bytes = 0;
+    double append_s = 0.0;
+    double scan_s = 0.0;
+  };
+  Variant variants[] = {{"store (keyframes only)", 1}, {"store (delta, K=8)", 8}};
+
+  int failures = 0;
+  for (Variant& v : variants) {
+    const fs::path dir = root / (v.keyframe_interval == 1 ? "full" : "delta");
+    {
+      Stopwatch timer;
+      auto writer = store::StoreWriter::open(
+          dir.string(), {.keyframe_interval = v.keyframe_interval});
+      if (!writer) {
+        std::printf("!! cannot open %s\n", dir.string().c_str());
+        return 1;
+      }
+      for (const auto& g : windows) {
+        if (!writer->append(g)) {
+          std::printf("!! append failed\n");
+          return 1;
+        }
+      }
+      writer->close();
+      v.append_s = timer.seconds();
+      v.bytes = writer->stats().bytes_on_disk;
+    }
+    {
+      Stopwatch timer;
+      auto reader = store::StoreReader::open(dir.string());
+      std::size_t scanned = 0;
+      auto range = reader->range();
+      while (auto g = range.next()) ++scanned;
+      v.scan_s = timer.seconds();
+      if (scanned != windows.size()) {
+        std::printf("!! scan returned %zu of %zu windows\n", scanned,
+                    windows.size());
+        ++failures;
+      }
+    }
+    std::printf("%-22s %9s %12.0f windows/s  %8.1f KiB (%.0f B/window)\n",
+                v.name, "append",
+                static_cast<double>(windows.size()) / v.append_s,
+                static_cast<double>(v.bytes) / 1024.0,
+                static_cast<double>(v.bytes) / static_cast<double>(windows.size()));
+    std::printf("%-22s %9s %12.0f windows/s\n", "", "scan",
+                static_cast<double>(windows.size()) / v.scan_s);
+  }
+
+  const double vs_text =
+      static_cast<double>(text_bytes) / static_cast<double>(variants[1].bytes);
+  const double vs_full =
+      static_cast<double>(variants[0].bytes) / static_cast<double>(variants[1].bytes);
+  std::printf("\ncompression: delta store is %.1fx smaller than text "
+              "snapshots, %.1fx smaller than keyframes-only\n",
+              vs_text, vs_full);
+  if (vs_text < 3.0) {
+    std::printf("!! delta-vs-text ratio %.2f below the 3x floor\n", vs_text);
+    ++failures;
+  }
+
+  fs::remove_all(root);
+  emit_metrics_snapshot();
+  return failures == 0 ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 #include "ccg/analytics/queue.hpp"
 #include "ccg/graph/builder.hpp"
 #include "ccg/obs/metrics.hpp"
+#include "ccg/store/store.hpp"
 #include "ccg/telemetry/collector.hpp"
 
 namespace ccg {
@@ -65,6 +66,11 @@ class ShardedGraphPipeline : public TelemetrySink {
   /// TelemetrySink hook: splits the batch across shards.
   void on_batch(MinuteBucket time, const std::vector<ConnectionSummary>& batch) override;
 
+  /// Optional store sink: every merged window is appended to `store` as it
+  /// is finalized in finish(), before being returned. Borrowed, not owned;
+  /// set before finish().
+  void set_store(store::StoreWriter* store) { store_ = store; }
+
   /// Stops workers, merges shard windows, returns one graph per window.
   /// After finish() the pipeline cannot be reused.
   std::vector<CommGraph> finish();
@@ -90,6 +96,7 @@ class ShardedGraphPipeline : public TelemetrySink {
   PipelineOptions options_;
   std::vector<Shard> shards_;
   std::vector<std::vector<ConnectionSummary>> pending_;  // per shard
+  store::StoreWriter* store_ = nullptr;
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> batches_{0};
   double wall_seconds_ = 0.0;  // written by finish(), producer thread only

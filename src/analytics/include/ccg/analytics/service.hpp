@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,6 +19,7 @@
 #include "ccg/graph/builder.hpp"
 #include "ccg/obs/metrics.hpp"
 #include "ccg/segmentation/tracker.hpp"
+#include "ccg/store/store.hpp"
 #include "ccg/summarize/anomaly.hpp"
 #include "ccg/summarize/edge_anomaly.hpp"
 #include "ccg/summarize/patterns.hpp"
@@ -69,16 +71,33 @@ class AnalyticsService : public TelemetrySink {
   /// Closes the in-progress window and reports it.
   void flush();
 
+  /// Optional snapshot-store sink: each closed window is appended to
+  /// `store` before analysis, so a live deployment leaves a replayable
+  /// history behind. Borrowed, not owned.
+  void set_store(store::StoreWriter* store) { store_ = store; }
+
+  /// Replay entry point (paper §2.3 counterfactual shape): drives the same
+  /// per-window stages from stored windows with t0 <= window_begin < t1
+  /// instead of live records, reporting each window through the callback.
+  /// Detector state carries over exactly as in streaming, so replaying a
+  /// store from a fresh service reproduces the original run's reports.
+  /// Returns the number of windows replayed.
+  std::size_t replay(store::StoreReader& reader,
+                     std::int64_t t0 = std::numeric_limits<std::int64_t>::min(),
+                     std::int64_t t1 = std::numeric_limits<std::int64_t>::max());
+
   std::size_t windows_reported() const { return windows_reported_; }
   const std::vector<WindowReport>& history() const { return history_; }
 
  private:
   void drain_closed_windows();
+  void deliver(const CommGraph& graph);
   WindowReport analyze(const CommGraph& graph);
 
   AnalyticsServiceOptions options_;
   ReportCallback on_report_;
   GraphBuilder builder_;
+  store::StoreWriter* store_ = nullptr;
   std::vector<const CommGraph*> training_refs_;  // into training_graphs_
   std::vector<CommGraph> training_graphs_;
   SpectralAnomalyDetector spectral_;

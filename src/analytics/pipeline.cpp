@@ -133,8 +133,10 @@ std::vector<CommGraph> ShardedGraphPipeline::finish() {
       merged = collapse_heavy_hitters(merged, options_.graph.collapse_threshold,
                                       options_.graph.collapse_monitored);
     }
+    if (store_ != nullptr) store_->append(merged);
     out.push_back(std::move(merged));
   }
+  if (store_ != nullptr) store_->flush();
   return out;
 }
 

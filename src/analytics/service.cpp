@@ -49,11 +49,27 @@ void AnalyticsService::flush() {
 
 void AnalyticsService::drain_closed_windows() {
   for (CommGraph& graph : builder_.take_graphs()) {
-    WindowReport report = analyze(graph);
-    history_.push_back(report);
-    ++windows_reported_;
-    on_report_(history_.back());
+    if (store_ != nullptr) store_->append(graph);
+    deliver(graph);
   }
+}
+
+void AnalyticsService::deliver(const CommGraph& graph) {
+  WindowReport report = analyze(graph);
+  history_.push_back(report);
+  ++windows_reported_;
+  on_report_(history_.back());
+}
+
+std::size_t AnalyticsService::replay(store::StoreReader& reader,
+                                     std::int64_t t0, std::int64_t t1) {
+  std::size_t replayed = 0;
+  auto range = reader.range(t0, t1);
+  while (const auto graph = range.next()) {
+    deliver(*graph);
+    ++replayed;
+  }
+  return replayed;
 }
 
 WindowReport AnalyticsService::analyze(const CommGraph& graph) {

@@ -54,4 +54,58 @@ struct GraphDelta {
 GraphDelta diff_graphs(const CommGraph& before, const CommGraph& after,
                        double volume_change_factor = 4.0);
 
+// --- exact patches ----------------------------------------------------------
+//
+// GraphDelta above is the *analytic* delta: lossy by design (it keeps byte
+// totals, not full edge stats). GraphPatch is its lossless sibling — the
+// substrate of the snapshot store's delta frames: apply_patch(before,
+// make_patch(before, after)) reproduces `after` exactly, including NodeId
+// and EdgeId assignment order, so downstream analyses (whose tie-breaking
+// can be iteration-order sensitive) behave identically on replayed graphs.
+
+struct GraphPatch {
+  /// Window of the target ('after') graph.
+  TimeWindow window;
+
+  /// One entry per target NodeId, in NodeId order.
+  struct Node {
+    /// NodeId in 'before' carrying the same key, or -1 for a new node.
+    std::int64_t ref = -1;
+    NodeKey key;  // meaningful only when ref < 0
+    /// Target-side attributes (carried for referenced nodes too: flags can
+    /// flip between windows, e.g. a peer becomes monitored).
+    bool monitored = false;
+    std::uint32_t collapsed_members = 0;
+  };
+
+  /// One entry per target EdgeId, in EdgeId order.
+  struct Edge {
+    /// EdgeId in 'before' joining the same node keys, or -1 for a new edge.
+    /// Referenced edges derive their endpoints from 'before' through the
+    /// node mapping; new edges carry target NodeIds explicitly.
+    std::int64_t ref = -1;
+    NodeId a = kInvalidNode;  // meaningful only when ref < 0, a < b
+    NodeId b = kInvalidNode;
+    /// Full target stats in the target edge's a-to-b orientation.
+    EdgeStats stats;
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+};
+
+/// Builds the exact patch taking `before` to `after`. A keyframe is the
+/// degenerate case make_patch(CommGraph{}, g): every node and edge is new.
+GraphPatch make_patch(const CommGraph& before, const CommGraph& after);
+
+/// Reconstructs the target graph. Returns nullopt when the patch is
+/// inconsistent with `before` (dangling refs, duplicate keys or edges) —
+/// the store uses this to reject frames applied to the wrong base.
+std::optional<CommGraph> apply_patch(const CommGraph& before,
+                                     const GraphPatch& patch);
+
+/// Deep structural equality including NodeId/EdgeId assignment order — the
+/// invariant apply_patch guarantees and the store's tests assert.
+bool graphs_identical(const CommGraph& a, const CommGraph& b);
+
 }  // namespace ccg

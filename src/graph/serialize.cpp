@@ -28,6 +28,12 @@ void write_graph(std::ostream& out, const CommGraph& graph) {
 }
 
 std::optional<CommGraph> read_graph(std::istream& in) {
+  // A text snapshot is untrusted input (it may come from another tenant's
+  // export or a truncated file), so the header is treated as a claim to be
+  // verified, not a promise: counts are capped before any allocation and
+  // re-checked against what the body actually produced.
+  constexpr std::size_t kMaxElements = std::size_t{1} << 26;
+
   std::string magic;
   std::int64_t window_begin = 0, window_len = 0;
   std::size_t node_count = 0, edge_count = 0;
@@ -35,6 +41,8 @@ std::optional<CommGraph> read_graph(std::istream& in) {
     return std::nullopt;
   }
   if (magic != "ccgraph-v1") return std::nullopt;
+  if (window_len < 0) return std::nullopt;
+  if (node_count > kMaxElements || edge_count > kMaxElements) return std::nullopt;
 
   CommGraph graph(TimeWindow::minutes(window_begin, window_len));
   for (std::size_t i = 0; i < node_count; ++i) {
@@ -46,11 +54,15 @@ std::optional<CommGraph> read_graph(std::istream& in) {
     if (!(in >> tag >> ip_bits >> port >> monitored >> collapsed) || tag != "n") {
       return std::nullopt;
     }
+    // Port -1 is the kIp facet's "no port"; anything else must be a real one.
+    if (port < -1 || port > 65535) return std::nullopt;
+    if (monitored != 0 && monitored != 1) return std::nullopt;
     const NodeId id = graph.add_node(NodeKey{IpAddr(ip_bits), port});
-    if (id != i) return std::nullopt;  // duplicate node line
+    if (id != i) return std::nullopt;  // duplicate node key
     graph.set_monitored(id, monitored != 0);
     if (collapsed > 0) graph.note_collapsed_members(id, collapsed);
   }
+  if (graph.node_count() != node_count) return std::nullopt;
   for (std::size_t i = 0; i < edge_count; ++i) {
     std::string tag;
     NodeId a = 0, b = 0;
@@ -63,8 +75,12 @@ std::optional<CommGraph> read_graph(std::istream& in) {
       return std::nullopt;
     }
     if (a >= node_count || b >= node_count || a == b) return std::nullopt;
+    if (port_hint < -1 || port_hint > 65535) return std::nullopt;
     graph.add_edge_volume(a, b, bytes_ab, bytes_ba, pkts_ab, pkts_ba, conn,
                           active, cm_ab, cm_ba, port_hint);
+    // add_edge_volume merges a repeated pair instead of appending, which
+    // would silently double-count; require one line per distinct edge.
+    if (graph.edge_count() != i + 1) return std::nullopt;
   }
   return graph;
 }

@@ -120,6 +120,58 @@ TEST(GraphSerialize, RejectsCorruptInput) {
   }
 }
 
+TEST(GraphSerialize, RejectsMalformedHeaderAndBody) {
+  {
+    // Header counts far beyond any plausible graph must be rejected before
+    // the body is even touched (a hostile header should not drive loops).
+    std::stringstream absurd_nodes("ccgraph-v1 0 60 99999999999 0\n");
+    EXPECT_FALSE(read_graph(absurd_nodes).has_value());
+    std::stringstream absurd_edges("ccgraph-v1 0 60 0 99999999999\n");
+    EXPECT_FALSE(read_graph(absurd_edges).has_value());
+  }
+  {
+    std::stringstream negative_window("ccgraph-v1 0 -60 0 0\n");
+    EXPECT_FALSE(read_graph(negative_window).has_value());
+  }
+  {
+    // Two node lines with the same key: the second would silently dedupe
+    // and leave the body one line long vs the header.
+    std::stringstream dup_node(
+        "ccgraph-v1 0 60 2 0\nn 1 -1 1 0\nn 1 -1 0 0\n");
+    EXPECT_FALSE(read_graph(dup_node).has_value());
+  }
+  {
+    // Two edge lines for the same pair: add_edge_volume would merge them
+    // and double-count the traffic.
+    std::stringstream dup_edge(
+        "ccgraph-v1 0 60 2 2\nn 1 -1 1 0\nn 2 -1 1 0\n"
+        "e 0 1 10 0 1 0 1 1 0 0 -1\ne 0 1 10 0 1 0 1 1 0 0 -1\n");
+    EXPECT_FALSE(read_graph(dup_edge).has_value());
+  }
+  {
+    std::stringstream bad_port("ccgraph-v1 0 60 1 0\nn 1 70000 1 0\n");
+    EXPECT_FALSE(read_graph(bad_port).has_value());
+    std::stringstream neg_port("ccgraph-v1 0 60 1 0\nn 1 -2 1 0\n");
+    EXPECT_FALSE(read_graph(neg_port).has_value());
+  }
+  {
+    std::stringstream bad_monitored("ccgraph-v1 0 60 1 0\nn 1 -1 2 0\n");
+    EXPECT_FALSE(read_graph(bad_monitored).has_value());
+  }
+  {
+    std::stringstream bad_hint(
+        "ccgraph-v1 0 60 2 1\nn 1 -1 1 0\nn 2 -1 1 0\n"
+        "e 0 1 10 0 1 0 1 1 0 0 70000\n");
+    EXPECT_FALSE(read_graph(bad_hint).has_value());
+  }
+  {
+    // A self-loop edge.
+    std::stringstream self_loop(
+        "ccgraph-v1 0 60 1 1\nn 1 -1 1 0\ne 0 0 1 1 1 1 1 1 0 0 -1\n");
+    EXPECT_FALSE(read_graph(self_loop).has_value());
+  }
+}
+
 TEST(PgmHeatmap, WritesValidHeader) {
   const CommGraph g = random_graph(9, 20, 50);
   std::stringstream out;

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -32,6 +33,7 @@
 #include "ccg/policy/policy_io.hpp"
 #include "ccg/policy/reachability.hpp"
 #include "ccg/segmentation/auto_segment.hpp"
+#include "ccg/store/store.hpp"
 #include "ccg/summarize/patterns.hpp"
 #include "ccg/summarize/temporal.hpp"
 #include "ccg/telemetry/serialize.hpp"
@@ -92,10 +94,21 @@ int usage() {
                "           [--min-support N] [--save policy.txt]\n"
                "  diff     --before a.csv --after b.csv [--factor F]\n"
                "  anomaly  --in flows.csv [--window MIN] [--train N] [--rank K]\n"
+               "           [--summary-out FILE]\n"
                "  report   --in flows.csv [--collapse F] [--shards N]\n"
+               "  store append  --in flows.csv --store DIR [--window MIN]\n"
+               "                [--facet ip|ipport] [--collapse F]\n"
+               "                [--keyframe K] [--segment-mb MB]\n"
+               "  store query   --store DIR [--from MIN] [--to MIN]\n"
+               "  store replay  --store DIR [--from MIN] [--to MIN]\n"
+               "                [--train N] [--rank K] [--summary-out FILE]\n"
+               "  store compact --store DIR [--keyframe K] [--retain-from MIN]\n"
+               "                [--segment-mb MB]\n"
+               "  store stats   --store DIR\n"
                "every command also accepts:\n"
                "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
-               "  --metrics-prom FILE  same registry in Prometheus text format\n");
+               "  --metrics-prom FILE  same registry in Prometheus text format\n"
+               "ccgraph --version prints version, build type and sanitizers\n");
   return 2;
 }
 
@@ -413,7 +426,16 @@ int cmd_anomaly(const Args& args) {
   const auto records = load_csv(*in_path);
   if (!records) return 1;
 
-  bool any_alert = false;
+  std::ofstream summary_out;
+  if (const auto path = args.get("summary-out")) {
+    summary_out.open(*path);
+    if (!summary_out) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      return 1;
+    }
+  }
+
+  std::size_t alerts = 0;
   AnalyticsService service(
       {.graph = {.facet = GraphFacet::kIp,
                  .window_minutes = args.get_long("window", 60),
@@ -422,8 +444,9 @@ int cmd_anomaly(const Args& args) {
        .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))}},
       monitored_from(*records), [&](const WindowReport& report) {
         std::printf("%s\n", report.summary().c_str());
+        if (summary_out.is_open()) summary_out << report.summary() << '\n';
         if (report.alert) {
-          any_alert = true;
+          ++alerts;
           for (std::size_t i = 0;
                i < std::min<std::size_t>(5, report.anomalous_edges.size()); ++i) {
             std::printf("  %s\n", report.anomalous_edges[i].to_string().c_str());
@@ -433,8 +456,9 @@ int cmd_anomaly(const Args& args) {
   // Records arrive sorted by minute from simulate/collectors; group them.
   replay_minutes(*records, service);
   service.flush();
-  std::printf("%zu windows analyzed\n", service.windows_reported());
-  return any_alert ? 3 : 0;
+  std::printf("%zu windows analyzed, %zu alerts\n", service.windows_reported(),
+              alerts);
+  return alerts > 0 ? 3 : 0;
 }
 
 int cmd_report(const Args& args) {
@@ -525,11 +549,210 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+// --- store commands ---------------------------------------------------------
+
+std::int64_t minute_arg(const Args& args, const std::string& key,
+                        std::int64_t fallback) {
+  const auto v = args.get(key);
+  return v ? std::stoll(*v) : fallback;
+}
+
+int cmd_store_append(const Args& args) {
+  const auto in_path = args.get("in");
+  const auto store_dir = args.get("store");
+  if (!in_path || !store_dir) return usage();
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+
+  // Same build configuration defaults as `anomaly`, so a stored log replays
+  // into byte-identical windows.
+  const GraphFacet facet =
+      args.get_or("facet", "ip") == "ipport" ? GraphFacet::kIpPort : GraphFacet::kIp;
+  const auto graphs = build_graphs(*records, facet,
+                                   args.get_double("collapse", 0.001),
+                                   args.get_long("window", 60));
+  store::WriterOptions options{
+      .keyframe_interval = static_cast<std::size_t>(args.get_long("keyframe", 8)),
+      .segment_bytes =
+          static_cast<std::uint64_t>(args.get_long("segment-mb", 64)) << 20};
+  auto writer = store::StoreWriter::open(*store_dir, options);
+  if (!writer) {
+    std::fprintf(stderr, "ccgraph: cannot open store %s\n", store_dir->c_str());
+    return 1;
+  }
+  std::size_t appended = 0;
+  for (const auto& g : graphs) {
+    if (writer->append(g)) {
+      ++appended;
+    } else {
+      std::fprintf(stderr, "ccgraph: append rejected for window %s\n",
+                   g.window().to_string().c_str());
+    }
+  }
+  writer->close();
+  std::printf("appended %zu of %zu windows to %s\n%s\n", appended, graphs.size(),
+              store_dir->c_str(), writer->stats().to_string().c_str());
+  return appended == graphs.size() ? 0 : 1;
+}
+
+int cmd_store_query(const Args& args) {
+  const auto store_dir = args.get("store");
+  if (!store_dir) return usage();
+  auto reader = store::StoreReader::open(*store_dir);
+  if (!reader) {
+    std::fprintf(stderr, "ccgraph: cannot open store %s\n", store_dir->c_str());
+    return 1;
+  }
+  const std::int64_t from =
+      minute_arg(args, "from", std::numeric_limits<std::int64_t>::min());
+  const std::int64_t to =
+      minute_arg(args, "to", std::numeric_limits<std::int64_t>::max());
+
+  // Walk the index cursor alongside the materializing range so each window
+  // can be labeled with its on-disk representation.
+  const auto& entries = reader->entries();
+  std::size_t cursor = 0;
+  while (cursor < entries.size() && entries[cursor].window_begin < from) ++cursor;
+  auto range = reader->range(from, to);
+  std::size_t shown = 0;
+  while (const auto g = range.next()) {
+    const char* kind = "?";
+    std::uint64_t framed = 0;
+    if (cursor < entries.size()) {
+      kind = entries[cursor].kind == store::FrameKind::kKeyframe ? "keyframe"
+                                                                 : "delta";
+      framed = entries[cursor].length;
+      ++cursor;
+    }
+    std::printf("%s  %-8s %8llu bytes on disk  %zu nodes / %zu edges / %llu "
+                "bytes traffic\n",
+                g->window().to_string().c_str(), kind,
+                static_cast<unsigned long long>(framed), g->node_count(),
+                g->edge_count(),
+                static_cast<unsigned long long>(g->total_bytes()));
+    ++shown;
+  }
+  std::printf("%zu windows in range\n", shown);
+  return 0;
+}
+
+int cmd_store_replay(const Args& args) {
+  const auto store_dir = args.get("store");
+  if (!store_dir) return usage();
+  auto reader = store::StoreReader::open(*store_dir);
+  if (!reader) {
+    std::fprintf(stderr, "ccgraph: cannot open store %s\n", store_dir->c_str());
+    return 1;
+  }
+  const std::int64_t from =
+      minute_arg(args, "from", std::numeric_limits<std::int64_t>::min());
+  const std::int64_t to =
+      minute_arg(args, "to", std::numeric_limits<std::int64_t>::max());
+
+  std::ofstream summary_out;
+  if (const auto path = args.get("summary-out")) {
+    summary_out.open(*path);
+    if (!summary_out) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      return 1;
+    }
+  }
+
+  // Same analytics stack as `anomaly`, fed from stored windows instead of a
+  // flow log: the two paths must produce identical per-window summaries.
+  std::size_t alerts = 0;
+  AnalyticsService service(
+      {.training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
+       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))}},
+      {}, [&](const WindowReport& report) {
+        std::printf("%s\n", report.summary().c_str());
+        if (summary_out.is_open()) summary_out << report.summary() << '\n';
+        if (report.alert) {
+          ++alerts;
+          for (std::size_t i = 0;
+               i < std::min<std::size_t>(5, report.anomalous_edges.size()); ++i) {
+            std::printf("  %s\n", report.anomalous_edges[i].to_string().c_str());
+          }
+        }
+      });
+  const std::size_t replayed = service.replay(*reader, from, to);
+  std::printf("%zu windows replayed, %zu alerts\n", replayed, alerts);
+  return alerts > 0 ? 3 : 0;
+}
+
+int cmd_store_compact(const Args& args) {
+  const auto store_dir = args.get("store");
+  if (!store_dir) return usage();
+  const auto before = store::StoreReader::open(*store_dir);
+  if (!before) {
+    std::fprintf(stderr, "ccgraph: cannot open store %s\n", store_dir->c_str());
+    return 1;
+  }
+  const store::StoreStats before_stats = before->stats();
+
+  store::CompactOptions options{
+      .keyframe_interval = static_cast<std::size_t>(args.get_long("keyframe", 8)),
+      .segment_bytes =
+          static_cast<std::uint64_t>(args.get_long("segment-mb", 64)) << 20,
+      .retain_from = minute_arg(args, "retain-from",
+                                std::numeric_limits<std::int64_t>::min())};
+  const auto after = store::compact_store(*store_dir, options);
+  if (!after) {
+    std::fprintf(stderr, "ccgraph: compaction failed for %s\n",
+                 store_dir->c_str());
+    return 1;
+  }
+  std::printf("before: %s\nafter:  %s\n", before_stats.to_string().c_str(),
+              after->to_string().c_str());
+  return 0;
+}
+
+int cmd_store_stats(const Args& args) {
+  const auto store_dir = args.get("store");
+  if (!store_dir) return usage();
+  const auto reader = store::StoreReader::open(*store_dir);
+  if (!reader) {
+    std::fprintf(stderr, "ccgraph: cannot open store %s\n", store_dir->c_str());
+    return 1;
+  }
+  std::printf("%s\n", reader->stats().to_string().c_str());
+  return 0;
+}
+
+int cmd_store(const std::string& subcommand, const Args& args) {
+  if (subcommand == "append") return cmd_store_append(args);
+  if (subcommand == "query") return cmd_store_query(args);
+  if (subcommand == "replay") return cmd_store_replay(args);
+  if (subcommand == "compact") return cmd_store_compact(args);
+  if (subcommand == "stats") return cmd_store_stats(args);
+  return usage();
+}
+
 }  // namespace
 
 namespace {
 
-int dispatch(const std::string& command, const Args& args) {
+// Build provenance baked in by tools/CMakeLists.txt; the fallbacks cover
+// direct compiler invocations outside CMake.
+#ifndef CCG_VERSION_STRING
+#define CCG_VERSION_STRING "unknown"
+#endif
+#ifndef CCG_BUILD_TYPE_STRING
+#define CCG_BUILD_TYPE_STRING "unknown"
+#endif
+#ifndef CCG_SANITIZE_STRING
+#define CCG_SANITIZE_STRING ""
+#endif
+
+int print_version() {
+  const char* sanitize = CCG_SANITIZE_STRING;
+  std::printf("ccgraph %s (%s build, sanitizers: %s)\n", CCG_VERSION_STRING,
+              CCG_BUILD_TYPE_STRING, sanitize[0] != '\0' ? sanitize : "none");
+  return 0;
+}
+
+int dispatch(const std::string& command, const std::string& subcommand,
+             const Args& args) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "graph") return cmd_graph(args);
   if (command == "segment") return cmd_segment(args);
@@ -537,6 +760,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "diff") return cmd_diff(args);
   if (command == "anomaly") return cmd_anomaly(args);
   if (command == "report") return cmd_report(args);
+  if (command == "store") return cmd_store(subcommand, args);
   return usage();
 }
 
@@ -566,9 +790,14 @@ int export_metrics(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") return print_version();
+  // The Args parser skips bare words, so the store subcommand rides along in
+  // argv without confusing the flag scan.
+  const std::string subcommand =
+      argc >= 3 && argv[2][0] != '-' ? argv[2] : std::string();
   const Args args(argc - 2, argv + 2);
   try {
-    const int rc = dispatch(command, args);
+    const int rc = dispatch(command, subcommand, args);
     const int metrics_rc = export_metrics(args);
     return rc != 0 ? rc : metrics_rc;
   } catch (const std::exception& e) {

@@ -36,3 +36,54 @@ run_cli(0 simulate --preset tiny --hours 5 --seed 9 --out long.csv)
 run_cli(0 anomaly --in long.csv --train 3 --rank 8)
 run_cli(0 simulate --preset tiny --hours 5 --seed 9 --attack lateral --attack-hour 4 --out long_attacked.csv)
 run_cli(3 anomaly --in long_attacked.csv --train 3 --rank 8)
+
+# Like run_cli but hands the exit code back to the caller — for commands
+# whose code is data (alert vs no alert) rather than a fixed expectation.
+function(run_cli_rc out_var)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc GREATER 3)
+    message(FATAL_ERROR "ccgraph ${ARGN} -> rc=${rc}\n${out}\n${err}")
+  endif()
+  set(${out_var} ${rc} PARENT_SCOPE)
+endfunction()
+
+run_cli(0 --version)
+
+# Store round-trip over 90 two-minute windows: replaying the snapshot store
+# must reproduce the direct streaming run line for line (same summaries,
+# same exit code), before and after compaction.
+file(REMOVE_RECURSE ${WORKDIR}/winstore)
+run_cli(0 simulate --preset tiny --hours 3 --seed 11 --out store_flows.csv)
+run_cli(0 store append --in store_flows.csv --store winstore --window 2)
+run_cli(0 store stats --store winstore)
+run_cli(0 store query --store winstore --from 60 --to 120)
+run_cli_rc(direct_rc anomaly --in store_flows.csv --window 2 --train 5
+           --summary-out direct_summaries.txt)
+run_cli_rc(replay_rc store replay --store winstore --train 5
+           --summary-out replayed_summaries.txt)
+if(NOT direct_rc EQUAL replay_rc)
+  message(FATAL_ERROR "replay rc=${replay_rc} differs from direct rc=${direct_rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/direct_summaries.txt ${WORKDIR}/replayed_summaries.txt
+                RESULT_VARIABLE summaries_differ)
+if(NOT summaries_differ EQUAL 0)
+  message(FATAL_ERROR "store replay summaries differ from the direct run")
+endif()
+
+run_cli(0 store compact --store winstore --keyframe 4)
+run_cli_rc(replay2_rc store replay --store winstore --train 5
+           --summary-out replayed_after_compact.txt)
+if(NOT replay2_rc EQUAL direct_rc)
+  message(FATAL_ERROR "post-compact replay rc=${replay2_rc} differs from ${direct_rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/direct_summaries.txt ${WORKDIR}/replayed_after_compact.txt
+                RESULT_VARIABLE compacted_differ)
+if(NOT compacted_differ EQUAL 0)
+  message(FATAL_ERROR "summaries changed after compaction")
+endif()
