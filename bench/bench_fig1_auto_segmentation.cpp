@@ -4,11 +4,14 @@
 // The paper colors nodes by inferred role and relies on eyeballing +
 // developer interviews; our synthetic cluster has exact ground-truth roles,
 // so we report ARI/NMI/purity and the segment-size profile.
+#include "ccg/parallel/parallel.hpp"
 #include "ccg/segmentation/auto_segment.hpp"
 #include "ccg/segmentation/cluster_metrics.hpp"
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 int main() {
   using namespace ccg;
@@ -25,6 +28,41 @@ int main() {
   Stopwatch watch;
   const Segmentation seg = auto_segment(graph, SegmentationMethod::kJaccardLouvain);
   const double seconds = watch.seconds();
+
+  // Thread sweep of the same segmentation: the kernels are deterministic,
+  // so every thread count reproduces `seg` exactly and the sweep times
+  // identical work. Emitted as a JSON line for the perf trajectory.
+  {
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::vector<int> sweep{1};
+    for (const int t : {2, 4, static_cast<int>(hw > 0 ? hw : 1)}) {
+      if (t > 1 && static_cast<unsigned>(t) <= hw && t != sweep.back()) {
+        sweep.push_back(t);
+      }
+    }
+    std::string json = "{\"bench\": \"fig1_thread_sweep\", \"timings\": [";
+    double serial_s = 0.0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      parallel::set_thread_count(sweep[i]);
+      Stopwatch sweep_watch;
+      const Segmentation swept =
+          auto_segment(graph, SegmentationMethod::kJaccardLouvain);
+      const double s = sweep_watch.seconds();
+      parallel::set_thread_count(0);
+      if (swept.labels != seg.labels) {
+        std::printf("FATAL: threads=%d produced a different segmentation\n",
+                    sweep[i]);
+        return 2;
+      }
+      if (i == 0) serial_s = s;
+      if (i > 0) json += ", ";
+      json += "{\"threads\": " + std::to_string(sweep[i]) +
+              ", \"seconds\": " + fmt(s, 4) +
+              ", \"speedup\": " + fmt(s > 0.0 ? serial_s / s : 0.0, 3) + "}";
+    }
+    json += "]}";
+    std::printf("\n==== fig1 thread sweep (json) ====\n%s\n", json.c_str());
+  }
 
   const auto truth = ground_truth_labels(graph, sim.roles, /*monitored_only=*/true);
   std::size_t truth_items = 0;

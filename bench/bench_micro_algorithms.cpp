@@ -1,10 +1,26 @@
 // Micro-benchmarks of the analysis kernels — the §3.2 question ("can
 // complex analyses be factored to meet the COGS constraints?") needs
 // per-kernel costs, and these guard against performance regressions.
+//
+// The parallelized kernels (similarity, SimRank, Jacobi, PCA) are swept
+// across thread counts: each registration runs at threads=1 and at the
+// hardware thread count, and after the google-benchmark tables a
+// serial-vs-parallel speedup sweep is printed as a delimited JSON block
+// (and written to --kernels-json PATH when given, for the CI baseline
+// artifact). Determinism makes the comparison honest: every thread count
+// produces byte-identical results, so the sweep times identical work.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "ccg/graph/delta.hpp"
 #include "ccg/linalg/eigen.hpp"
+#include "ccg/parallel/parallel.hpp"
 #include "ccg/segmentation/auto_segment.hpp"
 #include "ccg/segmentation/similarity.hpp"
 #include "ccg/segmentation/simrank.hpp"
@@ -17,6 +33,28 @@ namespace {
 using namespace ccg;
 using namespace ccg::bench;
 
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Registers the thread sweep for a parallel kernel: serial plus the full
+/// hardware thread count (deduplicated on single-core machines).
+void ThreadArg(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads");
+  b->Arg(1);
+  if (hardware_threads() > 1) b->Arg(hardware_threads());
+  b->Unit(benchmark::kMillisecond);
+}
+
+/// Scoped pool-size override driven by the benchmark's last range value.
+struct BenchThreads {
+  explicit BenchThreads(const benchmark::State& state, int index = 0) {
+    parallel::set_thread_count(static_cast<int>(state.range(index)));
+  }
+  ~BenchThreads() { parallel::set_thread_count(0); }
+};
+
 /// One shared K8s PaaS hour (scaled down so SimRank fits the budget).
 const CommGraph& k8s_graph() {
   static const CommGraph graph = [] {
@@ -28,12 +66,13 @@ const CommGraph& k8s_graph() {
 
 void BM_SimilarityClique(benchmark::State& state) {
   const CommGraph& g = k8s_graph();
+  const BenchThreads threads(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(similarity_clique(g).total_weight());
   }
   state.counters["nodes"] = static_cast<double>(g.node_count());
 }
-BENCHMARK(BM_SimilarityClique)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimilarityClique)->Apply(ThreadArg);
 
 void BM_LouvainOnSimilarityClique(benchmark::State& state) {
   const WeightedGraph clique = similarity_clique(k8s_graph());
@@ -45,47 +84,62 @@ BENCHMARK(BM_LouvainOnSimilarityClique)->Unit(benchmark::kMillisecond);
 
 void BM_FullAutoSegment(benchmark::State& state) {
   const CommGraph& g = k8s_graph();
+  const BenchThreads threads(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         auto_segment(g, SegmentationMethod::kJaccardLouvain).segment_count);
   }
 }
-BENCHMARK(BM_FullAutoSegment)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullAutoSegment)->Apply(ThreadArg);
 
 void BM_SimRank(benchmark::State& state) {
   const CommGraph& g = k8s_graph();
+  const BenchThreads threads(state, /*index=*/1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         simrank_scores(g, {.iterations = static_cast<int>(state.range(0))}).size());
   }
 }
-BENCHMARK(BM_SimRank)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimRank)
+    ->ArgNames({"iters", "threads"})
+    ->ArgsProduct({{1, 3}, {1, hardware_threads()}})
+    ->Unit(benchmark::kMillisecond);
 
-void BM_JacobiEigen(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(5);
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) {
       m(i, j) = m(j, i) = rng.normal();
     }
   }
+  return m;
+}
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix m = random_symmetric(n, 5);
+  const BenchThreads threads(state, /*index=*/1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(jacobi_eigen(m).values.size());
   }
 }
-BENCHMARK(BM_JacobiEigen)->Arg(64)->Arg(128)->Arg(256)
+// 256 is the Jacobi parallel cutoff; 64/128 document the inline sizes.
+BENCHMARK(BM_JacobiEigen)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{64, 128, 256}, {1, hardware_threads()}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PcaReconstructionCurve(benchmark::State& state) {
   const NodeIndex index = NodeIndex::from_graph(k8s_graph());
   const Matrix m = adjacency_matrix(k8s_graph(), index);
   const PcaSummary pca(m);
+  const BenchThreads threads(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pca.error_curve(25).back());
   }
 }
-BENCHMARK(BM_PcaReconstructionCurve)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PcaReconstructionCurve)->Apply(ThreadArg);
 
 void BM_PatternMining(benchmark::State& state) {
   const CommGraph& g = k8s_graph();
@@ -105,6 +159,110 @@ void BM_GraphDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphDiff)->Unit(benchmark::kMillisecond);
 
+// --- serial-vs-parallel speedup sweep ---------------------------------------
+
+/// Best-of-3 wall time of `fn` at a fixed pool size.
+template <typename Fn>
+double time_at_threads(int threads, Fn&& fn) {
+  parallel::set_thread_count(threads);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    fn();
+    const double s = watch.seconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  parallel::set_thread_count(0);
+  return best;
+}
+
+struct KernelSweep {
+  std::string name;
+  std::vector<std::pair<int, double>> seconds_by_threads;
+};
+
+/// Emits the sweep as a delimited JSON block (same convention as the
+/// metrics snapshot) and optionally into `json_path` for CI artifacts.
+void emit_kernel_speedups(const std::string& json_path) {
+  const int hw = hardware_threads();
+  std::vector<int> sweep{1};
+  for (const int t : {2, 4, hw}) {
+    if (t > 1 && t <= hw && t != sweep.back()) sweep.push_back(t);
+  }
+
+  const CommGraph& g = k8s_graph();
+  const Matrix jacobi_m = random_symmetric(300, 5);
+  const NodeIndex index = NodeIndex::from_graph(g);
+  const Matrix adj = adjacency_matrix(g, index);
+
+  std::vector<KernelSweep> kernels;
+  const auto run = [&](const std::string& name, auto&& fn) {
+    KernelSweep k{name, {}};
+    for (const int t : sweep) k.seconds_by_threads.emplace_back(t, time_at_threads(t, fn));
+    kernels.push_back(std::move(k));
+  };
+  run("similarity_clique", [&] { similarity_clique(g); });
+  run("simrank", [&] { simrank_scores(g, {.iterations = 2}); });
+  run("jacobi_eigen_300", [&] { jacobi_eigen(jacobi_m); });
+  run("pca_error_curve", [&] {
+    const PcaSummary pca(adj);
+    pca.error_curve(25);
+  });
+
+  std::string json = "{\"hardware_threads\": " + std::to_string(hw) +
+                     ", \"kernels\": [";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelSweep& k = kernels[i];
+    const double serial = k.seconds_by_threads.front().second;
+    const double fastest = [&] {
+      double best = serial;
+      for (const auto& [t, s] : k.seconds_by_threads) best = std::min(best, s);
+      return best;
+    }();
+    if (i > 0) json += ", ";
+    json += "{\"name\": \"" + k.name + "\", \"timings\": [";
+    for (std::size_t j = 0; j < k.seconds_by_threads.size(); ++j) {
+      const auto& [t, s] = k.seconds_by_threads[j];
+      if (j > 0) json += ", ";
+      json += "{\"threads\": " + std::to_string(t) +
+              ", \"seconds\": " + fmt(s, 6) +
+              ", \"speedup\": " + fmt(s > 0.0 ? serial / s : 0.0, 3) + "}";
+    }
+    json += "], \"best_speedup\": " + fmt(fastest > 0.0 ? serial / fastest : 0.0, 3) + "}";
+  }
+  json += "]}\n";
+
+  std::printf("\n==== kernel thread sweep (json) ====\n%s", json.c_str());
+  std::fflush(stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --kernels-json[=| ]PATH before google-benchmark sees the args.
+  std::string kernels_json;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--kernels-json=", 15) == 0) {
+      kernels_json = arg + 15;
+    } else if (std::strcmp(arg, "--kernels-json") == 0 && i + 1 < argc) {
+      kernels_json = argv[++i];
+    } else {
+      passthrough.push_back(arg);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_kernel_speedups(kernels_json);
+  return 0;
+}

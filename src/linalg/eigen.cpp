@@ -5,8 +5,44 @@
 #include <numeric>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
+
+namespace {
+
+// Below this dimension a Jacobi rotation is too small to amortize a pool
+// dispatch; the rotation's element updates run inline. The off-diagonal
+// scan and the rotation bodies are element-wise independent either way, so
+// the cutoff affects speed only, never the result.
+constexpr std::size_t kJacobiParallelMinDim = 256;
+
+/// Applies the (p, q) rotation to every row/column index k ∉ {p, q} of `a`
+/// and to every row of `v`. Each k reads and writes only a(k,p), a(k,q),
+/// a(p,k), a(q,k), v(k,p), v(k,q) — disjoint across k and untouched by the
+/// serial 2x2 block fix-up that follows — so the loop parallelizes with
+/// byte-identical results.
+void apply_rotation_offblock(Matrix& a, Matrix& v, std::size_t p, std::size_t q,
+                             double c, double s, std::size_t k_begin,
+                             std::size_t k_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const double vkp = v(k, p);
+    const double vkq = v(k, q);
+    v(k, p) = c * vkp - s * vkq;
+    v(k, q) = s * vkp + c * vkq;
+    if (k == p || k == q) continue;
+    const double akp = a(k, p);
+    const double akq = a(k, q);
+    a(k, p) = c * akp - s * akq;
+    a(k, q) = s * akp + c * akq;
+    const double apk = a(p, k);
+    const double aqk = a(q, k);
+    a(p, k) = c * apk - s * aqk;
+    a(q, k) = s * apk + c * aqk;
+  }
+}
+
+}  // namespace
 
 EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
                                 int max_sweeps) {
@@ -19,14 +55,22 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
 
   const double frob = std::max(a.frobenius(), 1e-300);
   const double threshold = tolerance * frob;
+  const bool parallel_rotations =
+      n >= kJacobiParallelMinDim && parallel::thread_count() > 1;
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t p = 0; p < n; ++p) {
-      for (std::size_t q = p + 1; q < n; ++q) {
-        off = std::max(off, std::abs(a(p, q)));
-      }
-    }
+    // max is associative and commutative, so the chunked reduction matches
+    // the serial scan exactly (chunk geometry is thread-count independent).
+    const double off = parallel::parallel_reduce(
+        n, 16, 0.0,
+        [&](double& part, std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+              part = std::max(part, std::abs(a(p, q)));
+            }
+          }
+        },
+        [](double& acc, double part) { acc = std::max(acc, part); });
     if (off <= threshold) break;
 
     for (std::size_t p = 0; p < n; ++p) {
@@ -43,23 +87,35 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
 
-        for (std::size_t k = 0; k < n; ++k) {
-          const double akp = a(k, p);
-          const double akq = a(k, q);
-          a(k, p) = c * akp - s * akq;
-          a(k, q) = s * akp + c * akq;
+        if (parallel_rotations) {
+          parallel::parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+            apply_rotation_offblock(a, v, p, q, c, s, begin, end);
+          });
+        } else {
+          apply_rotation_offblock(a, v, p, q, c, s, 0, n);
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double apk = a(p, k);
-          const double aqk = a(q, k);
-          a(p, k) = c * apk - s * aqk;
-          a(q, k) = s * apk + c * aqk;
+
+        // The 2x2 pivot block, applied in the serial algorithm's exact
+        // order: column update at k = p, q, then row update at k = p, q.
+        {
+          const double akp = a(p, p), akq = a(p, q);
+          a(p, p) = c * akp - s * akq;
+          a(p, q) = s * akp + c * akq;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double vkp = v(k, p);
-          const double vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
+        {
+          const double akp = a(q, p), akq = a(q, q);
+          a(q, p) = c * akp - s * akq;
+          a(q, q) = s * akp + c * akq;
+        }
+        {
+          const double apk = a(p, p), aqk = a(q, p);
+          a(p, p) = c * apk - s * aqk;
+          a(q, p) = s * apk + c * aqk;
+        }
+        {
+          const double apk = a(p, q), aqk = a(q, q);
+          a(p, q) = c * apk - s * aqk;
+          a(q, q) = s * apk + c * aqk;
         }
       }
     }
@@ -99,14 +155,24 @@ PowerIterationResult power_iteration(const Matrix& m, int max_iterations,
     x[i] = 1.0 + 0.001 * static_cast<double>(i % 7);
   }
 
+  // Mat-vec rows write disjoint outputs and each row's dot product keeps
+  // the serial accumulation order, so the parallel sweep is byte-identical
+  // to the serial one; the O(n) norm and Rayleigh reductions stay serial.
+  const auto matvec = [&](const std::vector<double>& in, std::vector<double>& out) {
+    parallel::parallel_for(n, 16, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) acc += m(i, j) * in[j];
+        out[i] = acc;
+      }
+    });
+  };
+
   double lambda = 0.0;
   std::vector<double> y(n);
+  std::vector<double> my(n);
   for (int iter = 0; iter < max_iterations; ++iter) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < n; ++j) acc += m(i, j) * x[j];
-      y[i] = acc;
-    }
+    matvec(x, y);
     double norm = 0.0;
     for (double v : y) norm += v * v;
     norm = std::sqrt(norm);
@@ -114,12 +180,9 @@ PowerIterationResult power_iteration(const Matrix& m, int max_iterations,
     for (std::size_t i = 0; i < n; ++i) y[i] /= norm;
 
     // Rayleigh quotient.
+    matvec(y, my);
     double new_lambda = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < n; ++j) acc += m(i, j) * y[j];
-      new_lambda += y[i] * acc;
-    }
+    for (std::size_t i = 0; i < n; ++i) new_lambda += y[i] * my[i];
     result.iterations = iter + 1;
     x = y;
     if (std::abs(new_lambda - lambda) <= tolerance * (1.0 + std::abs(new_lambda))) {

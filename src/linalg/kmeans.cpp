@@ -6,6 +6,7 @@
 
 #include "ccg/common/expect.hpp"
 #include "ccg/common/rng.hpp"
+#include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
 
@@ -67,17 +68,22 @@ KMeansResult lloyd_once(const Matrix& data, std::size_t k, Rng& rng,
   result.labels.assign(n, 0);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // Assign.
-    for (std::size_t r = 0; r < n; ++r) {
-      double best = std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < k; ++c) {
-        const double d2 = sq_distance(data, r, result.centroids, c);
-        if (d2 < best) {
-          best = d2;
-          result.labels[r] = static_cast<std::uint32_t>(c);
+    // Assign. Each point's label is independent (first-best tie-breaking in
+    // the same c order), so the O(n·k·d) scan parallelizes over points with
+    // byte-identical labels; the cheap O(n·d) centroid update stays serial
+    // to keep its accumulation order.
+    parallel::parallel_for(n, 32, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+          const double d2 = sq_distance(data, r, result.centroids, c);
+          if (d2 < best) {
+            best = d2;
+            result.labels[r] = static_cast<std::uint32_t>(c);
+          }
         }
       }
-    }
+    });
     // Update.
     Matrix next(k, data.cols());
     std::vector<std::size_t> counts(k, 0);

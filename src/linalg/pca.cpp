@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
 
@@ -13,16 +14,20 @@ Matrix PcaSummary::reconstruct(std::size_t k) const {
   const std::size_t n = dimension();
   CCG_EXPECT(k <= n);
   Matrix out(n, n);
-  for (std::size_t j = 0; j < k; ++j) {
-    const double lambda = eig_.values[j];
-    for (std::size_t r = 0; r < n; ++r) {
-      const double vr = eig_.vectors(r, j) * lambda;
-      if (vr == 0.0) continue;
-      for (std::size_t c = 0; c < n; ++c) {
-        out(r, c) += vr * eig_.vectors(c, j);
+  // Row r of the rank-k sum only touches out(r, ·): rows parallelize with
+  // unchanged per-row arithmetic (components applied in the same j order).
+  parallel::parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double lambda = eig_.values[j];
+      for (std::size_t r = begin; r < end; ++r) {
+        const double vr = eig_.vectors(r, j) * lambda;
+        if (vr == 0.0) continue;
+        for (std::size_t c = 0; c < n; ++c) {
+          out(r, c) += vr * eig_.vectors(c, j);
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -38,22 +43,35 @@ std::vector<double> PcaSummary::error_curve(std::size_t max_k) const {
   errors.reserve(max_k + 1);
 
   // Incremental: maintain the residual M - Mk and subtract one rank-1 term
-  // per step, re-scanning for the L1 norm. O(n^2) per k.
+  // per step, accumulating the L1 norm in the same pass. O(n^2) per k.
+  // Row chunks are fixed by n alone and their |·| partials are summed in
+  // ascending chunk order, so the curve is identical at any thread count
+  // (per-row partial sums regroup the serial L1 accumulation; the values
+  // agree to the last bit across thread counts, and with the serial chunked
+  // run by construction).
   Matrix residual = original_;
-  errors.push_back(original_abs_sum_ == 0.0
-                       ? 0.0
-                       : residual.abs_sum() / original_abs_sum_);
+  const auto residual_abs_l1 = [&](std::size_t component) {
+    return parallel::parallel_reduce(
+        n, 8, 0.0,
+        [&](double& part, std::size_t begin, std::size_t end) {
+          const std::size_t j = component;
+          const double lambda = eig_.values[j];
+          for (std::size_t r = begin; r < end; ++r) {
+            const double vr = eig_.vectors(r, j) * lambda;
+            for (std::size_t c = 0; c < n; ++c) {
+              residual(r, c) -= vr * eig_.vectors(c, j);
+              part += std::abs(residual(r, c));
+            }
+          }
+        },
+        [](double& acc, double part) { acc += part; });
+  };
+
+  // At k = 0 the residual IS the original, so the ratio is exactly 1.
+  errors.push_back(original_abs_sum_ == 0.0 ? 0.0 : 1.0);
   for (std::size_t j = 0; j < max_k; ++j) {
-    const double lambda = eig_.values[j];
-    for (std::size_t r = 0; r < n; ++r) {
-      const double vr = eig_.vectors(r, j) * lambda;
-      for (std::size_t c = 0; c < n; ++c) {
-        residual(r, c) -= vr * eig_.vectors(c, j);
-      }
-    }
-    errors.push_back(original_abs_sum_ == 0.0
-                         ? 0.0
-                         : residual.abs_sum() / original_abs_sum_);
+    const double l1 = residual_abs_l1(j);
+    errors.push_back(original_abs_sum_ == 0.0 ? 0.0 : l1 / original_abs_sum_);
   }
   return errors;
 }

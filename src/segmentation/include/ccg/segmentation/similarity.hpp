@@ -43,6 +43,13 @@ struct SimilarityOptions {
   /// from "servers X calls", which plain set overlap confuses. Applies to
   /// kJaccard; the weighted kinds use volume profiles instead.
   bool use_direction = true;
+  /// Above this node count, all-pairs exact candidate generation (the
+  /// paper's "super-quadratic complexity" open issue) is replaced by
+  /// MinHash sketching with LSH banding (cf. the paper's citation of
+  /// SuperMinHash for Jaccard estimation). Candidates are still scored
+  /// exactly either way; LSH only prunes the pair list. Exposed so tests
+  /// can force both paths on the same graph.
+  std::size_t exact_pair_limit = 2500;
 };
 
 /// Computes the scored clique: a WeightedGraph over the same NodeIds where

@@ -2,20 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
 
 namespace {
-
-// Above this node count, all-pairs exact scoring (the paper's
-// "super-quadratic complexity" open issue) is replaced by MinHash
-// sketching with LSH candidate generation (cf. the paper's citation of
-// SuperMinHash for Jaccard estimation).
-constexpr std::size_t kExactPairLimit = 2500;
 
 constexpr int kMinHashFunctions = 96;
 constexpr int kLshBandSize = 4;  // 24 bands of 4 -> catches J >~ 0.25 pairs
@@ -39,26 +34,32 @@ struct TaggedNeighbor {
   std::uint32_t id;
   Tag tag;
   std::int32_t port;  // the edge's server-port hint (-1 unknown)
+  double weight;      // log1p(bytes) of the edge, cached for stamping
 };
 
 std::vector<std::vector<TaggedNeighbor>> tagged_neighbors(const CommGraph& g,
                                                           bool use_direction) {
   std::vector<std::vector<TaggedNeighbor>> out(g.node_count());
-  for (NodeId i = 0; i < g.node_count(); ++i) {
-    out[i].reserve(g.degree(i));
-    for (const auto& [peer, edge] : g.neighbors(i)) {
-      // The service identity of the conversation distinguishes roles that
-      // plain IP-level sets cannot: a db (reached on 5432) and a cache
-      // (reached on 6379) may otherwise have identical neighbor sets.
-      out[i].push_back({peer, use_direction ? tag_of(g, i, edge) : kTagMixed,
-                        use_direction ? g.edge(edge).stats.server_port_hint
-                                      : -1});
-    }
-    std::sort(out[i].begin(), out[i].end(),
-              [](const TaggedNeighbor& a, const TaggedNeighbor& b) {
-                return a.id < b.id;
-              });
-  }
+  parallel::parallel_for(
+      g.node_count(), 64, [&](std::size_t begin, std::size_t end) {
+        for (NodeId i = static_cast<NodeId>(begin); i < end; ++i) {
+          out[i].reserve(g.degree(i));
+          for (const auto& [peer, edge] : g.neighbors(i)) {
+            // The service identity of the conversation distinguishes roles
+            // that plain IP-level sets cannot: a db (reached on 5432) and a
+            // cache (reached on 6379) may otherwise have identical neighbor
+            // sets.
+            out[i].push_back(
+                {peer, use_direction ? tag_of(g, i, edge) : kTagMixed,
+                 use_direction ? g.edge(edge).stats.server_port_hint : -1,
+                 std::log1p(static_cast<double>(g.edge(edge).stats.bytes()))});
+          }
+          std::sort(out[i].begin(), out[i].end(),
+                    [](const TaggedNeighbor& a, const TaggedNeighbor& b) {
+                      return a.id < b.id;
+                    });
+        }
+      });
   return out;
 }
 
@@ -152,24 +153,94 @@ double score_pair(const CommGraph& graph,
   return 0.0;
 }
 
-/// Stamps node a's neighborhood into the view; returns |N(a)|.
-std::size_t stamp_node(const CommGraph& graph,
-                       const std::vector<TaggedNeighbor>& nbrs_a, NodeId a,
+/// Stamps node a's neighborhood into the view in one pass over the tagged
+/// list (which caches id, tag, port, and log-byte weight per neighbor);
+/// returns |N(a)|.
+std::size_t stamp_node(const std::vector<TaggedNeighbor>& nbrs_a,
                        StampedView& view) {
   ++view.version;
-  std::size_t deg = 0;
-  std::size_t idx = 0;
-  for (const auto& [x, e] : graph.neighbors(a)) {
-    view.stamp[x] = view.version;
-    view.weight[x] = std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
-    ++deg;
+  for (const TaggedNeighbor& x : nbrs_a) {
+    view.stamp[x.id] = view.version;
+    view.tag[x.id] = x.tag;
+    view.port[x.id] = x.port;
+    view.weight[x.id] = x.weight;
   }
-  // Tags/ports come from the sorted tagged list (same contents).
-  for (; idx < nbrs_a.size(); ++idx) {
-    view.tag[nbrs_a[idx].id] = nbrs_a[idx].tag;
-    view.port[nbrs_a[idx].id] = nbrs_a[idx].port;
+  return nbrs_a.size();
+}
+
+using CandidatePair = std::pair<std::uint32_t, std::uint32_t>;
+
+/// MinHash signatures over (neighbor, direction-tag, port) features, one
+/// node per row. Rows are independent -> parallel over nodes.
+std::vector<std::vector<std::uint64_t>> minhash_signatures(
+    const std::vector<std::vector<TaggedNeighbor>>& nbrs) {
+  const std::size_t n = nbrs.size();
+  std::vector<std::vector<std::uint64_t>> sig(n);
+  parallel::parallel_for(n, 32, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      auto& s = sig[v];
+      s.assign(kMinHashFunctions, ~std::uint64_t{0});
+      for (const TaggedNeighbor& x : nbrs[v]) {
+        const std::uint64_t feature =
+            ((std::uint64_t{x.id} << 2) | x.tag) ^
+            (static_cast<std::uint64_t>(x.port + 1) << 40);
+        for (int h = 0; h < kMinHashFunctions; ++h) {
+          const std::uint64_t hv =
+              mix64((feature << 8) ^ static_cast<std::uint64_t>(h * 0x9E3779B9u));
+          s[h] = std::min(s[h], hv);
+        }
+      }
+    }
+  });
+  return sig;
+}
+
+/// LSH banding: each band buckets nodes by a hash of its signature slice
+/// and emits co-bucketed pairs. Bands are independent -> one chunk per
+/// band; the per-band pair lists are concatenated in band order, then
+/// sorted and deduplicated, which yields the same sorted unique candidate
+/// list at any thread count.
+std::vector<CandidatePair> lsh_candidates(
+    const std::vector<std::vector<TaggedNeighbor>>& nbrs,
+    const std::vector<std::vector<std::uint64_t>>& sig) {
+  const std::size_t n = nbrs.size();
+  const int bands = kMinHashFunctions / kLshBandSize;
+  std::vector<std::vector<CandidatePair>> band_pairs(bands);
+  parallel::parallel_for(
+      static_cast<std::size_t>(bands), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t band = begin; band < end; ++band) {
+          std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+          for (std::uint32_t v = 0; v < n; ++v) {
+            if (nbrs[v].empty()) continue;
+            std::uint64_t h = 0xCBF29CE484222325ull;
+            for (int j = 0; j < kLshBandSize; ++j) {
+              h = mix64(h ^ sig[v][band * kLshBandSize + j]);
+            }
+            buckets[h].push_back(v);
+          }
+          for (const auto& [hash, members] : buckets) {
+            if (members.size() < 2 || members.size() > 4096) continue;
+            for (std::size_t i = 0; i < members.size(); ++i) {
+              for (std::size_t j = i + 1; j < members.size(); ++j) {
+                band_pairs[band].emplace_back(members[i], members[j]);
+              }
+            }
+          }
+        }
+      });
+
+  std::vector<CandidatePair> candidates;
+  std::size_t total = 0;
+  for (const auto& pairs : band_pairs) total += pairs.size();
+  candidates.reserve(total);
+  for (const auto& pairs : band_pairs) {
+    candidates.insert(candidates.end(), pairs.begin(), pairs.end());
   }
-  return deg;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
 }
 
 }  // namespace
@@ -180,7 +251,7 @@ double node_similarity(const CommGraph& graph, NodeId a, NodeId b,
   if (a == b) return 1.0;
   const auto nbrs = tagged_neighbors(graph, options.use_direction);
   StampedView view(graph.node_count());
-  std::size_t deg_a = stamp_node(graph, nbrs[a], a, view);
+  std::size_t deg_a = stamp_node(nbrs[a], view);
   if (options.exclude_self_edges && view.stamp[b] == view.version) {
     view.stamp[b] = 0;
     --deg_a;
@@ -196,8 +267,8 @@ WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions option
   const auto nbrs = tagged_neighbors(graph, options.use_direction);
 
   // Candidate pairs: exact all-pairs for small graphs, MinHash LSH beyond.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;
-  if (n <= kExactPairLimit) {
+  std::vector<CandidatePair> candidates;
+  if (n <= options.exact_pair_limit) {
     candidates.reserve(n * (n - 1) / 2);
     for (std::uint32_t a = 0; a < n; ++a) {
       for (std::uint32_t b = a + 1; b < n; ++b) {
@@ -205,75 +276,47 @@ WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions option
       }
     }
   } else {
-    // MinHash signatures over (neighbor, direction-tag) features.
-    std::vector<std::vector<std::uint64_t>> sig(n);
-    for (std::uint32_t v = 0; v < n; ++v) {
-      auto& s = sig[v];
-      s.assign(kMinHashFunctions, ~std::uint64_t{0});
-      for (const TaggedNeighbor& x : nbrs[v]) {
-        const std::uint64_t feature =
-            ((std::uint64_t{x.id} << 2) | x.tag) ^
-            (static_cast<std::uint64_t>(x.port + 1) << 40);
-        for (int h = 0; h < kMinHashFunctions; ++h) {
-          const std::uint64_t hv =
-              mix64((feature << 8) ^ static_cast<std::uint64_t>(h * 0x9E3779B9u));
-          s[h] = std::min(s[h], hv);
-        }
-      }
-    }
-    // LSH banding.
-    std::unordered_set<std::uint64_t> seen_pairs;
-    const int bands = kMinHashFunctions / kLshBandSize;
-    for (int band = 0; band < bands; ++band) {
-      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
-      for (std::uint32_t v = 0; v < n; ++v) {
-        if (nbrs[v].empty()) continue;
-        std::uint64_t h = 0xCBF29CE484222325ull;
-        for (int j = 0; j < kLshBandSize; ++j) {
-          h = mix64(h ^ sig[v][band * kLshBandSize + j]);
-        }
-        buckets[h].push_back(v);
-      }
-      for (const auto& [hash, members] : buckets) {
-        if (members.size() < 2 || members.size() > 4096) continue;
-        for (std::size_t i = 0; i < members.size(); ++i) {
-          for (std::size_t j = i + 1; j < members.size(); ++j) {
-            const std::uint64_t key =
-                (std::uint64_t{members[i]} << 32) | members[j];
-            if (seen_pairs.insert(key).second) {
-              candidates.emplace_back(members[i], members[j]);
-            }
-          }
-        }
-      }
-    }
-    std::sort(candidates.begin(), candidates.end());
+    candidates = lsh_candidates(nbrs, minhash_signatures(nbrs));
   }
 
-  // Exact scoring of candidates, grouped by the first endpoint so the
-  // stamp arrays are rebuilt once per node.
-  StampedView view(n);
-  std::uint32_t current_a = static_cast<std::uint32_t>(n);  // invalid
-  std::size_t deg_a_full = 0;
+  // Exact scoring of candidates. Chunks partition the (a-major sorted)
+  // candidate list; each worker keeps one reusable StampedView and
+  // re-stamps whenever the first endpoint changes inside its chunk, so the
+  // stamp arrays are rebuilt at most once per (node, chunk). Scores land in
+  // per-candidate slots; the clique is assembled serially in candidate
+  // order afterwards — byte-identical output at any thread count.
+  std::vector<double> scores(candidates.size());
+  std::vector<std::unique_ptr<StampedView>> views(parallel::max_workers());
+  parallel::parallel_for_worker(
+      candidates.size(), 512,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        if (!views[worker]) views[worker] = std::make_unique<StampedView>(n);
+        StampedView& view = *views[worker];
+        std::uint32_t current_a = static_cast<std::uint32_t>(n);  // invalid
+        std::size_t deg_a_full = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto [a, b] = candidates[i];
+          if (a != current_a) {
+            current_a = a;
+            deg_a_full = stamp_node(nbrs[a], view);
+          }
+          // Exclude a direct a~b edge from both neighborhoods.
+          std::size_t deg_a = deg_a_full;
+          const bool b_in_a = view.stamp[b] == view.version;
+          const std::uint32_t saved = view.stamp[b];
+          if (options.exclude_self_edges && b_in_a) {
+            view.stamp[b] = 0;
+            --deg_a;
+          }
+          scores[i] = score_pair(graph, nbrs[b], view, a, b, deg_a, options);
+          if (options.exclude_self_edges && b_in_a) view.stamp[b] = saved;
+        }
+      });
 
-  for (const auto& [a, b] : candidates) {
-    if (a != current_a) {
-      current_a = a;
-      deg_a_full = stamp_node(graph, nbrs[a], a, view);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] >= options.min_score) {
+      clique.add_edge(candidates[i].first, candidates[i].second, scores[i]);
     }
-    // Exclude a direct a~b edge from both neighborhoods.
-    std::size_t deg_a = deg_a_full;
-    const bool b_in_a = view.stamp[b] == view.version;
-    const std::uint32_t saved = view.stamp[b];
-    if (options.exclude_self_edges && b_in_a) {
-      view.stamp[b] = 0;
-      --deg_a;
-    }
-
-    const double score = score_pair(graph, nbrs[b], view, a, b, deg_a, options);
-    if (options.exclude_self_edges && b_in_a) view.stamp[b] = saved;
-
-    if (score >= options.min_score) clique.add_edge(a, b, score);
   }
   return clique;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
 
@@ -54,8 +56,14 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
       options.plus_plus ? transition_weights(graph)
                         : std::vector<std::vector<std::pair<std::uint32_t, double>>>{};
 
+  // Each sweep reads only `s` and writes `next`; entry (a, b) with a < b is
+  // written exactly once (mirrored into (b, a) by the same writer), so rows
+  // can be swept in parallel with byte-identical results at any thread
+  // count. Small grain: row a costs O((n - a) · deg), so the dynamic chunk
+  // scheduler balances the triangular workload.
   for (int iter = 0; iter < options.iterations; ++iter) {
-    for (std::size_t a = 0; a < n; ++a) {
+    parallel::parallel_for(n, 8, [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t a = row_begin; a < row_end; ++a) {
       next[a * n + a] = 1.0;
       for (std::size_t b = a + 1; b < n; ++b) {
         double acc = 0.0;
@@ -93,27 +101,37 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
         next[b * n + a] = acc;
       }
     }
+    });
     std::swap(s, next);
   }
 
   if (options.plus_plus) {
     // Scale by the evidence factor, which damps scores supported by very
-    // few common neighbors.
-    std::vector<std::uint32_t> stamp(n, 0);
-    for (std::size_t a = 0; a < n; ++a) {
-      const auto va = static_cast<std::uint32_t>(a + 1);
-      for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(a))) {
-        stamp[x] = va;
-      }
-      for (std::size_t b = 0; b < n; ++b) {
-        if (a == b) continue;
-        std::size_t common = 0;
-        for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(b))) {
-          if (stamp[x] == va) ++common;
-        }
-        s[a * n + b] *= evidence(common);
-      }
-    }
+    // few common neighbors. Row a only touches s[a*n ..) plus a per-worker
+    // stamp array, so rows parallelize with unchanged arithmetic.
+    std::vector<std::unique_ptr<std::vector<std::uint32_t>>> stamps(
+        parallel::max_workers());
+    parallel::parallel_for_worker(
+        n, 8, [&](std::size_t row_begin, std::size_t row_end, std::size_t worker) {
+          if (!stamps[worker]) {
+            stamps[worker] = std::make_unique<std::vector<std::uint32_t>>(n, 0);
+          }
+          std::vector<std::uint32_t>& stamp = *stamps[worker];
+          for (std::size_t a = row_begin; a < row_end; ++a) {
+            const auto va = static_cast<std::uint32_t>(a + 1);
+            for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(a))) {
+              stamp[x] = va;
+            }
+            for (std::size_t b = 0; b < n; ++b) {
+              if (a == b) continue;
+              std::size_t common = 0;
+              for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(b))) {
+                if (stamp[x] == va) ++common;
+              }
+              s[a * n + b] *= evidence(common);
+            }
+          }
+        });
   }
   return s;
 }

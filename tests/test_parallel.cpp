@@ -1,0 +1,187 @@
+// The shared thread pool's contracts: full coverage of the index space,
+// deterministic chunk geometry, bit-identical reductions at any thread
+// count, nested-call safety, and exception propagation.
+#include "ccg/parallel/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ccg/common/rng.hpp"
+
+namespace ccg {
+namespace {
+
+/// Restores the configured thread count when a test exits.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::set_thread_count(0); }
+};
+
+TEST(ParallelPool, ThreadCountOverride) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(3);
+  EXPECT_EQ(parallel::thread_count(), 3);
+  EXPECT_EQ(parallel::max_workers(), 3u);
+  parallel::set_thread_count(0);
+  EXPECT_GE(parallel::thread_count(), 1);
+}
+
+TEST(ParallelPool, ChunkLayoutGeometry) {
+  const auto layout = parallel::chunk_layout(100, 16);
+  EXPECT_EQ(layout.count, 7u);  // ceil(100/16)
+  EXPECT_EQ(layout.grain, 16u);
+  EXPECT_EQ(layout.begin(0), 0u);
+  EXPECT_EQ(layout.end(0, 100), 16u);
+  EXPECT_EQ(layout.begin(6), 96u);
+  EXPECT_EQ(layout.end(6, 100), 100u);  // short tail chunk
+
+  EXPECT_EQ(parallel::chunk_layout(0, 8).count, 0u);
+  EXPECT_EQ(parallel::chunk_layout(5, 8).count, 1u);
+  EXPECT_EQ(parallel::chunk_layout(5, 0).grain, 1u);  // grain clamped to 1
+}
+
+TEST(ParallelPool, ForCoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 2, 4}) {
+    parallel::set_thread_count(threads);
+    constexpr std::size_t kN = 1237;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel::parallel_for(kN, 7, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelPool, ForZeroItemsIsANoop) {
+  bool called = false;
+  parallel::parallel_for(0, 8, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelPool, WorkerSlotsAreDense) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  std::vector<std::atomic<int>> slot_hits(parallel::max_workers());
+  parallel::parallel_for_worker(
+      1000, 1, [&](std::size_t, std::size_t, std::size_t worker) {
+        ASSERT_LT(worker, slot_hits.size());
+        slot_hits[worker].fetch_add(1, std::memory_order_relaxed);
+      });
+  int total = 0;
+  for (auto& h : slot_hits) total += h.load();
+  EXPECT_EQ(total, 1000);
+}
+
+/// The headline guarantee: a floating-point reduction produces the same
+/// bits at 1, 2, 3, and 8 threads, because partials are per fixed chunk and
+/// merged in ascending chunk order.
+TEST(ParallelPool, ReduceIsBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  constexpr std::size_t kN = 10007;
+  std::vector<double> values(kN);
+  Rng rng(99);
+  for (auto& v : values) v = rng.normal() * std::exp(rng.normal());
+
+  const auto reduce = [&] {
+    return parallel::parallel_reduce(
+        kN, 64, 0.0,
+        [&](double& part, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) part += values[i];
+        },
+        [](double& acc, double part) { acc += part; });
+  };
+
+  parallel::set_thread_count(1);
+  const double serial = reduce();
+  for (const int threads : {2, 3, 8}) {
+    parallel::set_thread_count(threads);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const double parallel_sum = reduce();
+      ASSERT_EQ(serial, parallel_sum)
+          << "threads=" << threads << " repeat=" << repeat;
+    }
+  }
+}
+
+TEST(ParallelPool, ReduceHandlesIntegers) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  const std::uint64_t total = parallel::parallel_reduce(
+      1000, 9, std::uint64_t{0},
+      [](std::uint64_t& part, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) part += i;
+      },
+      [](std::uint64_t& acc, std::uint64_t part) { acc += part; });
+  EXPECT_EQ(total, 1000u * 999u / 2);
+}
+
+TEST(ParallelPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(4);
+  std::atomic<int> inner_total{0};
+  parallel::parallel_for(8, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      parallel::parallel_for(10, 2, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b),
+                              std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ParallelPool, BodyExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  for (const int threads : {1, 4}) {
+    parallel::set_thread_count(threads);
+    EXPECT_THROW(
+        parallel::parallel_for(100, 4,
+                               [&](std::size_t begin, std::size_t) {
+                                 if (begin >= 48) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool must stay usable after a failed job.
+    std::atomic<int> count{0};
+    parallel::parallel_for(10, 1, [&](std::size_t, std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(ParallelPool, ConcurrentSubmittersSerializeSafely) {
+  ThreadCountGuard guard;
+  parallel::set_thread_count(3);
+  // External threads submitting jobs at once must not corrupt each other:
+  // each job's sum is still exact.
+  std::vector<std::thread> submitters;
+  std::vector<std::uint64_t> sums(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      sums[t] = parallel::parallel_reduce(
+          5000, 16, std::uint64_t{0},
+          [](std::uint64_t& part, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) part += i;
+          },
+          [](std::uint64_t& acc, std::uint64_t part) { acc += part; });
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (const std::uint64_t sum : sums) EXPECT_EQ(sum, 5000ull * 4999ull / 2);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -29,6 +29,7 @@
 #include "ccg/graph/serialize.hpp"
 #include "ccg/obs/export.hpp"
 #include "ccg/obs/metrics.hpp"
+#include "ccg/parallel/parallel.hpp"
 #include "ccg/policy/higher_order.hpp"
 #include "ccg/policy/policy_io.hpp"
 #include "ccg/policy/reachability.hpp"
@@ -108,6 +109,9 @@ int usage() {
                "every command also accepts:\n"
                "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
                "  --metrics-prom FILE  same registry in Prometheus text format\n"
+               "  --threads N          analysis-kernel worker threads (default:\n"
+               "                       $CCG_THREADS, else all hardware threads;\n"
+               "                       output is bit-identical for every N)\n"
                "ccgraph --version prints version, build type and sanitizers\n");
   return 2;
 }
@@ -796,6 +800,11 @@ int main(int argc, char** argv) {
   const std::string subcommand =
       argc >= 3 && argv[2][0] != '-' ? argv[2] : std::string();
   const Args args(argc - 2, argv + 2);
+  // Kernel parallelism is a global knob (shared pool): results are
+  // bit-identical at any setting, only the wall clock changes.
+  if (const long threads = args.get_long("threads", 0); threads > 0) {
+    ccg::parallel::set_thread_count(static_cast<int>(threads));
+  }
   try {
     const int rc = dispatch(command, subcommand, args);
     const int metrics_rc = export_metrics(args);
