@@ -29,6 +29,15 @@ struct PipelineOptions {
   GraphBuildConfig graph;               // facet/window/collapse settings
 };
 
+/// One queued unit of shard work: the records plus the trace id of the
+/// window they belong to, captured on the producer thread so the shard
+/// worker's batch_build spans attribute to the right window even though
+/// they run on a different thread.
+struct ShardBatch {
+  std::uint64_t trace_id = 0;
+  std::vector<ConnectionSummary> records;
+};
+
 /// Value snapshot of the pipeline's throughput counters.
 struct PipelineStats {
   std::uint64_t records = 0;
@@ -83,7 +92,7 @@ class ShardedGraphPipeline : public TelemetrySink {
 
  private:
   struct Shard {
-    std::unique_ptr<BoundedQueue<std::vector<ConnectionSummary>>> queue;
+    std::unique_ptr<BoundedQueue<ShardBatch>> queue;
     std::unique_ptr<GraphBuilder> builder;
     std::thread worker;
     obs::Counter* records = nullptr;    // ccg.pipeline.shard.N.records
@@ -95,7 +104,7 @@ class ShardedGraphPipeline : public TelemetrySink {
 
   PipelineOptions options_;
   std::vector<Shard> shards_;
-  std::vector<std::vector<ConnectionSummary>> pending_;  // per shard
+  std::vector<ShardBatch> pending_;  // per shard
   store::StoreWriter* store_ = nullptr;
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> batches_{0};

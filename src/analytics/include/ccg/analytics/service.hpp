@@ -54,6 +54,10 @@ struct AnalyticsServiceOptions {
   EwmaDetectorOptions edge_detector{.suppress_new_node_edges = true};
   SegmentationMethod segmentation = SegmentationMethod::kJaccardLouvain;
   SegmentationOptions segmentation_options;
+  /// Debug hook: sleep this long inside every window's analysis. Exists so
+  /// tests and the CLI can provoke the obs::Watchdog deliberately; leave 0
+  /// in real deployments.
+  int stall_injection_ms = 0;
 };
 
 class AnalyticsService : public TelemetrySink {
@@ -115,6 +119,7 @@ class AnalyticsService : public TelemetrySink {
   obs::Histogram* m_stage_tracker_ = nullptr;   // segment tracking
   obs::Histogram* m_stage_patterns_ = nullptr;  // pattern census
   obs::Histogram* m_spectral_fit_ = nullptr;    // one-off baseline fit
+  obs::Histogram* m_window_ = nullptr;          // whole-window root span
   obs::Counter* m_windows_ = nullptr;
   obs::Counter* m_training_windows_ = nullptr;
   obs::Counter* m_alerts_ = nullptr;

@@ -7,8 +7,22 @@
 
 #include "ccg/common/expect.hpp"
 #include "ccg/obs/span.hpp"
+#include "ccg/obs/trace.hpp"
 
 namespace ccg {
+
+namespace {
+
+/// Trace id of the analytics window a record minute falls into. Floor
+/// division so the id matches the merged window's begin minute exactly.
+std::uint64_t window_trace_for(std::int64_t minute, std::int64_t window_minutes) {
+  if (window_minutes <= 0) window_minutes = 1;
+  const std::int64_t begin =
+      minute - (((minute % window_minutes) + window_minutes) % window_minutes);
+  return obs::window_trace_id(begin);
+}
+
+}  // namespace
 
 ShardedGraphPipeline::ShardedGraphPipeline(PipelineOptions options,
                                            std::unordered_set<IpAddr> monitored)
@@ -35,7 +49,7 @@ ShardedGraphPipeline::ShardedGraphPipeline(PipelineOptions options,
     const std::string prefix = "ccg.pipeline.shard." + std::to_string(s);
     shard.records = &registry.counter(prefix + ".records");
     shard.queue_hwm = &registry.gauge(prefix + ".queue_depth_hwm");
-    shard.queue = std::make_unique<BoundedQueue<std::vector<ConnectionSummary>>>(
+    shard.queue = std::make_unique<BoundedQueue<ShardBatch>>(
         options.queue_capacity);
     shard.builder = std::make_unique<GraphBuilder>(shard_config, monitored);
     GraphBuilder* builder = shard.builder.get();
@@ -44,9 +58,12 @@ ShardedGraphPipeline::ShardedGraphPipeline(PipelineOptions options,
     obs::Histogram* batch_build = m_batch_build_;
     shard.worker = std::thread([builder, queue, shard_records, batch_build] {
       while (auto batch = queue->pop()) {
+        // Adopt the producer's window trace so this thread's batch_build
+        // span parents under the window that enqueued the records.
+        obs::TraceScope trace({batch->trace_id, 0});
         obs::ScopedSpan span(*batch_build, "ccg.pipeline.batch_build");
-        for (const auto& record : *batch) builder->ingest(record);
-        shard_records->add(batch->size());
+        for (const auto& record : batch->records) builder->ingest(record);
+        shard_records->add(batch->records.size());
       }
     });
   }
@@ -79,7 +96,7 @@ void ShardedGraphPipeline::push_pending(std::size_t shard) {
   // histogram is how that shows up in a metrics scrape.
   obs::ScopedSpan stall(*m_enqueue_stall_, "ccg.pipeline.enqueue_stall");
   shards_[shard].queue->push(std::move(pending_[shard]));
-  pending_[shard] = {};
+  pending_[shard] = ShardBatch{};
   shards_[shard].queue_hwm->update_max(
       static_cast<double>(shards_[shard].queue->size()));
 }
@@ -89,18 +106,21 @@ void ShardedGraphPipeline::on_batch(MinuteBucket time,
   CCG_EXPECT(!finished_);
   batches_.fetch_add(1, std::memory_order_relaxed);
   m_batches_->add();
+  const std::uint64_t trace_id =
+      window_trace_for(time.index(), options_.graph.window_minutes);
   for (const auto& record : batch) {
     ConnectionSummary stamped = record;
     stamped.time = time;
     const std::size_t s = shard_of(stamped);
-    pending_[s].push_back(stamped);
-    if (pending_[s].size() >= options_.shard_batch_size) push_pending(s);
+    pending_[s].trace_id = trace_id;
+    pending_[s].records.push_back(stamped);
+    if (pending_[s].records.size() >= options_.shard_batch_size) push_pending(s);
   }
   records_.fetch_add(batch.size(), std::memory_order_relaxed);
   m_records_->add(batch.size());
   // Flush small leftovers each minute so shard windows close promptly.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (!pending_[s].empty()) push_pending(s);
+    if (!pending_[s].records.empty()) push_pending(s);
   }
 }
 
@@ -108,7 +128,7 @@ std::vector<CommGraph> ShardedGraphPipeline::finish() {
   CCG_EXPECT(!finished_);
   finished_ = true;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (!pending_[s].empty()) push_pending(s);
+    if (!pending_[s].records.empty()) push_pending(s);
     shards_[s].queue->close();
   }
   for (auto& shard : shards_) shard.worker.join();
@@ -127,6 +147,10 @@ std::vector<CommGraph> ShardedGraphPipeline::finish() {
   std::vector<CommGraph> out;
   out.reserve(by_window.size());
   for (auto& [start, parts] : by_window) {
+    // Merge (and the store append below) runs on the producer thread but
+    // belongs to the window being closed, not to whatever trace the caller
+    // happens to be in.
+    obs::TraceScope trace({obs::window_trace_id(start), 0});
     obs::ScopedSpan span(*m_window_merge_, "ccg.pipeline.window_merge");
     CommGraph merged = merge_graphs(parts);
     if (options_.graph.collapse_threshold > 0.0) {

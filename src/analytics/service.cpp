@@ -1,9 +1,13 @@
 #include "ccg/analytics/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/flight.hpp"
 #include "ccg/obs/span.hpp"
+#include "ccg/obs/trace.hpp"
 
 namespace ccg {
 
@@ -25,6 +29,7 @@ AnalyticsService::AnalyticsService(AnalyticsServiceOptions options,
   m_stage_tracker_ = &obs::span_histogram("ccg.analytics.stage.tracker");
   m_stage_patterns_ = &obs::span_histogram("ccg.analytics.stage.patterns");
   m_spectral_fit_ = &obs::span_histogram("ccg.analytics.spectral_fit");
+  m_window_ = &obs::span_histogram("ccg.analytics.window");
   m_windows_ = &registry.counter("ccg.analytics.windows");
   m_training_windows_ = &registry.counter("ccg.analytics.training_windows");
   m_alerts_ = &registry.counter("ccg.analytics.alerts");
@@ -49,14 +54,29 @@ void AnalyticsService::flush() {
 
 void AnalyticsService::drain_closed_windows() {
   for (CommGraph& graph : builder_.take_graphs()) {
+    // The append belongs to the window being closed; deliver() re-installs
+    // the same trace, so live and replayed runs share one id per window.
+    obs::TraceScope trace(
+        {obs::window_trace_id(graph.window().begin().index()), 0});
     if (store_ != nullptr) store_->append(graph);
     deliver(graph);
   }
 }
 
 void AnalyticsService::deliver(const CommGraph& graph) {
-  WindowReport report = analyze(graph);
-  history_.push_back(report);
+  const std::uint64_t trace_id =
+      obs::window_trace_id(graph.window().begin().index());
+  obs::TraceScope trace({trace_id, 0});
+  obs::Watchdog::global().begin_window(trace_id, graph.window().to_string());
+  WindowReport report;
+  {
+    // Root span of the window's tree: every stage span in analyze() nests
+    // under it, which is what the trace viewer groups by.
+    obs::ScopedSpan window_span(*m_window_, "ccg.analytics.window");
+    report = analyze(graph);
+  }
+  obs::Watchdog::global().end_window();
+  history_.push_back(std::move(report));
   ++windows_reported_;
   on_report_(history_.back());
 }
@@ -80,6 +100,11 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
   report.bytes = graph.total_bytes();
 
   m_windows_->add();
+
+  if (options_.stall_injection_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.stall_injection_ms));
+  }
 
   // These run from window one: they carry their own baselines.
   {

@@ -12,6 +12,11 @@ GraphBuilder::GraphBuilder(GraphBuildConfig config,
     : config_(config), monitored_(std::move(monitored)) {
   CCG_EXPECT(config.window_minutes > 0);
   CCG_EXPECT(config.collapse_threshold >= 0.0 && config.collapse_threshold < 1.0);
+  obs::Registry& registry = obs::Registry::global();
+  m_records_ = &registry.counter("ccg.graph.records");
+  m_windows_ = &registry.counter("ccg.graph.windows");
+  m_collapsed_ = &registry.counter("ccg.graph.collapsed_nodes");
+  m_finalize_ = &obs::span_histogram("ccg.graph.finalize");
 }
 
 NodeKey GraphBuilder::node_key(const ConnectionSummary& r, bool local_side,
@@ -55,6 +60,7 @@ void GraphBuilder::ingest(const ConnectionSummary& record) {
   CCG_EXPECT(record.time >= current_window_->begin());  // stream must be ordered
 
   ++records_;
+  m_records_->add(1);
   const std::int64_t minute = record.time.index();
 
   // Who initiated this flow? The record's initiator bit (from the NIC flow
@@ -105,6 +111,7 @@ std::vector<CommGraph> GraphBuilder::take_graphs() {
 }
 
 void GraphBuilder::finalize_window() {
+  obs::ScopedSpan span(*m_finalize_, "ccg.graph.finalize");
   struct EdgeAgg {
     std::uint64_t bytes_ab, bytes_ba, packets_ab, packets_ba;
     std::uint64_t conn_minutes;
@@ -208,8 +215,10 @@ void GraphBuilder::finalize_window() {
   }
   if (collapse_node) {
     graph.note_collapsed_members(*collapse_node, collapsed_members);
+    m_collapsed_->add(collapsed_members);
   }
 
+  m_windows_->add(1);
   graphs_.push_back(std::move(graph));
 }
 

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "ccg/graph/comm_graph.hpp"
+#include "ccg/obs/metrics.hpp"
+#include "ccg/obs/span.hpp"
 #include "ccg/telemetry/collector.hpp"
 #include "ccg/telemetry/record.hpp"
 
@@ -126,6 +128,12 @@ class GraphBuilder : public TelemetrySink {
   std::optional<TimeWindow> current_window_;
   std::vector<CommGraph> graphs_;
   std::uint64_t records_ = 0;
+
+  // Registry-owned; shared across builder instances (e.g. pipeline shards).
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_windows_ = nullptr;
+  obs::Counter* m_collapsed_ = nullptr;
+  obs::Histogram* m_finalize_ = nullptr;
 };
 
 /// Merges graphs with disjoint-or-overlapping node sets into one (used by

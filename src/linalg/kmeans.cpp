@@ -143,6 +143,7 @@ KMeansResult lloyd_once(const Matrix& data, std::size_t k, Rng& rng,
 }  // namespace
 
 KMeansResult kmeans(const Matrix& data, std::size_t k, KMeansOptions options) {
+  parallel::ScopedJobTag job_tag("kmeans");
   CCG_EXPECT(data.rows() > 0);
   CCG_EXPECT(k >= 1 && k <= data.rows());
   CCG_EXPECT(options.restarts >= 1);

@@ -11,6 +11,7 @@ PcaSummary::PcaSummary(const Matrix& m)
     : original_(m), eig_(jacobi_eigen(m)), original_abs_sum_(m.abs_sum()) {}
 
 Matrix PcaSummary::reconstruct(std::size_t k) const {
+  parallel::ScopedJobTag job_tag("pca");
   const std::size_t n = dimension();
   CCG_EXPECT(k <= n);
   Matrix out(n, n);
@@ -37,6 +38,7 @@ double PcaSummary::reconstruction_error(std::size_t k) const {
 }
 
 std::vector<double> PcaSummary::error_curve(std::size_t max_k) const {
+  parallel::ScopedJobTag job_tag("pca");
   const std::size_t n = dimension();
   CCG_EXPECT(max_k <= n);
   std::vector<double> errors;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 namespace ccg::obs {
@@ -204,6 +205,75 @@ bool write_json_file(const std::string& path, const Snapshot& snapshot) {
   std::ofstream out(path);
   if (!out) return false;
   out << to_json(snapshot);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Nanoseconds as fixed-point microseconds ("12345.678"): the trace-event
+/// ts/dur unit. %g would drop into lossy scientific notation for the large
+/// process-relative timestamps.
+std::string fmt_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string to_trace_json(const std::vector<TraceEvent>& events,
+                          std::size_t dropped) {
+  // Thread hashes are unwieldy 64-bit values; chrome://tracing renders one
+  // lane per tid, so map each hash to a small id by first appearance.
+  std::map<std::uint64_t, std::size_t> tids;
+  for (const TraceEvent& e : events) {
+    tids.emplace(e.thread_hash, tids.size() + 1);
+  }
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": "
+                    "{\"dropped\": " +
+                    std::to_string(dropped) + "},\n  \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    json_escape_into(out, e.name);
+    out += "\", \"cat\": \"ccg\", \"ph\": \"X\", \"ts\": " +
+           fmt_us(e.start_ns) + ", \"dur\": " + fmt_us(e.duration_ns) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(tids.at(e.thread_hash)) +
+           ", \"args\": {";
+    bool first_arg = true;
+    const auto arg = [&](const char* key, std::uint64_t id) {
+      if (id == 0) return;
+      if (!first_arg) out += ", ";
+      first_arg = false;
+      out += "\"";
+      out += key;
+      out += "\": \"" + hex_id(id) + "\"";
+    };
+    arg("trace", e.trace_id);
+    arg("span", e.span_id);
+    arg("parent", e.parent_id);
+    out += "}}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool write_trace_file(const std::string& path) {
+  TraceRing& ring = TraceRing::global();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_trace_json(ring.events(), ring.dropped());
   return static_cast<bool>(out);
 }
 

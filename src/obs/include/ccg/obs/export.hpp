@@ -5,8 +5,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ccg/obs/metrics.hpp"
+#include "ccg/obs/span.hpp"
 
 namespace ccg::obs {
 
@@ -27,5 +29,18 @@ std::string summary_text(const Snapshot& snapshot);
 
 /// Writes to_json(snapshot) to `path`. Returns false on I/O failure.
 bool write_json_file(const std::string& path, const Snapshot& snapshot);
+
+/// Chrome trace-event JSON (the format chrome://tracing and Perfetto load):
+/// one complete-phase ("ph":"X") event per span, timestamps/durations in
+/// microseconds, thread hashes mapped to small dense tids in order of first
+/// appearance. Span/trace/parent ids ride in "args" as hex strings; a
+/// parent of 0 (trace root) is omitted. Field order is fixed and the output
+/// is valid JSON even for an empty event list, so goldens are stable.
+std::string to_trace_json(const std::vector<TraceEvent>& events,
+                          std::size_t dropped = 0);
+
+/// Snapshots the global TraceRing and writes to_trace_json to `path`.
+/// Returns false on I/O failure.
+bool write_trace_file(const std::string& path);
 
 }  // namespace ccg::obs

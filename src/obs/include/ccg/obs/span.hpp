@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ccg/obs/metrics.hpp"
+#include "ccg/obs/trace.hpp"
 
 namespace ccg::obs {
 
@@ -28,6 +29,9 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;     // steady_clock, process-relative
   std::uint64_t duration_ns = 0;
   std::uint64_t thread_hash = 0;  // std::hash of std::thread::id
+  std::uint64_t trace_id = 0;     // owning window trace (0 = untraced work)
+  std::uint64_t span_id = 0;      // this span (0 only while tracing is off)
+  std::uint64_t parent_id = 0;    // enclosing span (0 = trace root)
 };
 
 /// Bounded ring of recent spans. Disabled (capacity 0) by default; the
@@ -60,12 +64,18 @@ class TraceRing {
 };
 
 /// Times its scope into a latency histogram (and the TraceRing when on).
+/// While tracing is enabled the span also mints a span id, records the
+/// ambient TraceContext as its parent, and installs itself as the current
+/// parent for its scope — nested spans (even on other threads, via
+/// TraceScope handoff) form a tree without any caller involvement.
 class ScopedSpan {
  public:
   explicit ScopedSpan(Histogram& histogram, const char* name = "") noexcept
       : histogram_(&histogram),
         name_(name),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    if (TraceRing::global().enabled()) open_trace();
+  }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -80,9 +90,14 @@ class ScopedSpan {
   ~ScopedSpan();
 
  private:
+  void open_trace() noexcept;
+
   Histogram* histogram_;
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  TraceContext parent_;         // ambient context at construction
+  std::uint64_t span_id_ = 0;   // nonzero iff traced_
+  bool traced_ = false;
 };
 
 /// Default bucket layout for latency histograms: 1 µs first bucket,

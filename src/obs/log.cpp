@@ -1,0 +1,197 @@
+#include "ccg/obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "ccg/obs/metrics.hpp"
+#include "ccg/obs/trace.hpp"
+
+namespace ccg::obs {
+
+namespace {
+
+/// Process-relative steady clock: first call pins the epoch, so log and
+/// trace timestamps share an origin close to process start.
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+LogLevel env_stderr_level() {
+  const char* v = std::getenv("CCG_LOG_LEVEL");
+  if (v == nullptr || *v == '\0') return LogLevel::kWarn;
+  return parse_level(v, LogLevel::kWarn);
+}
+
+std::atomic<int>& stderr_level_storage() {
+  static std::atomic<int> level{static_cast<int>(env_stderr_level())};
+  return level;
+}
+
+/// Quotes a value for logfmt rendering when it contains spaces or quotes.
+void append_value(std::string& out, const std::string& value) {
+  const bool needs_quotes =
+      value.empty() || value.find_first_of(" \t\"=") != std::string::npos;
+  if (!needs_quotes) {
+    out += value;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c == '\n' ? ' ' : c);
+  }
+  out.push_back('"');
+}
+
+Counter& level_counter(LogLevel level) {
+  static Counter* counters[4] = {
+      &Registry::global().counter("ccg.log.debug"),
+      &Registry::global().counter("ccg.log.info"),
+      &Registry::global().counter("ccg.log.warn"),
+      &Registry::global().counter("ccg.log.error"),
+  };
+  return *counters[static_cast<int>(level)];
+}
+
+}  // namespace
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+LogLevel parse_level(std::string_view name, LogLevel fallback) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return fallback;
+}
+
+LogField field(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return {std::string(key), buf};
+}
+
+std::string LogRecord::render() const {
+  std::string out = "level=";
+  out += level_name(level);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " ts=%.6f",
+                static_cast<double>(ts_ns) * 1e-9);
+  out += buf;
+  if (trace_id != 0) {
+    std::snprintf(buf, sizeof(buf), " trace=0x%llx",
+                  static_cast<unsigned long long>(trace_id));
+    out += buf;
+  }
+  out += " msg=";
+  append_value(out, message);
+  for (const LogField& f : fields) {
+    out.push_back(' ');
+    out += f.key;
+    out.push_back('=');
+    append_value(out, f.value);
+  }
+  return out;
+}
+
+LogRing& LogRing::global() {
+  static LogRing* instance = new LogRing();  // leaked, like the registry
+  return *instance;
+}
+
+void LogRing::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity);
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t LogRing::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void LogRing::push(LogRecord record) {
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+    ++dropped_;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<LogRecord> LogRing::records() const {
+  std::lock_guard lock(mutex_);
+  std::vector<LogRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || ring_.empty()) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::size_t LogRing::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void LogRing::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+LogLevel stderr_level() noexcept {
+  return static_cast<LogLevel>(
+      stderr_level_storage().load(std::memory_order_relaxed));
+}
+
+void set_stderr_level(LogLevel level) noexcept {
+  stderr_level_storage().store(static_cast<int>(level),
+                               std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  LogRecord record;
+  record.level = level;
+  record.ts_ns = now_ns();
+  record.thread_hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  record.trace_id = current_trace().trace_id;
+  record.message = std::string(message);
+  record.fields.assign(fields.begin(), fields.end());
+
+  level_counter(level).add();
+  if (level >= stderr_level()) {
+    std::fprintf(stderr, "ccg: %s\n", record.render().c_str());
+  }
+  LogRing::global().push(std::move(record));
+}
+
+}  // namespace ccg::obs

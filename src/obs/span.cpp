@@ -64,11 +64,20 @@ void TraceRing::clear() {
   dropped_ = 0;
 }
 
+void ScopedSpan::open_trace() noexcept {
+  traced_ = true;
+  parent_ = current_trace();
+  span_id_ = next_span_id();
+  set_current_trace({parent_.trace_id, span_id_});
+}
+
 ScopedSpan::~ScopedSpan() {
   const auto end = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(end - start_).count();
   histogram_->record(seconds);
 
+  if (!traced_) return;
+  set_current_trace(parent_);
   TraceRing& ring = TraceRing::global();
   if (ring.enabled()) {
     TraceEvent event;
@@ -79,6 +88,9 @@ ScopedSpan::~ScopedSpan() {
             .count());
     event.duration_ns = static_cast<std::uint64_t>(seconds * 1e9);
     event.thread_hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    event.trace_id = parent_.trace_id;
+    event.span_id = span_id_;
+    event.parent_id = parent_.span_id;
     ring.push(std::move(event));
   }
 }

@@ -260,6 +260,7 @@ double node_similarity(const CommGraph& graph, NodeId a, NodeId b,
 }
 
 WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions options) {
+  parallel::ScopedJobTag job_tag("similarity");
   const std::size_t n = graph.node_count();
   WeightedGraph clique(n);
   if (n < 2) return clique;

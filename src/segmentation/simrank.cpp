@@ -43,6 +43,7 @@ double evidence(std::size_t common) {
 }  // namespace
 
 std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions options) {
+  parallel::ScopedJobTag job_tag("simrank");
   const std::size_t n = graph.node_count();
   CCG_EXPECT(n <= 3000);
   CCG_EXPECT(options.decay > 0.0 && options.decay < 1.0);

@@ -7,6 +7,7 @@
 #include <system_error>
 #include <unordered_map>
 
+#include "ccg/obs/log.hpp"
 #include "ccg/obs/span.hpp"
 
 namespace fs = std::filesystem;
@@ -255,11 +256,20 @@ bool StoreWriter::roll_segment() {
 }
 
 bool StoreWriter::append(const CommGraph& graph) {
-  if (closed_) return false;
+  if (closed_) {
+    obs::log_warn("store append rejected: writer closed",
+                  {obs::field("window_begin", graph.window().begin().index())});
+    return false;
+  }
   obs::ScopedSpan span(*m_append_, "ccg.store.append");
 
   const std::int64_t begin = graph.window().begin().index();
-  if (!entries_.empty() && begin <= entries_.back().window_begin) return false;
+  if (!entries_.empty() && begin <= entries_.back().window_begin) {
+    obs::log_warn("store append rejected: window out of order",
+                  {obs::field("window_begin", begin),
+                   obs::field("last_begin", entries_.back().window_begin)});
+    return false;
+  }
 
   // Segments roll (and therefore re-keyframe) at the size threshold; a
   // fresh session's first frame is always a keyframe because no base graph
@@ -348,6 +358,12 @@ std::optional<StoreReader> StoreReader::open(const std::string& dir) {
   reader.entries_ = load_or_scan(dir);
   reader.segment_count_ = list_segments(dir).size();
   reader.bytes_on_disk_ = disk_usage(dir);
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("ccg.store.opens").add();
+  registry.gauge("ccg.store.windows_indexed")
+      .set(static_cast<double>(reader.entries_.size()));
+  registry.gauge("ccg.store.bytes_on_disk")
+      .set(static_cast<double>(reader.bytes_on_disk_));
   return reader;
 }
 

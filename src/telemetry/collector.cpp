@@ -4,6 +4,7 @@
 
 #include "ccg/common/expect.hpp"
 #include "ccg/obs/span.hpp"
+#include "ccg/obs/trace.hpp"
 
 namespace ccg {
 
@@ -53,6 +54,9 @@ void TelemetryHub::observe(const FlowKey& key, const TrafficCounters& delta,
 }
 
 std::vector<ConnectionSummary> TelemetryHub::end_interval(MinuteBucket now) {
+  // Each interval is the root of that minute's causal chain: the flush
+  // span and everything the sink does with the batch trace back to it.
+  obs::TraceScope trace({obs::window_trace_id(now.index()), 0});
   std::vector<ConnectionSummary> merged;
   {
     // Spans only the hub's own work (collect + sort), not the sink's

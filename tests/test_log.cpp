@@ -1,0 +1,136 @@
+// Structured logging: field formatting, logfmt rendering, trace stamping,
+// the bounded LogRing (wraparound, concurrent writers), level counters and
+// stderr-threshold parsing.
+#include "ccg/obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccg/obs/metrics.hpp"
+#include "ccg/obs/trace.hpp"
+
+namespace ccg {
+namespace {
+
+/// Logging is always on; tests share the global ring, so each starts from a
+/// clean, generously sized one and leaves the default behind.
+class ObsLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::LogRing::global().set_capacity(256); }
+  void TearDown() override { obs::LogRing::global().set_capacity(1024); }
+};
+
+TEST(ObsLogLevel, NamesAndParsing) {
+  EXPECT_STREQ(obs::level_name(obs::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(obs::level_name(obs::LogLevel::kError), "error");
+  EXPECT_EQ(obs::parse_level("info", obs::LogLevel::kWarn),
+            obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_level("warning", obs::LogLevel::kError),
+            obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_level("bogus", obs::LogLevel::kError),
+            obs::LogLevel::kError);
+}
+
+TEST(ObsLogField, ValueFormatting) {
+  EXPECT_EQ(obs::field("k", "v").value, "v");
+  EXPECT_EQ(obs::field("k", std::int64_t{-7}).value, "-7");
+  EXPECT_EQ(obs::field("k", std::uint64_t{18446744073709551615ull}).value,
+            "18446744073709551615");
+  EXPECT_EQ(obs::field("k", true).value, "true");
+  EXPECT_EQ(obs::field("k", false).value, "false");
+}
+
+TEST_F(ObsLogTest, RecordsCarryLevelMessageAndFields) {
+  obs::LogRing::global().clear();
+  obs::log_info("window closed", {obs::field("nodes", 12),
+                                  obs::field("label", "h1")});
+  const auto records = obs::LogRing::global().records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, obs::LogLevel::kInfo);
+  EXPECT_EQ(records[0].message, "window closed");
+  ASSERT_EQ(records[0].fields.size(), 2u);
+  EXPECT_EQ(records[0].fields[0].key, "nodes");
+  EXPECT_EQ(records[0].fields[0].value, "12");
+  EXPECT_NE(records[0].thread_hash, 0u);
+}
+
+TEST_F(ObsLogTest, RecordsAreStampedWithTheAmbientTrace) {
+  obs::LogRing::global().clear();
+  obs::log_warn("outside any trace");
+  {
+    obs::TraceScope trace({0xABCD, 7});
+    obs::log_warn("inside");
+  }
+  const auto records = obs::LogRing::global().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 0u);
+  EXPECT_EQ(records[1].trace_id, 0xABCDu);
+}
+
+TEST_F(ObsLogTest, RenderIsLogfmtWithQuotingOnlyWhereNeeded) {
+  obs::LogRecord record;
+  record.level = obs::LogLevel::kWarn;
+  record.ts_ns = 1234500000;  // 1.2345 s
+  record.trace_id = 0xBEEF;
+  record.message = "store append rejected";
+  record.fields = {obs::field("window", "hour 3"), obs::field("count", 9)};
+  EXPECT_EQ(record.render(),
+            "level=warn ts=1.234500 trace=0xbeef msg=\"store append rejected\" "
+            "window=\"hour 3\" count=9");
+
+  obs::LogRecord bare;
+  bare.level = obs::LogLevel::kInfo;
+  bare.message = "ok";
+  EXPECT_EQ(bare.render(), "level=info ts=0.000000 msg=ok");
+}
+
+TEST_F(ObsLogTest, RingWrapsKeepingNewestOldestFirst) {
+  obs::LogRing::global().set_capacity(4);
+  obs::LogRing::global().clear();
+  for (int i = 0; i < 10; ++i) {
+    obs::log_debug("m" + std::to_string(i));
+  }
+  const auto records = obs::LogRing::global().records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(obs::LogRing::global().dropped(), 6u);
+  EXPECT_EQ(records.front().message, "m6");
+  EXPECT_EQ(records.back().message, "m9");
+}
+
+TEST_F(ObsLogTest, ConcurrentWritersRetainExactlyCapacity) {
+  obs::LogRing::global().set_capacity(32);
+  obs::LogRing::global().clear();
+  constexpr int kThreads = 4, kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) obs::log_debug("spam");
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(obs::LogRing::global().records().size(), 32u);
+  EXPECT_EQ(obs::LogRing::global().dropped(),
+            static_cast<std::size_t>(kThreads * kPerThread) - 32u);
+}
+
+TEST_F(ObsLogTest, EveryEmitBumpsItsLevelCounter) {
+  obs::Counter& warns = obs::Registry::global().counter("ccg.log.warn");
+  const std::uint64_t before = warns.value();
+  obs::log_warn("counted");
+  obs::log_warn("counted again");
+  EXPECT_EQ(warns.value(), before + 2);
+}
+
+TEST(ObsLogStderr, ThresholdIsAdjustable) {
+  const obs::LogLevel original = obs::stderr_level();
+  obs::set_stderr_level(obs::LogLevel::kError);
+  EXPECT_EQ(obs::stderr_level(), obs::LogLevel::kError);
+  obs::set_stderr_level(original);
+  EXPECT_EQ(obs::stderr_level(), original);
+}
+
+}  // namespace
+}  // namespace ccg

@@ -10,7 +10,10 @@
 // the initiator bit). An IP is treated as *monitored* iff it ever appears
 // as a record's local endpoint — exactly the set of NICs that produced the
 // log.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -19,6 +22,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "ccg/analytics/counterfactual.hpp"
 #include "ccg/analytics/pipeline.hpp"
@@ -28,7 +33,11 @@
 #include "ccg/graph/metrics.hpp"
 #include "ccg/graph/serialize.hpp"
 #include "ccg/obs/export.hpp"
+#include "ccg/obs/flight.hpp"
+#include "ccg/obs/log.hpp"
 #include "ccg/obs/metrics.hpp"
+#include "ccg/obs/span.hpp"
+#include "ccg/obs/trace.hpp"
 #include "ccg/parallel/parallel.hpp"
 #include "ccg/policy/higher_order.hpp"
 #include "ccg/policy/policy_io.hpp"
@@ -97,6 +106,9 @@ int usage() {
                "  anomaly  --in flows.csv [--window MIN] [--train N] [--rank K]\n"
                "           [--summary-out FILE]\n"
                "  report   --in flows.csv [--collapse F] [--shards N]\n"
+               "  trace    --in flows.csv [--window MIN] [--train N]\n"
+               "           [--stall-ms MS] runs the anomaly pipeline with\n"
+               "           tracing forced on and prints each window's span tree\n"
                "  store append  --in flows.csv --store DIR [--window MIN]\n"
                "                [--facet ip|ipport] [--collapse F]\n"
                "                [--keyframe K] [--segment-mb MB]\n"
@@ -109,6 +121,15 @@ int usage() {
                "every command also accepts:\n"
                "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
                "  --metrics-prom FILE  same registry in Prometheus text format\n"
+               "  --trace-out FILE     record spans; write Chrome trace-event\n"
+               "                       JSON (chrome://tracing, Perfetto) on exit\n"
+               "  --log-level LVL      stderr log threshold debug|info|warn|error\n"
+               "                       (default: $CCG_LOG_LEVEL, else warn)\n"
+               "  --flight-dir DIR     install crash handlers; flight records\n"
+               "                       land here (default: $CCG_FLIGHT_DIR)\n"
+               "  --watchdog-ms N      dump a flight record when one window\n"
+               "                       stalls longer than N ms\n"
+               "                       (default: $CCG_WATCHDOG_MS)\n"
                "  --threads N          analysis-kernel worker threads (default:\n"
                "                       $CCG_THREADS, else all hardware threads;\n"
                "                       output is bit-identical for every N)\n"
@@ -553,6 +574,74 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) return usage();
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+
+  // The whole point of this command is the span tree, so tracing is forced
+  // on even without --trace-out (which then also captures the same spans).
+  if (!obs::TraceRing::global().enabled()) {
+    obs::TraceRing::global().enable(std::size_t{1} << 16);
+  }
+
+  AnalyticsService service(
+      {.graph = {.facet = GraphFacet::kIp,
+                 .window_minutes = args.get_long("window", 60),
+                 .collapse_threshold = args.get_double("collapse", 0.001)},
+       .training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
+       .stall_injection_ms = static_cast<int>(args.get_long("stall-ms", 0))},
+      monitored_from(*records), [](const WindowReport&) {});
+  replay_minutes(*records, service);
+  service.flush();
+
+  // Group completed spans by window trace and print each tree, children
+  // indented under parents in start order.
+  const auto events = obs::TraceRing::global().events();
+  std::map<std::uint64_t, std::vector<const obs::TraceEvent*>> by_trace;
+  for (const auto& e : events) {
+    if (e.trace_id != 0) by_trace[e.trace_id].push_back(&e);
+  }
+  for (const auto& [trace_id, spans] : by_trace) {
+    std::unordered_set<std::uint64_t> ids;
+    for (const auto* e : spans) ids.insert(e->span_id);
+    // A parent evicted from the ring (or still open) orphans its children;
+    // promote orphans to roots rather than dropping them.
+    std::map<std::uint64_t, std::vector<const obs::TraceEvent*>> children;
+    for (const auto* e : spans) {
+      children[ids.contains(e->parent_id) ? e->parent_id : 0].push_back(e);
+    }
+    for (auto& [parent, kids] : children) {
+      std::sort(kids.begin(), kids.end(),
+                [](const obs::TraceEvent* a, const obs::TraceEvent* b) {
+                  return a->start_ns < b->start_ns;
+                });
+    }
+    std::printf("trace 0x%llx (%zu spans)\n",
+                static_cast<unsigned long long>(trace_id), spans.size());
+    std::vector<std::pair<const obs::TraceEvent*, int>> stack;
+    const auto& roots = children[0];
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+      stack.emplace_back(*it, 1);
+    }
+    while (!stack.empty()) {
+      const auto [e, depth] = stack.back();
+      stack.pop_back();
+      std::printf("%*s%-34s %10.3f ms\n", depth * 2, "", e->name.c_str(),
+                  static_cast<double>(e->duration_ns) / 1e6);
+      if (const auto it = children.find(e->span_id); it != children.end()) {
+        for (auto c = it->second.rbegin(); c != it->second.rend(); ++c) {
+          stack.emplace_back(*c, depth + 1);
+        }
+      }
+    }
+  }
+  std::printf("%zu window traces, %zu spans (%zu dropped)\n", by_trace.size(),
+              events.size(), obs::TraceRing::global().dropped());
+  return 0;
+}
+
 // --- store commands ---------------------------------------------------------
 
 std::int64_t minute_arg(const Args& args, const std::string& key,
@@ -764,6 +853,7 @@ int dispatch(const std::string& command, const std::string& subcommand,
   if (command == "diff") return cmd_diff(args);
   if (command == "anomaly") return cmd_anomaly(args);
   if (command == "report") return cmd_report(args);
+  if (command == "trace") return cmd_trace(args);
   if (command == "store") return cmd_store(subcommand, args);
   return usage();
 }
@@ -789,6 +879,46 @@ int export_metrics(const Args& args) {
   return 0;
 }
 
+/// --trace-out: dump the span ring as Chrome trace-event JSON. Like metrics,
+/// the file is written even after a failed command — the trace of a failed
+/// run is the interesting one.
+int export_trace(const Args& args) {
+  const auto path = args.get("trace-out");
+  if (!path) return 0;
+  if (!ccg::obs::write_trace_file(*path)) {
+    std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Global diagnostics knobs shared by every command; flags override the
+/// CCG_* environment defaults.
+void configure_diagnostics(const Args& args) {
+  if (const auto level = args.get("log-level")) {
+    ccg::obs::set_stderr_level(
+        ccg::obs::parse_level(*level, ccg::obs::LogLevel::kWarn));
+  }
+  if (args.get("trace-out")) {
+    ccg::obs::TraceRing::global().enable(std::size_t{1} << 16);
+  }
+  const char* env_flight = std::getenv("CCG_FLIGHT_DIR");
+  const std::string flight_dir =
+      args.get_or("flight-dir", env_flight != nullptr ? env_flight : "");
+  if (!flight_dir.empty()) ccg::obs::install_crash_handler(flight_dir);
+  long watchdog_ms = args.get_long("watchdog-ms", 0);
+  if (watchdog_ms <= 0) {
+    if (const char* env = std::getenv("CCG_WATCHDOG_MS")) {
+      watchdog_ms = std::atol(env);
+    }
+  }
+  if (watchdog_ms > 0) {
+    ccg::obs::Watchdog::global().start(
+        std::chrono::milliseconds(watchdog_ms),
+        flight_dir.empty() ? "." : flight_dir);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -805,12 +935,20 @@ int main(int argc, char** argv) {
   if (const long threads = args.get_long("threads", 0); threads > 0) {
     ccg::parallel::set_thread_count(static_cast<int>(threads));
   }
+  configure_diagnostics(args);
   try {
     const int rc = dispatch(command, subcommand, args);
+    ccg::obs::Watchdog::global().stop();
     const int metrics_rc = export_metrics(args);
-    return rc != 0 ? rc : metrics_rc;
+    const int trace_rc = export_trace(args);
+    return rc != 0 ? rc : (metrics_rc != 0 ? metrics_rc : trace_rc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ccgraph: %s\n", e.what());
+    ccg::obs::log_error("ccgraph terminated by exception",
+                        {ccg::obs::field("what", e.what())});
+    ccg::obs::Watchdog::global().stop();
+    export_metrics(args);  // best-effort evidence from the failed run
+    export_trace(args);
     return 1;
   }
 }

@@ -75,6 +75,71 @@ if(NOT summaries_differ EQUAL 0)
   message(FATAL_ERROR "store replay summaries differ from the direct run")
 endif()
 
+# Every subcommand honors the global --metrics-out/--metrics-prom flags —
+# including the store family, whose export regressing silently would leave
+# production runs blind.
+function(check_metrics_files tag)
+  foreach(suffix json prom)
+    if(NOT EXISTS ${WORKDIR}/m_${tag}.${suffix})
+      message(FATAL_ERROR "${tag}: metrics file m_${tag}.${suffix} not written")
+    endif()
+    file(SIZE ${WORKDIR}/m_${tag}.${suffix} metrics_size)
+    if(metrics_size EQUAL 0)
+      message(FATAL_ERROR "${tag}: metrics file m_${tag}.${suffix} is empty")
+    endif()
+  endforeach()
+endfunction()
+
+run_cli(0 graph --in clean.csv --metrics-out m_graph.json --metrics-prom m_graph.prom)
+check_metrics_files(graph)
+run_cli(0 segment --in clean.csv --metrics-out m_segment.json --metrics-prom m_segment.prom)
+check_metrics_files(segment)
+run_cli(0 report --in clean.csv --metrics-out m_report.json --metrics-prom m_report.prom)
+check_metrics_files(report)
+run_cli(0 anomaly --in long.csv --train 3 --rank 8 --metrics-out m_anomaly.json --metrics-prom m_anomaly.prom)
+check_metrics_files(anomaly)
+run_cli(0 store stats --store winstore --metrics-out m_stats.json --metrics-prom m_stats.prom)
+check_metrics_files(stats)
+run_cli(0 store query --store winstore --metrics-out m_query.json --metrics-prom m_query.prom)
+check_metrics_files(query)
+run_cli_rc(ignored_rc store replay --store winstore --train 5
+           --summary-out replay_metrics_summaries.txt
+           --metrics-out m_replay.json --metrics-prom m_replay.prom)
+check_metrics_files(replay)
+
+# The trace subcommand forces tracing on, prints span trees, and --trace-out
+# writes Chrome trace-event JSON any command could also produce.
+run_cli(0 trace --in long.csv --window 30 --train 2 --trace-out trace.json)
+if(NOT EXISTS ${WORKDIR}/trace.json)
+  message(FATAL_ERROR "trace subcommand did not write trace.json")
+endif()
+file(READ ${WORKDIR}/trace.json trace_json)
+if(NOT trace_json MATCHES "traceEvents")
+  message(FATAL_ERROR "trace.json is not trace-event JSON")
+endif()
+if(NOT trace_json MATCHES "ccg.analytics.window")
+  message(FATAL_ERROR "trace.json is missing the window root spans")
+endif()
+
+# A stalled window (injected) must trip the watchdog into writing a flight
+# record that names the stall.
+file(REMOVE_RECURSE ${WORKDIR}/flightdir)
+file(MAKE_DIRECTORY ${WORKDIR}/flightdir)
+run_cli(0 trace --in long.csv --window 60 --train 2 --stall-ms 400
+          --watchdog-ms 100 --flight-dir flightdir)
+file(GLOB stall_dumps ${WORKDIR}/flightdir/ccg-flight-stall-*.json)
+if(stall_dumps STREQUAL "")
+  message(FATAL_ERROR "stalled window produced no flight record")
+endif()
+list(GET stall_dumps 0 stall_dump)
+file(READ ${stall_dump} stall_json)
+if(NOT stall_json MATCHES "window stalled past watchdog deadline")
+  message(FATAL_ERROR "flight record is missing the stall log line")
+endif()
+if(stall_json MATCHES "\"span_count\": 0,")
+  message(FATAL_ERROR "flight record captured no spans")
+endif()
+
 run_cli(0 store compact --store winstore --keyframe 4)
 run_cli_rc(replay2_rc store replay --store winstore --train 5
            --summary-out replayed_after_compact.txt)
