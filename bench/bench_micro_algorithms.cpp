@@ -20,6 +20,7 @@
 
 #include "ccg/graph/delta.hpp"
 #include "ccg/linalg/eigen.hpp"
+#include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
 #include "ccg/segmentation/auto_segment.hpp"
 #include "ccg/segmentation/similarity.hpp"
@@ -179,11 +180,16 @@ double time_at_threads(int threads, Fn&& fn) {
 struct KernelSweep {
   std::string name;
   std::vector<std::pair<int, double>> seconds_by_threads;
+  obs::prof::CounterValues counters;  // one serial run's deltas
 };
 
 /// Emits the sweep as a delimited JSON block (same convention as the
 /// metrics snapshot) and optionally into `json_path` for CI artifacts.
 void emit_kernel_speedups(const std::string& json_path) {
+  // Per-kernel hardware-counter deltas ride along with the timings;
+  // enable_counters() degrades to rusage (or nothing) when the perf
+  // syscall is denied, so this never fails the bench.
+  const obs::prof::CounterTier tier = obs::prof::enable_counters();
   const int hw = hardware_threads();
   std::vector<int> sweep{1};
   for (const int t : {2, 4, hw}) {
@@ -197,7 +203,15 @@ void emit_kernel_speedups(const std::string& json_path) {
 
   std::vector<KernelSweep> kernels;
   const auto run = [&](const std::string& name, auto&& fn) {
-    KernelSweep k{name, {}};
+    KernelSweep k{name, {}, {}};
+    {
+      // Counter deltas from one dedicated serial run, so the numbers are
+      // per-invocation, not best-of-3 aggregates.
+      parallel::set_thread_count(1);
+      obs::prof::CounterScope scope(k.counters);
+      fn();
+    }
+    parallel::set_thread_count(0);
     for (const int t : sweep) k.seconds_by_threads.emplace_back(t, time_at_threads(t, fn));
     kernels.push_back(std::move(k));
   };
@@ -210,7 +224,8 @@ void emit_kernel_speedups(const std::string& json_path) {
   });
 
   std::string json = "{\"hardware_threads\": " + std::to_string(hw) +
-                     ", \"kernels\": [";
+                     ", \"counter_tier\": \"" +
+                     obs::prof::tier_name(tier) + "\", \"kernels\": [";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelSweep& k = kernels[i];
     const double serial = k.seconds_by_threads.front().second;
@@ -228,7 +243,16 @@ void emit_kernel_speedups(const std::string& json_path) {
               ", \"seconds\": " + fmt(s, 6) +
               ", \"speedup\": " + fmt(s > 0.0 ? serial / s : 0.0, 3) + "}";
     }
-    json += "], \"best_speedup\": " + fmt(fastest > 0.0 ? serial / fastest : 0.0, 3) + "}";
+    json += "], \"best_speedup\": " + fmt(fastest > 0.0 ? serial / fastest : 0.0, 3);
+    const obs::prof::CounterValues& c = k.counters;
+    json += ", \"counters\": {\"tier\": \"" +
+            std::string(obs::prof::tier_name(c.tier)) +
+            "\", \"cycles\": " + std::to_string(c.cycles) +
+            ", \"instructions\": " + std::to_string(c.instructions) +
+            ", \"ipc\": " + fmt(c.ipc(), 3) +
+            ", \"cache_misses\": " + std::to_string(c.cache_misses) +
+            ", \"branch_misses\": " + std::to_string(c.branch_misses) +
+            ", \"cpu_seconds\": " + fmt(c.cpu_seconds, 6) + "}}";
   }
   json += "]}\n";
 

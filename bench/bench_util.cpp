@@ -3,9 +3,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 
 #include "ccg/obs/export.hpp"
+#include "ccg/obs/heap.hpp"
+#include "ccg/obs/prof_counters.hpp"
+#include "ccg/obs/span.hpp"
 #include "ccg/obs/trace.hpp"
 
 namespace ccg::bench {
@@ -13,6 +17,70 @@ namespace ccg::bench {
 void emit_metrics_snapshot() {
   std::printf("\n==== metrics snapshot (json) ====\n%s",
               obs::to_json(obs::Registry::global().snapshot()).c_str());
+  std::fflush(stdout);
+}
+
+void emit_resource_summary() {
+  obs::prof::enable_counters();
+  const obs::prof::CounterValues now = obs::prof::read_counters();
+  const obs::prof::HeapUsage heap = obs::prof::process_heap_totals();
+
+  // Per-stage cost: wall seconds from the stage latency histograms, heap
+  // churn from the per-window heap histograms the analytics service fills.
+  struct StageCost {
+    double seconds = 0.0;
+    std::uint64_t windows = 0;
+    double heap_bytes = 0.0;
+    double heap_allocs = 0.0;
+  };
+  std::map<std::string, StageCost> stages;
+  const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+  for (const obs::HistogramSample& h : snapshot.histograms) {
+    const std::string stage_prefix = "ccg.analytics.stage.";
+    const std::string heap_prefix = "ccg.prof.heap.stage.";
+    if (h.name.rfind(stage_prefix, 0) == 0 &&
+        h.name.size() > stage_prefix.size() + 8 &&
+        h.name.compare(h.name.size() - 8, 8, ".seconds") == 0) {
+      const std::string stage = h.name.substr(
+          stage_prefix.size(), h.name.size() - stage_prefix.size() - 8);
+      stages[stage].seconds = h.sum;
+      stages[stage].windows = h.count;
+    } else if (h.name.rfind(heap_prefix, 0) == 0) {
+      if (h.name.compare(h.name.size() - 6, 6, ".bytes") == 0) {
+        stages[h.name.substr(heap_prefix.size(),
+                             h.name.size() - heap_prefix.size() - 6)]
+            .heap_bytes = h.sum;
+      } else if (h.name.compare(h.name.size() - 7, 7, ".allocs") == 0) {
+        stages[h.name.substr(heap_prefix.size(),
+                             h.name.size() - heap_prefix.size() - 7)]
+            .heap_allocs = h.sum;
+      }
+    }
+  }
+
+  std::string json = "{\"counter_tier\": \"";
+  json += obs::prof::tier_name(now.tier);
+  json += "\", \"cpu_user_seconds\": " + fmt(now.cpu_user_seconds, 3) +
+          ", \"cpu_system_seconds\": " + fmt(now.cpu_system_seconds, 3) +
+          ", \"peak_rss_bytes\": " + std::to_string(now.max_rss_bytes) +
+          ", \"heap\": {\"tracked\": " +
+          (obs::prof::heap_tracking_available() ? "true" : "false") +
+          ", \"alloc_bytes\": " + std::to_string(heap.bytes) +
+          ", \"allocs\": " + std::to_string(heap.allocs) + "}, \"stages\": [";
+  bool first = true;
+  for (const auto& [name, cost] : stages) {
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"name\": \"" + name +
+            "\", \"seconds\": " + fmt(cost.seconds, 6) +
+            ", \"windows\": " + std::to_string(cost.windows) +
+            ", \"heap_bytes\": " + std::to_string(
+                static_cast<std::uint64_t>(cost.heap_bytes)) +
+            ", \"heap_allocs\": " + std::to_string(
+                static_cast<std::uint64_t>(cost.heap_allocs)) + "}";
+  }
+  json += "]}\n";
+  std::printf("\n==== resource summary (json) ====\n%s", json.c_str());
   std::fflush(stdout);
 }
 
@@ -49,9 +117,12 @@ SimulationResult simulate(const ClusterSpec& spec, SimulateOptions options) {
   static const bool metrics_at_exit = [] {
     obs::Registry::global();
     if (std::getenv("CCG_TRACE_OUT") != nullptr) {
-      obs::TraceRing::global().enable(std::size_t{1} << 16);
+      obs::TraceRing::global().enable(obs::default_trace_ring_capacity());
       (void)std::atexit(emit_trace_file);
     }
+    // atexit runs LIFO: the resource summary prints after the metrics
+    // snapshot it is derived from.
+    (void)std::atexit(emit_resource_summary);
     return std::atexit(emit_metrics_snapshot) == 0;
   }();
   (void)metrics_at_exit;

@@ -6,10 +6,59 @@
 
 #include "ccg/common/expect.hpp"
 #include "ccg/obs/flight.hpp"
+#include "ccg/obs/heap.hpp"
 #include "ccg/obs/span.hpp"
 #include "ccg/obs/trace.hpp"
 
 namespace ccg {
+
+namespace {
+
+/// Per-window heap churn histograms for one accounting scope: one record
+/// per window, so `--metrics-out` and the flight dump carry the full
+/// distribution. Byte buckets 1 KiB..~1 TiB, alloc buckets 1..~1e9.
+struct HeapInstruments {
+  obs::Histogram* bytes;
+  obs::Histogram* allocs;
+};
+
+HeapInstruments heap_instruments(const std::string& scope) {
+  obs::Registry& registry = obs::Registry::global();
+  return {&registry.histogram("ccg.prof.heap." + scope + ".bytes",
+                              {.first_bound = 1024.0, .growth = 4.0,
+                               .buckets = 16}),
+          &registry.histogram("ccg.prof.heap." + scope + ".allocs",
+                              {.first_bound = 1.0, .growth = 4.0,
+                               .buckets = 16})};
+}
+
+/// Times a stage span AND attributes its allocations (including those made
+/// by pool workers on the stage's behalf) to per-stage histograms. The
+/// sink records in the destructor body, while the sink scope is still the
+/// innermost — so a nested stage inside the window sink bills both levels.
+class StageMeter {
+ public:
+  StageMeter(obs::Histogram& seconds, const char* name,
+             const HeapInstruments& heap) noexcept
+      : heap_(heap),
+        scope_(obs::prof::heap_tracking_available() ? &sink_ : nullptr),
+        span_(seconds, name) {}
+
+  ~StageMeter() {
+    if (!obs::prof::heap_tracking_available()) return;
+    const obs::prof::HeapUsage usage = sink_.usage();
+    heap_.bytes->record(static_cast<double>(usage.bytes));
+    heap_.allocs->record(static_cast<double>(usage.allocs));
+  }
+
+ private:
+  HeapInstruments heap_;
+  obs::prof::HeapSink sink_;
+  obs::prof::HeapSinkScope scope_;
+  obs::ScopedSpan span_;
+};
+
+}  // namespace
 
 AnalyticsService::AnalyticsService(AnalyticsServiceOptions options,
                                    std::unordered_set<IpAddr> monitored,
@@ -38,7 +87,8 @@ AnalyticsService::AnalyticsService(AnalyticsServiceOptions options,
 void AnalyticsService::on_batch(MinuteBucket time,
                                 const std::vector<ConnectionSummary>& batch) {
   {
-    obs::ScopedSpan span(*m_stage_build_, "ccg.analytics.stage.build");
+    static const HeapInstruments heap = heap_instruments("stage.build");
+    StageMeter meter(*m_stage_build_, "ccg.analytics.stage.build", heap);
     builder_.on_batch(time, batch);
   }
   drain_closed_windows();
@@ -46,7 +96,8 @@ void AnalyticsService::on_batch(MinuteBucket time,
 
 void AnalyticsService::flush() {
   {
-    obs::ScopedSpan span(*m_stage_build_, "ccg.analytics.stage.build");
+    static const HeapInstruments heap = heap_instruments("stage.build");
+    StageMeter meter(*m_stage_build_, "ccg.analytics.stage.build", heap);
     builder_.flush();
   }
   drain_closed_windows();
@@ -71,8 +122,12 @@ void AnalyticsService::deliver(const CommGraph& graph) {
   WindowReport report;
   {
     // Root span of the window's tree: every stage span in analyze() nests
-    // under it, which is what the trace viewer groups by.
-    obs::ScopedSpan window_span(*m_window_, "ccg.analytics.window");
+    // under it, which is what the trace viewer groups by. The window-level
+    // heap sink is the root of the sink chain: stage sinks constructed
+    // inside analyze() chain to it, so `ccg.prof.heap.window.*` carries
+    // the whole window's churn.
+    static const HeapInstruments heap = heap_instruments("window");
+    StageMeter meter(*m_window_, "ccg.analytics.window", heap);
     report = analyze(graph);
   }
   obs::Watchdog::global().end_window();
@@ -108,15 +163,18 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
 
   // These run from window one: they carry their own baselines.
   {
-    obs::ScopedSpan span(*m_stage_edges_, "ccg.analytics.stage.edges");
+    static const HeapInstruments heap = heap_instruments("stage.edges");
+    StageMeter meter(*m_stage_edges_, "ccg.analytics.stage.edges", heap);
     report.anomalous_edges = edge_detector_.observe(graph);
   }
   {
-    obs::ScopedSpan span(*m_stage_tracker_, "ccg.analytics.stage.tracker");
+    static const HeapInstruments heap = heap_instruments("stage.tracker");
+    StageMeter meter(*m_stage_tracker_, "ccg.analytics.stage.tracker", heap);
     report.segments = tracker_.observe(graph);
   }
   {
-    obs::ScopedSpan span(*m_stage_patterns_, "ccg.analytics.stage.patterns");
+    static const HeapInstruments heap = heap_instruments("stage.patterns");
+    StageMeter meter(*m_stage_patterns_, "ccg.analytics.stage.patterns", heap);
     report.patterns = mine_patterns(graph);
   }
 
@@ -128,7 +186,8 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
     if (training_graphs_.size() >= options_.training_windows) {
       training_refs_.clear();
       for (const CommGraph& g : training_graphs_) training_refs_.push_back(&g);
-      obs::ScopedSpan span(*m_spectral_fit_, "ccg.analytics.spectral_fit");
+      static const HeapInstruments heap = heap_instruments("spectral_fit");
+      StageMeter meter(*m_spectral_fit_, "ccg.analytics.spectral_fit", heap);
       spectral_.fit(training_refs_);
     }
     report.trained = false;
@@ -137,7 +196,8 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
 
   report.trained = true;
   {
-    obs::ScopedSpan span(*m_stage_spectral_, "ccg.analytics.stage.spectral");
+    static const HeapInstruments heap = heap_instruments("stage.spectral");
+    StageMeter meter(*m_stage_spectral_, "ccg.analytics.stage.spectral", heap);
     report.anomaly = spectral_.score(graph);
     report.alert = spectral_.is_alert(*report.anomaly);
   }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
@@ -47,6 +48,7 @@ void apply_rotation_offblock(Matrix& a, Matrix& v, std::size_t p, std::size_t q,
 EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
                                 int max_sweeps) {
   parallel::ScopedJobTag job_tag("eigen");
+  obs::prof::KernelCounterScope counters("jacobi_eigen");
   CCG_EXPECT(input.square());
   CCG_EXPECT(input.is_symmetric(1e-6 * (1.0 + input.frobenius())));
   const std::size_t n = input.rows();
@@ -146,6 +148,7 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
 PowerIterationResult power_iteration(const Matrix& m, int max_iterations,
                                      double tolerance) {
   parallel::ScopedJobTag job_tag("eigen");
+  obs::prof::KernelCounterScope counters("power_iteration");
   CCG_EXPECT(m.square());
   const std::size_t n = m.rows();
   PowerIterationResult result;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ccg/obs/metrics.hpp"
+#include "ccg/obs/prof.hpp"
 #include "ccg/obs/trace.hpp"
 
 namespace ccg::obs {
@@ -75,6 +76,10 @@ class ScopedSpan {
         name_(name),
         start_(std::chrono::steady_clock::now()) {
     if (TraceRing::global().enabled()) open_trace();
+    if (prof::frames_enabled() && name != nullptr && name[0] != '\0') {
+      prof_framed_ = true;
+      prof::push_frame(name);
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -98,7 +103,14 @@ class ScopedSpan {
   TraceContext parent_;         // ambient context at construction
   std::uint64_t span_id_ = 0;   // nonzero iff traced_
   bool traced_ = false;
+  bool prof_framed_ = false;    // pushed onto the profiler frame stack
 };
+
+/// TraceRing capacity used when a component enables tracing without an
+/// explicit size: `CCG_TRACE_RING` (slots, read once) or 65536. Each
+/// retained slot is one TraceEvent (~96 bytes + the span-name string), so
+/// the default ring holds on the order of 8 MB once warm.
+std::size_t default_trace_ring_capacity();
 
 /// Default bucket layout for latency histograms: 1 µs first bucket,
 /// doubling, top finite bucket ≈ 17 minutes.

@@ -34,20 +34,39 @@ std::atomic<int>& stderr_level_storage() {
   return level;
 }
 
-/// Quotes a value for logfmt rendering when it contains spaces or quotes.
+/// Quotes a value for logfmt rendering when it contains whitespace,
+/// quotes, `=`, or a backslash. Control characters are escaped (never
+/// emitted raw) so a value can't break the one-record-per-line framing.
 void append_value(std::string& out, const std::string& value) {
   const bool needs_quotes =
-      value.empty() || value.find_first_of(" \t\"=") != std::string::npos;
+      value.empty() ||
+      value.find_first_of(" \t\n\r\"=\\") != std::string::npos;
   if (!needs_quotes) {
     out += value;
     return;
   }
   out.push_back('"');
   for (const char c : value) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c == '\n' ? ' ' : c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
   }
   out.push_back('"');
+}
+
+/// Keys are caller-controlled identifiers; anything that would break
+/// `key=` framing (whitespace, `=`, quotes) is replaced with `_`.
+void append_key(std::string& out, const std::string& key) {
+  for (const char c : key) {
+    const bool unsafe = c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+                        c == '=' || c == '"' || c == '\\';
+    out.push_back(unsafe ? '_' : c);
+  }
 }
 
 Counter& level_counter(LogLevel level) {
@@ -102,7 +121,7 @@ std::string LogRecord::render() const {
   append_value(out, message);
   for (const LogField& f : fields) {
     out.push_back(' ');
-    out += f.key;
+    append_key(out, f.key);
     out.push_back('=');
     append_value(out, f.value);
   }
@@ -110,7 +129,19 @@ std::string LogRecord::render() const {
 }
 
 LogRing& LogRing::global() {
-  static LogRing* instance = new LogRing();  // leaked, like the registry
+  static LogRing* instance = [] {
+    auto* ring = new LogRing();  // leaked, like the registry
+    // Each retained slot owns a LogRecord (~88 bytes + message and field
+    // strings); the 1024-record default stays well under 1 MB.
+    if (const char* env = std::getenv("CCG_LOG_RING")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        ring->set_capacity(static_cast<std::size_t>(parsed));
+      }
+    }
+    return ring;
+  }();
   return *instance;
 }
 

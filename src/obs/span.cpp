@@ -1,8 +1,23 @@
 #include "ccg/obs/span.hpp"
 
+#include <cstdlib>
 #include <thread>
 
 namespace ccg::obs {
+
+std::size_t default_trace_ring_capacity() {
+  static const std::size_t capacity = [] {
+    if (const char* env = std::getenv("CCG_TRACE_RING")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+    return std::size_t{1} << 16;
+  }();
+  return capacity;
+}
 
 TraceRing& TraceRing::global() {
   static TraceRing* instance = new TraceRing();  // leaked, like the registry
@@ -76,6 +91,7 @@ ScopedSpan::~ScopedSpan() {
   const double seconds = std::chrono::duration<double>(end - start_).count();
   histogram_->record(seconds);
 
+  if (prof_framed_) prof::pop_frame();
   if (!traced_) return;
   set_current_trace(parent_);
   TraceRing& ring = TraceRing::global();

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
@@ -261,6 +262,7 @@ double node_similarity(const CommGraph& graph, NodeId a, NodeId b,
 
 WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions options) {
   parallel::ScopedJobTag job_tag("similarity");
+  obs::prof::KernelCounterScope counters("similarity_clique");
   const std::size_t n = graph.node_count();
   WeightedGraph clique(n);
   if (n < 2) return clique;

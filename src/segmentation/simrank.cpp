@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
 
 namespace ccg {
@@ -44,6 +45,7 @@ double evidence(std::size_t common) {
 
 std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions options) {
   parallel::ScopedJobTag job_tag("simrank");
+  obs::prof::KernelCounterScope counters("simrank");
   const std::size_t n = graph.node_count();
   CCG_EXPECT(n <= 3000);
   CCG_EXPECT(options.decay > 0.0 && options.decay < 1.0);

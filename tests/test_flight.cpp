@@ -141,6 +141,66 @@ TEST(Watchdog, StalledWindowDumpsFlightRecordWithinDeadline) {
       << "spans from the run are present";
 }
 
+/// After one window stalls and dumps, the next window must get a fresh
+/// deadline and a fresh one-dump budget — the watchdog re-arms per window
+/// rather than going quiet after its first catch.
+TEST(Watchdog, ReArmsAcrossConsecutiveWindows) {
+  const auto dir = fresh_dir("rearm");
+  const std::size_t dumps_before = obs::Watchdog::global().dumps();
+  obs::Watchdog::global().start(std::chrono::milliseconds(80), dir);
+
+  // Window 1: healthy — closed well inside the deadline, no dump.
+  obs::Watchdog::global().begin_window(obs::window_trace_id(100), "w100");
+  obs::Watchdog::global().end_window();
+  EXPECT_EQ(obs::Watchdog::global().dumps(), dumps_before);
+
+  // Windows 2 and 3: each stalls past the deadline; each earns its own dump.
+  for (const std::int64_t begin_minute : {200, 300}) {
+    obs::Watchdog::global().begin_window(obs::window_trace_id(begin_minute),
+                                         "w" + std::to_string(begin_minute));
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    obs::Watchdog::global().end_window();
+  }
+  obs::Watchdog::global().stop();
+
+  EXPECT_EQ(obs::Watchdog::global().dumps(), dumps_before + 2);
+  const auto dumps = dumps_in(dir, "stall");
+  ASSERT_EQ(dumps.size(), 2u) << "one dump per stalled window, none extra";
+
+  // Each dump names its own window's trace — evidence isn't recycled.
+  std::string bodies;
+  for (const auto& path : dumps) bodies += slurp(path);
+  for (const std::int64_t begin_minute : {200, 300}) {
+    char expected[64];
+    std::snprintf(expected, sizeof(expected), "\"window_trace\": \"0x%llx\"",
+                  static_cast<unsigned long long>(
+                      obs::window_trace_id(begin_minute)));
+    EXPECT_NE(bodies.find(expected), std::string::npos)
+        << "missing dump for window starting at minute " << begin_minute;
+  }
+}
+
+/// The `<seq>` in ccg-flight-<reason>-<seq>.json is a process-wide counter:
+/// successive dumps carry strictly increasing sequence numbers, so sorting
+/// by filename is sorting by time and no dump can clobber another.
+TEST(FlightDump, SequenceNumbersIncreaseMonotonically) {
+  const auto dir = fresh_dir("monoseq");
+  std::vector<long> seqs;
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = obs::dump_flight_record(dir, "test");
+    ASSERT_FALSE(path.empty());
+    const std::string name = fs::path(path).filename().string();
+    // ccg-flight-test-<seq>.json
+    const auto dash = name.rfind('-');
+    const auto dot = name.rfind(".json");
+    ASSERT_NE(dash, std::string::npos);
+    ASSERT_NE(dot, std::string::npos);
+    seqs.push_back(std::stol(name.substr(dash + 1, dot - dash - 1)));
+  }
+  EXPECT_LT(seqs[0], seqs[1]);
+  EXPECT_LT(seqs[1], seqs[2]);
+}
+
 TEST(Watchdog, HealthyWindowsNeverDump) {
   const auto dir = fresh_dir("quiet");
   Cluster cluster(presets::tiny(), 17);

@@ -87,6 +87,38 @@ TEST_F(ObsLogTest, RenderIsLogfmtWithQuotingOnlyWhereNeeded) {
   EXPECT_EQ(bare.render(), "level=info ts=0.000000 msg=ok");
 }
 
+/// Hostile values must never corrupt the one-record-per-line logfmt
+/// framing: newlines, quotes, backslashes and `=` all arrive quoted and
+/// escaped, byte-for-byte as pinned here.
+TEST_F(ObsLogTest, RenderEscapesControlAndMetaCharacters) {
+  obs::LogRecord record;
+  record.level = obs::LogLevel::kError;
+  record.message = "line one\nline two";
+  record.fields = {obs::field("eq", "a=b"),
+                   obs::field("quote", "say \"hi\""),
+                   obs::field("slash", "C:\\temp"),
+                   obs::field("crlf", "a\r\nb"),
+                   obs::field("tab", "a\tb")};
+  EXPECT_EQ(record.render(),
+            "level=error ts=0.000000 msg=\"line one\\nline two\" "
+            "eq=\"a=b\" quote=\"say \\\"hi\\\"\" slash=\"C:\\\\temp\" "
+            "crlf=\"a\\r\\nb\" tab=\"a\\tb\"");
+}
+
+TEST_F(ObsLogTest, RenderedRecordsNeverSpanLines) {
+  obs::LogRecord record;
+  record.message = "evil\nvalue";  // no spaces: quoting must still trigger
+  record.fields = {obs::field("k", "v1\nv2")};
+  EXPECT_EQ(record.render().find('\n'), std::string::npos);
+}
+
+TEST_F(ObsLogTest, UnsafeKeyCharactersAreNeutralized) {
+  obs::LogRecord record;
+  record.message = "ok";
+  record.fields = {obs::field("bad key=\n", "v")};
+  EXPECT_EQ(record.render(), "level=info ts=0.000000 msg=ok bad_key__=v");
+}
+
 TEST_F(ObsLogTest, RingWrapsKeepingNewestOldestFirst) {
   obs::LogRing::global().set_capacity(4);
   obs::LogRing::global().clear();

@@ -36,6 +36,8 @@
 #include "ccg/obs/flight.hpp"
 #include "ccg/obs/log.hpp"
 #include "ccg/obs/metrics.hpp"
+#include "ccg/obs/prof.hpp"
+#include "ccg/obs/prof_counters.hpp"
 #include "ccg/obs/span.hpp"
 #include "ccg/obs/trace.hpp"
 #include "ccg/parallel/parallel.hpp"
@@ -118,6 +120,13 @@ int usage() {
                "  store compact --store DIR [--keyframe K] [--retain-from MIN]\n"
                "                [--segment-mb MB]\n"
                "  store stats   --store DIR\n"
+               "  profile <command> [options...] runs any command under the\n"
+               "           sampling profiler and prints a per-stage self/total\n"
+               "           cost table plus hardware-counter deltas\n"
+               "           [--profile-hz N]    sample rate (default 197)\n"
+               "           [--profile-wall]    sample wall time, not CPU time\n"
+               "           [--profile-out F]   write folded stacks (flamegraph.pl)\n"
+               "           [--profile-json F]  write the full profile as JSON\n"
                "every command also accepts:\n"
                "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
                "  --metrics-prom FILE  same registry in Prometheus text format\n"
@@ -466,7 +475,8 @@ int cmd_anomaly(const Args& args) {
                  .window_minutes = args.get_long("window", 60),
                  .collapse_threshold = args.get_double("collapse", 0.001)},
        .training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
-       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))}},
+       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))},
+       .stall_injection_ms = static_cast<int>(args.get_long("stall-ms", 0))},
       monitored_from(*records), [&](const WindowReport& report) {
         std::printf("%s\n", report.summary().c_str());
         if (summary_out.is_open()) summary_out << report.summary() << '\n';
@@ -583,7 +593,7 @@ int cmd_trace(const Args& args) {
   // The whole point of this command is the span tree, so tracing is forced
   // on even without --trace-out (which then also captures the same spans).
   if (!obs::TraceRing::global().enabled()) {
-    obs::TraceRing::global().enable(std::size_t{1} << 16);
+    obs::TraceRing::global().enable(obs::default_trace_ring_capacity());
   }
 
   AnalyticsService service(
@@ -858,6 +868,74 @@ int dispatch(const std::string& command, const std::string& subcommand,
   return usage();
 }
 
+/// `ccgraph profile <command> ...`: runs the inner command under the
+/// sampling profiler plus a whole-run counter scope, prints the per-stage
+/// self/total table, and optionally writes folded stacks / JSON.
+int run_profiled(const std::string& command, const std::string& subcommand,
+                 const Args& args) {
+  namespace prof = ccg::obs::prof;
+  prof::enable_counters();  // before the pool spawns, so workers inherit
+
+  prof::ProfilerOptions options;
+  options.hz = static_cast<int>(args.get_long("profile-hz", 197));
+  options.wall = args.get("profile-wall").has_value();
+
+  prof::CounterValues counters;
+  int rc;
+  prof::Profile profile;
+  {
+    prof::CounterScope counter_scope(counters);
+    if (!prof::start(options)) {
+      std::fprintf(stderr,
+                   "ccgraph: sampling profiler unavailable; running the "
+                   "command unprofiled\n");
+    }
+    rc = dispatch(command, subcommand, args);
+    profile = prof::stop();
+  }
+
+  std::printf("\n==== profile: %s ====\n%s", command.c_str(),
+              profile.table_text().c_str());
+  if (counters.tier == prof::CounterTier::kPerfEvent) {
+    std::printf("counters (%s): cycles=%llu instructions=%llu ipc=%.2f "
+                "cache_misses=%llu branch_misses=%llu cpu=%.3fs\n",
+                prof::tier_name(counters.tier),
+                static_cast<unsigned long long>(counters.cycles),
+                static_cast<unsigned long long>(counters.instructions),
+                counters.ipc(),
+                static_cast<unsigned long long>(counters.cache_misses),
+                static_cast<unsigned long long>(counters.branch_misses),
+                counters.cpu_seconds);
+  } else {
+    std::printf("counters (%s): cpu_user=%.3fs cpu_sys=%.3fs "
+                "faults=%llu/%llu ctx=%llu/%llu peak_rss=%.1fMB\n",
+                prof::tier_name(counters.tier), counters.cpu_user_seconds,
+                counters.cpu_system_seconds,
+                static_cast<unsigned long long>(counters.minor_faults),
+                static_cast<unsigned long long>(counters.major_faults),
+                static_cast<unsigned long long>(counters.voluntary_ctx_switches),
+                static_cast<unsigned long long>(
+                    counters.involuntary_ctx_switches),
+                static_cast<double>(counters.max_rss_bytes) / (1024.0 * 1024.0));
+  }
+
+  if (const auto path = args.get("profile-out")) {
+    std::ofstream out(*path);
+    if (!out || !(out << profile.folded_text())) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (const auto path = args.get("profile-json")) {
+    std::ofstream out(*path);
+    if (!out || !(out << profile.to_json())) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}
+
 /// --metrics-out / --metrics-prom: dump whatever the command recorded into
 /// the global registry, even when the command itself failed (a metrics
 /// file from a failed run is exactly what you want when diagnosing it).
@@ -900,7 +978,8 @@ void configure_diagnostics(const Args& args) {
         ccg::obs::parse_level(*level, ccg::obs::LogLevel::kWarn));
   }
   if (args.get("trace-out")) {
-    ccg::obs::TraceRing::global().enable(std::size_t{1} << 16);
+    ccg::obs::TraceRing::global().enable(
+        ccg::obs::default_trace_ring_capacity());
   }
   const char* env_flight = std::getenv("CCG_FLIGHT_DIR");
   const std::string flight_dir =
@@ -923,6 +1002,14 @@ void configure_diagnostics(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  // `profile` wraps any other command: shift it off so the rest of argv
+  // parses exactly as it would unwrapped.
+  const bool profiled = std::strcmp(argv[1], "profile") == 0;
+  if (profiled) {
+    --argc;
+    ++argv;
+    if (argc < 2) return usage();
+  }
   const std::string command = argv[1];
   if (command == "--version" || command == "version") return print_version();
   // The Args parser skips bare words, so the store subcommand rides along in
@@ -937,7 +1024,8 @@ int main(int argc, char** argv) {
   }
   configure_diagnostics(args);
   try {
-    const int rc = dispatch(command, subcommand, args);
+    const int rc = profiled ? run_profiled(command, subcommand, args)
+                            : dispatch(command, subcommand, args);
     ccg::obs::Watchdog::global().stop();
     const int metrics_rc = export_metrics(args);
     const int trace_rc = export_trace(args);
