@@ -80,6 +80,15 @@ class AnalyticsService : public TelemetrySink {
   /// history behind. Borrowed, not owned.
   void set_store(store::StoreWriter* store) { store_ = store; }
 
+  /// Feeds one already-built window graph through the full per-window
+  /// path — store append (when set) plus analysis — under the window's
+  /// deterministic trace id, exactly as if the builder had closed it.
+  /// This is the distributed aggregator's entry point: merged windows
+  /// arrive here instead of via on_batch, and because both paths finalize
+  /// graphs through finalize_window_graph, the reports, store frames and
+  /// trace ids are byte-identical to a single-process run.
+  void ingest_window(const CommGraph& graph);
+
   /// Replay entry point (paper §2.3 counterfactual shape): drives the same
   /// per-window stages from stored windows with t0 <= window_begin < t1
   /// instead of live records, reporting each window through the callback.

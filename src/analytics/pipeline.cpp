@@ -80,15 +80,9 @@ ShardedGraphPipeline::~ShardedGraphPipeline() {
 }
 
 std::size_t ShardedGraphPipeline::shard_of(const ConnectionSummary& record) const {
-  // Both orientations of a conversation must land in the same shard, so
-  // hash the canonical (unordered) endpoint pair.
-  const IpPair pair(record.flow.local_ip, record.flow.remote_ip);
-  std::uint64_t h = std::hash<IpPair>{}(pair);
-  if (options_.graph.facet == GraphFacet::kIpPort) {
-    h ^= (std::uint64_t{record.flow.local_port} + record.flow.remote_port) *
-         0x9E3779B97F4A7C15ull;
-  }
-  return h % shards_.size();
+  // Shared with the multi-process shard workers: the same record must land
+  // in the same shard in both modes (pinned by a golden test).
+  return shard_of_record(record, options_.graph.facet, shards_.size());
 }
 
 void ShardedGraphPipeline::push_pending(std::size_t shard) {
@@ -152,11 +146,7 @@ std::vector<CommGraph> ShardedGraphPipeline::finish() {
     // happens to be in.
     obs::TraceScope trace({obs::window_trace_id(start), 0});
     obs::ScopedSpan span(*m_window_merge_, "ccg.pipeline.window_merge");
-    CommGraph merged = merge_graphs(parts);
-    if (options_.graph.collapse_threshold > 0.0) {
-      merged = collapse_heavy_hitters(merged, options_.graph.collapse_threshold,
-                                      options_.graph.collapse_monitored);
-    }
+    CommGraph merged = finalize_window_graph(merge_graphs(parts), options_.graph);
     if (store_ != nullptr) store_->append(merged);
     out.push_back(std::move(merged));
   }

@@ -104,14 +104,17 @@ void AnalyticsService::flush() {
 }
 
 void AnalyticsService::drain_closed_windows() {
-  for (CommGraph& graph : builder_.take_graphs()) {
-    // The append belongs to the window being closed; deliver() re-installs
-    // the same trace, so live and replayed runs share one id per window.
-    obs::TraceScope trace(
-        {obs::window_trace_id(graph.window().begin().index()), 0});
-    if (store_ != nullptr) store_->append(graph);
-    deliver(graph);
-  }
+  for (CommGraph& graph : builder_.take_graphs()) ingest_window(graph);
+}
+
+void AnalyticsService::ingest_window(const CommGraph& graph) {
+  // The append belongs to the window being closed; deliver() re-installs
+  // the same trace, so live, replayed and distributed runs share one id
+  // per window.
+  obs::TraceScope trace(
+      {obs::window_trace_id(graph.window().begin().index()), 0});
+  if (store_ != nullptr) store_->append(graph);
+  deliver(graph);
 }
 
 void AnalyticsService::deliver(const CommGraph& graph) {

@@ -1,0 +1,130 @@
+#include "ccg/dist/shard_worker.hpp"
+
+#include <string>
+#include <utility>
+
+#include "ccg/obs/log.hpp"
+#include "ccg/obs/span.hpp"
+#include "ccg/obs/trace.hpp"
+#include "ccg/store/format.hpp"
+
+namespace ccg::dist {
+
+namespace {
+
+/// Shards build partial graphs: same facet and window length as the job,
+/// collapse off. The aggregator collapses after the merge, exactly like
+/// the in-process pipeline.
+GraphBuildConfig partial_config(const GraphBuildConfig& job) {
+  GraphBuildConfig config = job;
+  config.collapse_threshold = 0.0;
+  return config;
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(ShardWorkerOptions options,
+                         std::unordered_set<IpAddr> monitored,
+                         net::FrameConn conn)
+    : options_(options),
+      builder_(partial_config(options.graph), std::move(monitored)),
+      conn_(std::move(conn)) {
+  conn_.set_shard(static_cast<int>(options_.shard_id));
+  obs::Registry& registry = obs::Registry::global();
+  const std::string prefix =
+      "ccg.dist.shard." + std::to_string(options_.shard_id);
+  m_records_ = &registry.counter(prefix + ".records");
+  m_windows_ = &registry.counter(prefix + ".windows_shipped");
+  m_bytes_ = &registry.counter(prefix + ".bytes_shipped");
+  m_ship_ = &obs::span_histogram("ccg.dist.shard.ship");
+}
+
+bool ShardWorker::handshake() {
+  Hello hello;
+  hello.shard_id = options_.shard_id;
+  hello.shard_count = options_.shard_count;
+  hello.config = wire_config(options_.graph);
+  if (!conn_.send(encode_hello(hello))) {
+    failed_ = true;
+    return false;
+  }
+  std::vector<std::uint8_t> payload;
+  const net::RecvStatus status = conn_.recv(payload);
+  if (status != net::RecvStatus::kOk || !decode_hello_ack(payload)) {
+    // A clean EOF here is the aggregator's refusal (version or config
+    // mismatch): it closes without acking.
+    obs::log_error("dist: handshake refused by aggregator",
+                   {obs::field("shard", options_.shard_id),
+                    obs::field("peer", conn_.peer()),
+                    obs::field("recv_status", static_cast<int>(status))});
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+void ShardWorker::on_batch(MinuteBucket time,
+                           const std::vector<ConnectionSummary>& batch) {
+  scratch_.clear();
+  for (const ConnectionSummary& record : batch) {
+    if (shard_of_record(record, options_.graph.facet, options_.shard_count) ==
+        options_.shard_id) {
+      scratch_.push_back(record);
+    }
+  }
+  records_ += scratch_.size();
+  m_records_->add(scratch_.size());
+  builder_.on_batch(time, scratch_);
+  if (!ship_closed_windows()) failed_ = true;
+}
+
+bool ShardWorker::ship_closed_windows() {
+  static const CommGraph empty_base;
+  bool ok = true;
+  for (const CommGraph& graph : builder_.take_graphs()) {
+    const std::int64_t begin = graph.window().begin().index();
+    WindowFrame frame;
+    frame.shard_id = options_.shard_id;
+    frame.window_begin = begin;
+    frame.trace_id = obs::window_trace_id(begin);
+    // The ship span belongs to the window being shipped; the aggregator
+    // re-installs the same trace id around its merge, so the distributed
+    // window's spans line up across processes.
+    obs::TraceScope trace({frame.trace_id, 0});
+    obs::ScopedSpan span(*m_ship_, "ccg.dist.shard.ship");
+    frame.keyframe =
+        store::encode_frame(store::FrameKind::kKeyframe, empty_base, graph);
+    const std::vector<std::uint8_t> payload = encode_window(frame);
+    if (!conn_.send(payload)) {
+      obs::log_error("dist: window ship failed",
+                     {obs::field("shard", options_.shard_id),
+                      obs::field("window_begin", begin),
+                      obs::field("trace", frame.trace_id)});
+      ok = false;
+      continue;
+    }
+    ++windows_;
+    m_windows_->add();
+    m_bytes_->add(payload.size());
+  }
+  return ok;
+}
+
+bool ShardWorker::finish() {
+  builder_.flush();
+  if (!ship_closed_windows()) failed_ = true;
+  EndOfStream eos;
+  eos.shard_id = options_.shard_id;
+  eos.records = records_;
+  eos.windows = windows_;
+  if (!conn_.send(encode_end_of_stream(eos))) failed_ = true;
+  if (failed_) {
+    obs::log_error("dist: shard worker finished with transport errors",
+                   {obs::field("shard", options_.shard_id),
+                    obs::field("records", records_),
+                    obs::field("windows", windows_)});
+  }
+  return !failed_;
+}
+
+}  // namespace ccg::dist

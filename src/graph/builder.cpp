@@ -1,9 +1,11 @@
 #include "ccg/graph/builder.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/common/flow.hpp"
 
 namespace ccg {
 
@@ -117,7 +119,11 @@ void GraphBuilder::finalize_window() {
     std::uint64_t conn_minutes;
     std::uint32_t active_minutes;
     std::uint64_t client_minutes_ab, client_minutes_ba;
-    std::int32_t server_port_hint = -1;
+    // Server port as reported by each direction's accumulator; resolved
+    // a-b-first at materialize time so the hint does not depend on hash
+    // map iteration order (the distributed merge needs order-free values).
+    std::int32_t hint_ab = -1;
+    std::int32_t hint_ba = -1;
   };
   struct PairHash {
     std::size_t operator()(const std::pair<NodeKey, NodeKey>& p) const noexcept {
@@ -148,74 +154,29 @@ void GraphBuilder::finalize_window() {
     e.conn_minutes = std::max<std::uint64_t>(
         e.conn_minutes, std::max(a.src_flow_minutes, a.dst_flow_minutes));
     e.active_minutes = std::max(e.active_minutes, a.active_minutes);
-    if (e.server_port_hint < 0) e.server_port_hint = a.server_port;
+    std::int32_t& hint = canonical ? e.hint_ab : e.hint_ba;
+    if (hint < 0) hint = a.server_port;
   }
   acc_.clear();
 
-  // 2. Per-node contributions decide who survives collapsing.
-  struct NodeContribution {
-    std::uint64_t bytes = 0, packets = 0, conn_minutes = 0;
-  };
-  std::unordered_map<NodeKey, NodeContribution> contrib;
-  std::uint64_t total_bytes = 0, total_packets = 0, total_conn = 0;
+  // 2. Materialize the raw (uncollapsed) graph, then finalize through the
+  //    shared canonicalize-and-collapse path — the same one the pipeline
+  //    merge and the distributed aggregator use — so every producer of
+  //    this window's graph agrees byte-for-byte.
+  CommGraph raw(*current_window_);
   for (const auto& [pk, e] : merged) {
-    const std::uint64_t bytes = e.bytes_ab + e.bytes_ba;
-    const std::uint64_t packets = e.packets_ab + e.packets_ba;
-    for (const NodeKey& k : {pk.first, pk.second}) {
-      auto& c = contrib[k];
-      c.bytes += bytes;
-      c.packets += packets;
-      c.conn_minutes += e.conn_minutes;
-    }
-    total_bytes += bytes;
-    total_packets += packets;
-    total_conn += e.conn_minutes;
+    const NodeId a = raw.add_node(pk.first);
+    raw.set_monitored(a, is_monitored(pk.first));
+    const NodeId b = raw.add_node(pk.second);
+    raw.set_monitored(b, is_monitored(pk.second));
+    raw.add_edge_volume(a, b, e.bytes_ab, e.bytes_ba, e.packets_ab,
+                        e.packets_ba, e.conn_minutes, e.active_minutes,
+                        e.client_minutes_ab, e.client_minutes_ba,
+                        e.hint_ab >= 0 ? e.hint_ab : e.hint_ba);
   }
-
-  const double threshold = config_.collapse_threshold;
-  auto survives = [&](const NodeKey& k) {
-    if (threshold <= 0.0) return true;
-    if (!config_.collapse_monitored && is_monitored(k)) return true;
-    const auto& c = contrib[k];
-    auto share = [](std::uint64_t part, std::uint64_t whole) {
-      return whole == 0 ? 0.0
-                        : static_cast<double>(part) / static_cast<double>(whole);
-    };
-    return share(c.bytes, total_bytes) >= threshold ||
-           share(c.packets, total_packets) >= threshold ||
-           share(c.conn_minutes, total_conn) >= threshold;
-  };
-
-  // 3. Materialize the graph.
-  CommGraph graph(*current_window_);
-  std::uint32_t collapsed_members = 0;
-  std::optional<NodeId> collapse_node;
-  auto resolve = [&](const NodeKey& k) -> NodeId {
-    if (survives(k)) {
-      const NodeId id = graph.add_node(k);
-      graph.set_monitored(id, is_monitored(k));
-      return id;
-    }
-    if (!collapse_node) collapse_node = graph.add_node(NodeKey::collapsed());
-    return *collapse_node;
-  };
-  // Count collapsed members once per distinct node, not per edge.
-  for (const auto& [k, c] : contrib) {
-    if (!survives(k)) ++collapsed_members;
-  }
-
-  for (const auto& [pk, e] : merged) {
-    const NodeId a = resolve(pk.first);
-    const NodeId b = resolve(pk.second);
-    if (a == b) continue;  // both endpoints collapsed: volume folds away
-    graph.add_edge_volume(a, b, e.bytes_ab, e.bytes_ba, e.packets_ab,
-                          e.packets_ba, e.conn_minutes, e.active_minutes,
-                          e.client_minutes_ab, e.client_minutes_ba,
-                          e.server_port_hint);
-  }
-  if (collapse_node) {
-    graph.note_collapsed_members(*collapse_node, collapsed_members);
-    m_collapsed_->add(collapsed_members);
+  CommGraph graph = finalize_window_graph(raw, config_);
+  if (const auto other = graph.find_node(NodeKey::collapsed())) {
+    m_collapsed_->add(graph.node_stats(*other).collapsed_members);
   }
 
   m_windows_->add(1);
@@ -291,6 +252,76 @@ CommGraph collapse_heavy_hitters(const CommGraph& graph, double threshold,
   }
   if (other) out.note_collapsed_members(*other, collapsed_members);
   return out;
+}
+
+CommGraph canonical_graph(const CommGraph& graph) {
+  // Node order: sort by NodeKey. Keys are unique within a graph (add_node
+  // dedups), so the order is total and the same for any input permutation.
+  std::vector<NodeId> order(graph.node_count());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+    return graph.key(x) < graph.key(y);
+  });
+
+  CommGraph out(graph.window());
+  std::vector<NodeId> mapping(graph.node_count());
+  for (const NodeId old : order) {
+    const NodeId id = out.add_node(graph.key(old));
+    mapping[old] = id;
+    const NodeStats& s = graph.node_stats(old);
+    out.set_monitored(id, s.monitored);
+    if (s.collapsed_members > 0) out.note_collapsed_members(id, s.collapsed_members);
+  }
+
+  // Edge order: sort by the remapped (min, max) endpoint pair — i.e. by
+  // NodeKey pair. add_edge_volume flips the ab/ba stats itself when the
+  // remapped ids reverse the stored orientation.
+  std::vector<EdgeId> edge_order(graph.edge_count());
+  std::iota(edge_order.begin(), edge_order.end(), EdgeId{0});
+  auto endpoints = [&](EdgeId e) {
+    const NodeId a = mapping[graph.edge(e).a];
+    const NodeId b = mapping[graph.edge(e).b];
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  std::sort(edge_order.begin(), edge_order.end(),
+            [&](EdgeId x, EdgeId y) { return endpoints(x) < endpoints(y); });
+  for (const EdgeId eid : edge_order) {
+    const Edge& e = graph.edge(eid);
+    out.add_edge_volume(mapping[e.a], mapping[e.b], e.stats.bytes_ab,
+                        e.stats.bytes_ba, e.stats.packets_ab, e.stats.packets_ba,
+                        e.stats.connection_minutes, e.stats.active_minutes,
+                        e.stats.client_minutes_ab, e.stats.client_minutes_ba,
+                        e.stats.server_port_hint);
+  }
+  return out;
+}
+
+CommGraph finalize_window_graph(const CommGraph& merged,
+                                const GraphBuildConfig& config) {
+  CommGraph out = canonical_graph(merged);
+  if (config.collapse_threshold > 0.0) {
+    // Collapse preserves survivor order but inserts <other> wherever the
+    // first collapsed node sat; re-canonicalize to move it to the front.
+    out = canonical_graph(collapse_heavy_hitters(
+        out, config.collapse_threshold, config.collapse_monitored));
+  }
+  return out;
+}
+
+std::size_t shard_of_record(const ConnectionSummary& record, GraphFacet facet,
+                            std::size_t shard_count) {
+  CCG_EXPECT(shard_count >= 1);
+  // Both orientations of a conversation must land in the same shard, so
+  // hash the canonical (unordered) endpoint pair. std::hash<IpPair> is
+  // fully specified in flow.hpp (no platform-dependent inputs), which is
+  // what lets a golden test pin these values.
+  const IpPair pair(record.flow.local_ip, record.flow.remote_ip);
+  std::uint64_t h = std::hash<IpPair>{}(pair);
+  if (facet == GraphFacet::kIpPort) {
+    h ^= (std::uint64_t{record.flow.local_port} + record.flow.remote_port) *
+         0x9E3779B97F4A7C15ull;
+  }
+  return h % shard_count;
 }
 
 }  // namespace ccg

@@ -147,4 +147,31 @@ CommGraph merge_graphs(const std::vector<CommGraph>& parts);
 CommGraph collapse_heavy_hitters(const CommGraph& graph, double threshold,
                                  bool collapse_monitored = false);
 
+/// Rebuilds `graph` with nodes ordered by NodeKey and edges ordered by
+/// their (sorted) endpoint pair. The result is a pure function of the
+/// graph's *contents*: two graphs built from the same record multiset in
+/// different orders (different shard counts, threads or processes)
+/// canonicalize to byte-identical graphs. The <other> collapse node
+/// (ip 0.0.0.0) sorts first.
+CommGraph canonical_graph(const CommGraph& graph);
+
+/// The one shared finalization path for a window's merged (uncollapsed)
+/// graph: canonicalize, collapse heavy hitters if configured, canonicalize
+/// again. GraphBuilder, ShardedGraphPipeline and the distributed
+/// aggregator all finalize through here, which is what makes an N-shard
+/// or multi-process run byte-identical to the single-process run
+/// (docs/DISTRIBUTED.md "Determinism contract").
+CommGraph finalize_window_graph(const CommGraph& merged,
+                                const GraphBuildConfig& config);
+
+/// Stable shard assignment for a connection record. Hashes the canonical
+/// (unordered) IP pair — both orientations of a conversation land in the
+/// same shard, so each undirected edge is built entirely within one shard
+/// and the cross-shard merge is a disjoint union. The kIpPort facet mixes
+/// in the (order-independent) port sum so per-port edges spread out. The
+/// in-process pipeline and the multi-process shard workers both route
+/// through this function; its values are pinned by a golden test.
+std::size_t shard_of_record(const ConnectionSummary& record, GraphFacet facet,
+                            std::size_t shard_count);
+
 }  // namespace ccg

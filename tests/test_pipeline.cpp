@@ -8,6 +8,7 @@
 #include "ccg/analytics/cogs.hpp"
 #include "ccg/analytics/queue.hpp"
 #include "ccg/common/rng.hpp"
+#include "ccg/store/format.hpp"
 
 namespace ccg {
 namespace {
@@ -122,9 +123,15 @@ TEST(ShardedGraphPipeline, MatchesSingleThreadedBuilder) {
   ASSERT_EQ(actual.size(), expected.size());
   for (std::size_t w = 0; w < actual.size(); ++w) {
     EXPECT_EQ(actual[w].window(), expected[w].window());
-    EXPECT_EQ(actual[w].node_count(), expected[w].node_count());
-    EXPECT_EQ(actual[w].edge_count(), expected[w].edge_count());
-    EXPECT_EQ(actual[w].total_bytes(), expected[w].total_bytes());
+    // Byte-level equality: serializing both graphs as keyframes compares
+    // every node key, monitored flag, collapsed membership, edge endpoint,
+    // port hint and traffic counter — the full determinism contract, not
+    // just the aggregate shape.
+    EXPECT_EQ(store::encode_frame(store::FrameKind::kKeyframe, CommGraph(),
+                                  actual[w]),
+              store::encode_frame(store::FrameKind::kKeyframe, CommGraph(),
+                                  expected[w]))
+        << "window " << w << " differs from single-threaded build";
   }
   EXPECT_EQ(pipeline.stats().records, 120u * 200u);
 }

@@ -1,0 +1,186 @@
+#include "ccg/dist/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "ccg/store/format.hpp"
+
+namespace ccg::dist {
+namespace {
+
+Hello reference_hello() {
+  Hello hello;
+  hello.version = kWireVersion;
+  hello.shard_id = 2;
+  hello.shard_count = 4;
+  hello.config = {GraphFacet::kIp, 60, 0.001, false};
+  return hello;
+}
+
+// Golden bytes pin the wire format: any codec change that alters them is an
+// incompatible protocol change and must bump kWireVersion. Layout:
+// u8 type | varint magic("CCGD") | varint version | varint shard_id |
+// varint shard_count | u8 facet | varint window_minutes |
+// varint bit_cast<u64>(collapse_threshold) | u8 collapse_monitored.
+TEST(WireFormat, GoldenHelloBytes) {
+  const std::vector<std::uint8_t> golden = {
+      0x01,                          // kHello
+      0xC3, 0x86, 0x9D, 0xA2, 0x04,  // magic 0x44474343 "CCGD"
+      0x01,                          // version 1
+      0x02,                          // shard id 2
+      0x04,                          // shard count 4
+      0x00,                          // facet kIp
+      0x3C,                          // window 60 min
+      0xFC, 0xD3, 0xC6, 0x97, 0xDD, 0xC9, 0x98, 0xA8, 0x3F,  // 0.001 bits
+      0x00,                          // collapse_monitored false
+  };
+  EXPECT_EQ(encode_hello(reference_hello()), golden);
+}
+
+TEST(WireFormat, GoldenAckWindowAndEosBytes) {
+  EXPECT_EQ(encode_hello_ack(), (std::vector<std::uint8_t>{0x02, 0x01}));
+
+  WindowFrame frame;
+  frame.shard_id = 1;
+  frame.window_begin = 120;
+  frame.trace_id = 0xABCDEF;
+  frame.keyframe = {0xDE, 0xAD, 0xBE, 0xEF};
+  const std::vector<std::uint8_t> golden_window = {
+      0x03, 0x01, 0xF0, 0x01, 0xEF, 0x9B, 0xAF, 0x05,
+      0x04, 0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(encode_window(frame), golden_window);
+
+  EXPECT_EQ(encode_end_of_stream({3, 1000, 7}),
+            (std::vector<std::uint8_t>{0x04, 0x03, 0xE8, 0x07, 0x07}));
+}
+
+TEST(WireFormat, HelloRoundTrip) {
+  const Hello hello = reference_hello();
+  const auto decoded = decode_hello(encode_hello(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, hello.version);
+  EXPECT_EQ(decoded->shard_id, hello.shard_id);
+  EXPECT_EQ(decoded->shard_count, hello.shard_count);
+  EXPECT_TRUE(decoded->config == hello.config);
+  EXPECT_TRUE(decode_hello_ack(encode_hello_ack()));
+}
+
+TEST(WireFormat, WindowRoundTripPreservesKeyframeBytes) {
+  WindowFrame frame;
+  frame.shard_id = 7;
+  frame.window_begin = -60;  // pre-epoch windows are legal (zigzag)
+  frame.trace_id = 0x1234567890ABCDEFull;
+  for (int i = 0; i < 300; ++i) {
+    frame.keyframe.push_back(static_cast<std::uint8_t>(i * 13));
+  }
+  const auto decoded = decode_window(encode_window(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shard_id, frame.shard_id);
+  EXPECT_EQ(decoded->window_begin, frame.window_begin);
+  EXPECT_EQ(decoded->trace_id, frame.trace_id);
+  EXPECT_EQ(decoded->keyframe, frame.keyframe);
+}
+
+TEST(WireFormat, EveryTruncationIsRejected) {
+  const auto hello = encode_hello(reference_hello());
+  for (std::size_t len = 0; len < hello.size(); ++len) {
+    EXPECT_FALSE(decode_hello(std::span(hello).first(len)).has_value())
+        << "hello truncated to " << len << " bytes decoded";
+  }
+  WindowFrame frame;
+  frame.shard_id = 1;
+  frame.window_begin = 60;
+  frame.trace_id = 42;
+  frame.keyframe = {1, 2, 3, 4, 5};
+  const auto window = encode_window(frame);
+  for (std::size_t len = 0; len < window.size(); ++len) {
+    EXPECT_FALSE(decode_window(std::span(window).first(len)).has_value())
+        << "window truncated to " << len << " bytes decoded";
+  }
+  const auto eos = encode_end_of_stream({1, 10, 2});
+  for (std::size_t len = 0; len < eos.size(); ++len) {
+    EXPECT_FALSE(decode_end_of_stream(std::span(eos).first(len)).has_value());
+  }
+}
+
+TEST(WireFormat, TrailingGarbageIsRejected) {
+  auto hello = encode_hello(reference_hello());
+  hello.push_back(0x00);
+  EXPECT_FALSE(decode_hello(hello).has_value());
+
+  // A window whose length field disagrees with the actual tail — both a
+  // byte short and a byte long — is a framing bug, not slack.
+  WindowFrame frame;
+  frame.shard_id = 1;
+  frame.window_begin = 60;
+  frame.trace_id = 42;
+  frame.keyframe = {9, 9, 9};
+  auto window = encode_window(frame);
+  window.push_back(0xAA);
+  EXPECT_FALSE(decode_window(window).has_value());
+
+  auto eos = encode_end_of_stream({1, 10, 2});
+  eos.push_back(0x01);
+  EXPECT_FALSE(decode_end_of_stream(eos).has_value());
+}
+
+TEST(WireFormat, BadMagicAndBadTypeRejected) {
+  auto hello = encode_hello(reference_hello());
+  hello[1] ^= 0x01;  // corrupt the magic
+  EXPECT_FALSE(decode_hello(hello).has_value());
+
+  EXPECT_FALSE(peek_type({}).has_value());
+  const std::vector<std::uint8_t> unknown = {0x7F, 0x00};
+  EXPECT_FALSE(peek_type(unknown).has_value());
+  EXPECT_FALSE(decode_hello(unknown).has_value());
+  EXPECT_FALSE(decode_window(unknown).has_value());
+  EXPECT_FALSE(decode_end_of_stream(unknown).has_value());
+  EXPECT_FALSE(decode_hello_ack(unknown));
+}
+
+TEST(WireFormat, InvalidConfigRejected) {
+  Hello hello = reference_hello();
+  hello.config.collapse_threshold = 1.5;  // out of [0, 1)
+  EXPECT_FALSE(decode_hello(encode_hello(hello)).has_value());
+
+  hello = reference_hello();
+  hello.config.collapse_threshold =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(decode_hello(encode_hello(hello)).has_value());
+
+  hello = reference_hello();
+  hello.config.window_minutes = 0;
+  EXPECT_FALSE(decode_hello(encode_hello(hello)).has_value());
+
+  // shard_id >= shard_count is nonsense regardless of config.
+  hello = reference_hello();
+  hello.shard_id = 4;
+  hello.shard_count = 4;
+  EXPECT_FALSE(decode_hello(encode_hello(hello)).has_value());
+}
+
+TEST(WireFormat, ZeroTraceIdRejected) {
+  // Trace id 0 is the "no trace" sentinel; a shard must never ship it.
+  WindowFrame frame;
+  frame.shard_id = 1;
+  frame.window_begin = 60;
+  frame.trace_id = 0;
+  frame.keyframe = {1};
+  EXPECT_FALSE(decode_window(encode_window(frame)).has_value());
+}
+
+TEST(WireFormat, ConfigEqualityIsExactBits) {
+  const WireConfig a{GraphFacet::kIp, 60, 0.001, false};
+  WireConfig b = a;
+  EXPECT_TRUE(a == b);
+  b.collapse_threshold = 0.001 + 1e-22;  // rounds to the same double
+  EXPECT_TRUE(a == b);
+  b.collapse_threshold = 0.0010000001;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ccg::dist

@@ -10,8 +10,12 @@
 // the initiator bit). An IP is treated as *monitored* iff it ever appears
 // as a record's local endpoint — exactly the set of NICs that produced the
 // log.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,14 +28,18 @@
 #include <string>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "ccg/analytics/counterfactual.hpp"
 #include "ccg/analytics/pipeline.hpp"
 #include "ccg/analytics/service.hpp"
+#include "ccg/dist/aggregator.hpp"
+#include "ccg/dist/shard_worker.hpp"
 #include "ccg/graph/builder.hpp"
 #include "ccg/graph/delta.hpp"
 #include "ccg/graph/metrics.hpp"
 #include "ccg/graph/serialize.hpp"
+#include "ccg/net/frame.hpp"
 #include "ccg/obs/export.hpp"
 #include "ccg/obs/flight.hpp"
 #include "ccg/obs/log.hpp"
@@ -107,6 +115,19 @@ int usage() {
                "  diff     --before a.csv --after b.csv [--factor F]\n"
                "  anomaly  --in flows.csv [--window MIN] [--train N] [--rank K]\n"
                "           [--summary-out FILE]\n"
+               "  serve    --in flows.csv --shards N [--window MIN] [--train N]\n"
+               "           [--rank K] [--collapse F] [--summary-out FILE]\n"
+               "           [--store DIR] forks N local shard workers and\n"
+               "           aggregates; output is byte-identical to `anomaly`\n"
+               "  aggregate --shards N [--listen PORT] [--window MIN]\n"
+               "           [--train N] [--rank K] [--summary-out FILE]\n"
+               "           [--store DIR] waits for N shard workers\n"
+               "  shard-worker --in flows.csv --connect PORT --shard I\n"
+               "           --shards N [--window MIN] [--facet ip|ipport]\n"
+               "           [--collapse F] ships its partition to an aggregator\n"
+               "           (serve/aggregate also take --net-timeout-ms MS;\n"
+               "           $CCG_NET_RETRIES / $CCG_NET_TIMEOUT_MS tune the\n"
+               "           transport everywhere)\n"
                "  report   --in flows.csv [--collapse F] [--shards N]\n"
                "  trace    --in flows.csv [--window MIN] [--train N]\n"
                "           [--stall-ms MS] runs the anomaly pipeline with\n"
@@ -496,6 +517,266 @@ int cmd_anomaly(const Args& args) {
   return alerts > 0 ? 3 : 0;
 }
 
+// --- distributed commands (docs/DISTRIBUTED.md) ------------------------------
+
+/// The build config every distributed role must agree on. Same defaults as
+/// `anomaly`, so a distributed run diffs cleanly against a single-process
+/// one.
+GraphBuildConfig dist_graph_config(const Args& args) {
+  return {.facet = args.get_or("facet", "ip") == "ipport" ? GraphFacet::kIpPort
+                                                          : GraphFacet::kIp,
+          .window_minutes = args.get_long("window", 60),
+          .collapse_threshold = args.get_double("collapse", 0.001)};
+}
+
+std::string flight_dir_from(const Args& args) {
+  const char* env = std::getenv("CCG_FLIGHT_DIR");
+  return args.get_or("flight-dir", env != nullptr ? env : "");
+}
+
+/// Aggregator-side recv timeout. Workers connect before parsing their
+/// flow log, so the silence between handshake and the first window frame
+/// includes a full CSV parse — the CLI default is therefore far above the
+/// library's 30 s. --net-timeout-ms and CCG_NET_TIMEOUT_MS override.
+int aggregator_timeout_ms(const Args& args) {
+  if (const auto v = args.get("net-timeout-ms")) return std::stoi(*v);
+  if (std::getenv("CCG_NET_TIMEOUT_MS") != nullptr) return -1;  // env wins
+  return 300000;
+}
+
+/// Aggregator side shared by `aggregate` and `serve`: handshake the
+/// accepted shard connections, run the barrier merge, and feed each merged
+/// window through an AnalyticsService configured exactly like `anomaly` —
+/// stdout, --summary-out contents and the exit code must be byte-identical
+/// to the single-process command on the same log.
+int run_aggregation(const Args& args, std::vector<net::FrameConn> conns) {
+  const GraphBuildConfig config = dist_graph_config(args);
+
+  std::ofstream summary_out;
+  if (const auto path = args.get("summary-out")) {
+    summary_out.open(*path);
+    if (!summary_out) {
+      std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
+      return 1;
+    }
+  }
+
+  std::size_t alerts = 0;
+  AnalyticsService service(
+      {.graph = config,
+       .training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
+       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))}},
+      {}, [&](const WindowReport& report) {
+        std::printf("%s\n", report.summary().c_str());
+        if (summary_out.is_open()) summary_out << report.summary() << '\n';
+        if (report.alert) {
+          ++alerts;
+          for (std::size_t i = 0;
+               i < std::min<std::size_t>(5, report.anomalous_edges.size()); ++i) {
+            std::printf("  %s\n", report.anomalous_edges[i].to_string().c_str());
+          }
+        }
+      });
+
+  std::optional<store::StoreWriter> writer;
+  if (const auto store_dir = args.get("store")) {
+    writer = store::StoreWriter::open(
+        *store_dir,
+        {.keyframe_interval =
+             static_cast<std::size_t>(args.get_long("keyframe", 8))});
+    if (!writer) {
+      std::fprintf(stderr, "ccgraph: cannot open store %s\n", store_dir->c_str());
+      return 1;
+    }
+    service.set_store(&*writer);
+  }
+
+  const std::size_t shard_count = conns.size();
+  dist::Aggregator aggregator({.graph = config,
+                               .recv_timeout_ms = aggregator_timeout_ms(args),
+                               .flight_dir = flight_dir_from(args)},
+                              std::move(conns));
+  if (!aggregator.handshake()) {
+    std::fprintf(stderr, "ccgraph: aggregator handshake failed\n");
+    return 1;
+  }
+  const auto result = aggregator.run(
+      [&](const CommGraph& graph) { service.ingest_window(graph); });
+  if (!result) {
+    std::fprintf(stderr,
+                 "ccgraph: aggregation aborted (see flight record)\n");
+    return 1;
+  }
+  if (writer) writer->close();
+  std::fprintf(stderr,
+               "ccgraph: aggregated %llu records / %llu windows from %zu shards\n",
+               static_cast<unsigned long long>(result->records),
+               static_cast<unsigned long long>(result->windows), shard_count);
+  std::printf("%zu windows analyzed, %zu alerts\n", service.windows_reported(),
+              alerts);
+  return alerts > 0 ? 3 : 0;
+}
+
+int cmd_shard_worker(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path || !args.get("connect") || !args.get("shard") ||
+      !args.get("shards")) {
+    return usage();
+  }
+  const long shard_id = args.get_long("shard", 0);
+  const long shard_count = args.get_long("shards", 0);
+  if (shard_id < 0 || shard_count < 1 || shard_id >= shard_count) {
+    std::fprintf(stderr, "ccgraph: --shard must be in [0, --shards)\n");
+    return 2;
+  }
+  // Connect before the (potentially long) CSV parse so the aggregator's
+  // accept loop completes immediately; its recv timeout then covers the
+  // load-to-first-frame gap.
+  auto conn = net::connect_loopback(
+      static_cast<std::uint16_t>(args.get_long("connect", 0)));
+  if (!conn) {
+    std::fprintf(stderr, "ccgraph: shard %ld: cannot connect to aggregator\n",
+                 shard_id);
+    return 1;
+  }
+  const auto records = load_csv(*in_path);
+  if (!records) return 1;
+  // The monitored set comes from the *whole* log (an IP another shard owns
+  // may still appear as a remote here); the worker filters to its
+  // partition internally via shard_of_record.
+  dist::ShardWorker worker({.shard_id = static_cast<std::uint32_t>(shard_id),
+                            .shard_count = static_cast<std::uint32_t>(shard_count),
+                            .graph = dist_graph_config(args)},
+                           monitored_from(*records), std::move(*conn));
+  if (!worker.handshake()) {
+    std::fprintf(stderr, "ccgraph: shard %ld: handshake refused\n", shard_id);
+    return 1;
+  }
+  replay_minutes(*records, worker);
+  if (!worker.finish()) {
+    std::fprintf(stderr, "ccgraph: shard %ld: shipping failed\n", shard_id);
+    return 1;
+  }
+  std::fprintf(stderr, "ccgraph: shard %ld: %llu records, %llu windows shipped\n",
+               shard_id, static_cast<unsigned long long>(worker.records()),
+               static_cast<unsigned long long>(worker.windows_shipped()));
+  return 0;
+}
+
+int cmd_aggregate(const Args& args) {
+  const long shard_count = args.get_long("shards", 0);
+  if (shard_count < 1) return usage();
+  auto listener = net::Listener::bind_loopback(
+      static_cast<std::uint16_t>(args.get_long("listen", 0)));
+  if (!listener) {
+    std::fprintf(stderr, "ccgraph: cannot bind listener\n");
+    return 1;
+  }
+  // Port to stderr (stdout must stay diffable against `anomaly`); scripts
+  // launching workers by hand read it from here.
+  std::fprintf(stderr, "ccgraph: aggregator listening on 127.0.0.1:%u for %ld shards\n",
+               listener->port(), shard_count);
+  std::fflush(stderr);
+  std::vector<net::FrameConn> conns;
+  for (long i = 0; i < shard_count; ++i) {
+    auto conn = listener->accept(aggregator_timeout_ms(args));
+    if (!conn) {
+      std::fprintf(stderr, "ccgraph: accept failed (%ld of %ld shards connected)\n",
+                   i, shard_count);
+      return 1;
+    }
+    conns.push_back(std::move(*conn));
+  }
+  return run_aggregation(args, std::move(conns));
+}
+
+int cmd_serve(const Args& args) {
+  const auto in_path = args.get("in");
+  if (!in_path) return usage();
+  const long shard_count = args.get_long("shards", 4);
+  if (shard_count < 1 || shard_count > 64) {
+    std::fprintf(stderr, "ccgraph: --shards must be in [1, 64]\n");
+    return 2;
+  }
+
+  auto listener = net::Listener::bind_loopback();
+  if (!listener) {
+    std::fprintf(stderr, "ccgraph: cannot bind listener\n");
+    return 1;
+  }
+
+  // Pre-build every worker's argv before any fork: between fork and execv
+  // only async-signal-safe work is allowed, so no allocation there. Flags
+  // the user left at defaults are not forwarded — the worker's defaults
+  // are identical by construction (dist_graph_config).
+  std::vector<std::vector<std::string>> worker_cmds(
+      static_cast<std::size_t>(shard_count));
+  for (long i = 0; i < shard_count; ++i) {
+    auto& cmd = worker_cmds[static_cast<std::size_t>(i)];
+    cmd = {"ccgraph",  "shard-worker",
+           "--in",     *in_path,
+           "--connect", std::to_string(listener->port()),
+           "--shard",  std::to_string(i),
+           "--shards", std::to_string(shard_count)};
+    for (const char* key : {"window", "facet", "collapse", "log-level"}) {
+      if (const auto v = args.get(key)) {
+        cmd.push_back(std::string("--") + key);
+        cmd.push_back(*v);
+      }
+    }
+  }
+  std::vector<std::vector<char*>> worker_argvs;
+  for (auto& cmd : worker_cmds) {
+    std::vector<char*> argv;
+    for (auto& s : cmd) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    worker_argvs.push_back(std::move(argv));
+  }
+
+  std::vector<pid_t> children;
+  for (long i = 0; i < shard_count; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("ccgraph: fork");
+      for (const pid_t c : children) ::kill(c, SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: the listener fd is CLOEXEC, so the re-exec'd worker starts
+      // clean and connects back over loopback like any external shard.
+      ::execv("/proc/self/exe",
+              worker_argvs[static_cast<std::size_t>(i)].data());
+      ::_exit(127);  // execv only returns on error
+    }
+    children.push_back(pid);
+  }
+
+  std::vector<net::FrameConn> conns;
+  for (long i = 0; i < shard_count; ++i) {
+    auto conn = listener->accept(aggregator_timeout_ms(args));
+    if (!conn) {
+      std::fprintf(stderr, "ccgraph: worker accept failed (%ld of %ld connected)\n",
+                   i, shard_count);
+      for (const pid_t c : children) ::kill(c, SIGTERM);
+      for (const pid_t c : children) ::waitpid(c, nullptr, 0);
+      return 1;
+    }
+    conns.push_back(std::move(*conn));
+  }
+
+  int rc = run_aggregation(args, std::move(conns));
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    ::waitpid(children[i], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "ccgraph: shard worker %zu exited abnormally (%d)\n",
+                   i, status);
+      if (rc == 0 || rc == 3) rc = 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_report(const Args& args) {
   const auto in_path = args.get("in");
   if (!in_path) return usage();
@@ -862,6 +1143,9 @@ int dispatch(const std::string& command, const std::string& subcommand,
   if (command == "policy") return cmd_policy(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "anomaly") return cmd_anomaly(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "aggregate") return cmd_aggregate(args);
+  if (command == "shard-worker") return cmd_shard_worker(args);
   if (command == "report") return cmd_report(args);
   if (command == "trace") return cmd_trace(args);
   if (command == "store") return cmd_store(subcommand, args);
