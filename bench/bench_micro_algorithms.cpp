@@ -2,14 +2,18 @@
 // complex analyses be factored to meet the COGS constraints?") needs
 // per-kernel costs, and these guard against performance regressions.
 //
-// The parallelized kernels (similarity, SimRank, Jacobi, PCA) are swept
-// across thread counts: each registration runs at threads=1 and at the
-// hardware thread count, and after the google-benchmark tables a
-// serial-vs-parallel speedup sweep is printed as a delimited JSON block
-// (and written to --kernels-json PATH when given, for the CI baseline
-// artifact). Determinism makes the comparison honest: every thread count
-// produces byte-identical results, so the sweep times identical work.
+// The parallelized kernels (similarity, SimRank, Jacobi, PCA, k-means,
+// power iteration, MinHash) are swept across thread counts AND simd tiers:
+// after the google-benchmark tables a speedup sweep is printed as a
+// delimited JSON block (and written to --kernels-json PATH when given, for
+// the CI baseline artifact). Each kernel entry carries per-tier timings
+// with per-tier hardware counters, the dispatched tier, and the scalar-vs-
+// simd serial speedup. Determinism makes the comparison honest: every
+// thread count and tier produces byte-identical results, so the sweep
+// times identical work.
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstring>
@@ -18,13 +22,16 @@
 #include <thread>
 #include <vector>
 
+#include "ccg/graph/csr.hpp"
 #include "ccg/graph/delta.hpp"
 #include "ccg/linalg/eigen.hpp"
+#include "ccg/linalg/kmeans.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
 #include "ccg/segmentation/auto_segment.hpp"
 #include "ccg/segmentation/similarity.hpp"
 #include "ccg/segmentation/simrank.hpp"
+#include "ccg/simd/simd.hpp"
 #include "ccg/summarize/graph_pca.hpp"
 #include "ccg/summarize/patterns.hpp"
 #include "bench_util.hpp"
@@ -160,7 +167,7 @@ void BM_GraphDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphDiff)->Unit(benchmark::kMillisecond);
 
-// --- serial-vs-parallel speedup sweep ---------------------------------------
+// --- tier × thread speedup sweep --------------------------------------------
 
 /// Best-of-3 wall time of `fn` at a fixed pool size.
 template <typename Fn>
@@ -177,86 +184,188 @@ double time_at_threads(int threads, Fn&& fn) {
   return best;
 }
 
-struct KernelSweep {
-  std::string name;
+/// One simd tier's thread sweep plus its hardware-counter deltas.
+struct TierSweep {
+  std::string tier;
   std::vector<std::pair<int, double>> seconds_by_threads;
   obs::prof::CounterValues counters;  // one serial run's deltas
 };
 
+struct KernelSweep {
+  std::string name;
+  std::vector<TierSweep> tiers;  // "scalar" first, dispatched tier last
+};
+
+int online_cpus() {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+std::string json_timings(const std::vector<std::pair<int, double>>& by_threads) {
+  const double serial = by_threads.front().second;
+  std::string json = "[";
+  for (std::size_t j = 0; j < by_threads.size(); ++j) {
+    const auto& [t, s] = by_threads[j];
+    if (j > 0) json += ", ";
+    json += "{\"threads\": " + std::to_string(t) +
+            ", \"seconds\": " + fmt(s, 6) +
+            ", \"speedup\": " + fmt(s > 0.0 ? serial / s : 0.0, 3) + "}";
+  }
+  return json + "]";
+}
+
+double best_speedup(const std::vector<std::pair<int, double>>& by_threads) {
+  const double serial = by_threads.front().second;
+  double fastest = serial;
+  for (const auto& [t, s] : by_threads) fastest = std::min(fastest, s);
+  return fastest > 0.0 ? serial / fastest : 0.0;
+}
+
+std::string json_counters(const obs::prof::CounterValues& c) {
+  return "{\"tier\": \"" + std::string(obs::prof::tier_name(c.tier)) +
+         "\", \"cycles\": " + std::to_string(c.cycles) +
+         ", \"instructions\": " + std::to_string(c.instructions) +
+         ", \"ipc\": " + fmt(c.ipc(), 3) +
+         ", \"cache_misses\": " + std::to_string(c.cache_misses) +
+         ", \"branch_misses\": " + std::to_string(c.branch_misses) +
+         ", \"cpu_seconds\": " + fmt(c.cpu_seconds, 6) + "}";
+}
+
 /// Emits the sweep as a delimited JSON block (same convention as the
 /// metrics snapshot) and optionally into `json_path` for CI artifacts.
+///
+/// Every kernel is swept across simd tiers (scalar plus the dispatched
+/// tier when different) × thread counts. Because every tier is
+/// byte-identical, the scalar-vs-simd ratio at threads=1 is a pure
+/// vectorization speedup — same work, same reduction geometry.
 void emit_kernel_speedups(const std::string& json_path) {
   // Per-kernel hardware-counter deltas ride along with the timings;
   // enable_counters() degrades to rusage (or nothing) when the perf
   // syscall is denied, so this never fails the bench.
-  const obs::prof::CounterTier tier = obs::prof::enable_counters();
+  const obs::prof::CounterTier counter_tier = obs::prof::enable_counters();
   const int hw = hardware_threads();
+  const int cpus = online_cpus();
   std::vector<int> sweep{1};
   for (const int t : {2, 4, hw}) {
     if (t > 1 && t <= hw && t != sweep.back()) sweep.push_back(t);
   }
 
+  // The tier the runtime dispatcher picked (honouring CCG_SIMD / --simd);
+  // restored after the sweep so google-benchmark tables and the sweep see
+  // the same configuration.
+  const std::string dispatched(simd::tier_name(simd::active_tier()));
+  std::vector<std::string> tiers{"scalar"};
+  if (dispatched != "scalar") tiers.push_back(dispatched);
+
   const CommGraph& g = k8s_graph();
+  const CsrAdjacency csr(g);
   const Matrix jacobi_m = random_symmetric(300, 5);
   const NodeIndex index = NodeIndex::from_graph(g);
   const Matrix adj = adjacency_matrix(g, index);
+  const Matrix km_data = [] {
+    Rng rng(11);
+    Matrix m(1500, 64);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) = rng.normal();
+    }
+    return m;
+  }();
 
   std::vector<KernelSweep> kernels;
   const auto run = [&](const std::string& name, auto&& fn) {
-    KernelSweep k{name, {}, {}};
-    {
-      // Counter deltas from one dedicated serial run, so the numbers are
-      // per-invocation, not best-of-3 aggregates.
-      parallel::set_thread_count(1);
-      obs::prof::CounterScope scope(k.counters);
-      fn();
+    KernelSweep k{name, {}};
+    for (const std::string& tier : tiers) {
+      simd::set_tier(tier);
+      TierSweep ts{tier, {}, {}};
+      {
+        // Counter deltas from one dedicated serial run, so the numbers
+        // are per-invocation, not best-of-3 aggregates.
+        parallel::set_thread_count(1);
+        obs::prof::CounterScope scope(ts.counters);
+        fn();
+      }
+      parallel::set_thread_count(0);
+      for (const int t : sweep) {
+        ts.seconds_by_threads.emplace_back(t, time_at_threads(t, fn));
+      }
+      k.tiers.push_back(std::move(ts));
     }
-    parallel::set_thread_count(0);
-    for (const int t : sweep) k.seconds_by_threads.emplace_back(t, time_at_threads(t, fn));
+    simd::set_tier(dispatched);
     kernels.push_back(std::move(k));
   };
-  run("similarity_clique", [&] { similarity_clique(g); });
-  run("simrank", [&] { simrank_scores(g, {.iterations = 2}); });
+  run("similarity_clique", [&] { similarity_clique(g, csr); });
+  run("simrank", [&] { simrank_scores(g, csr, {.iterations = 2}); });
   run("jacobi_eigen_300", [&] { jacobi_eigen(jacobi_m); });
+  run("power_iteration_300", [&] { power_iteration(jacobi_m); });
   run("pca_error_curve", [&] {
     const PcaSummary pca(adj);
     pca.error_curve(25);
   });
+  run("kmeans", [&] {
+    kmeans(km_data, 8, {.max_iterations = 15, .restarts = 2});
+  });
+  run("minhash", [&] {
+    // Synthetic signature stream: the per-neighbor update is the whole
+    // kernel, so drive it directly instead of through a graph.
+    constexpr std::size_t kHashes = 96;
+    std::uint64_t salts[kHashes];
+    for (std::size_t h = 0; h < kHashes; ++h) {
+      salts[h] = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(h * 0x9E3779B9u));
+    }
+    std::uint64_t sig[kHashes];
+    std::uint64_t checksum = 0;
+    for (int node = 0; node < 64; ++node) {
+      std::fill(std::begin(sig), std::end(sig), ~0ull);
+      for (std::uint32_t f = 0; f < 2048; ++f) {
+        const std::uint64_t feature =
+            (static_cast<std::uint64_t>(f) * 0x9E3779B97F4A7C15ull) ^
+            static_cast<std::uint64_t>(node);
+        simd::minhash_update(feature << 8, salts, sig, kHashes);
+      }
+      checksum ^= sig[0];
+    }
+    benchmark::DoNotOptimize(checksum);
+  });
 
-  std::string json = "{\"hardware_threads\": " + std::to_string(hw) +
-                     ", \"counter_tier\": \"" +
-                     obs::prof::tier_name(tier) + "\", \"kernels\": [";
+  std::string json =
+      "{\"hardware_threads\": " + std::to_string(hw) +
+      ", \"online_cpus\": " + std::to_string(cpus) +
+      ", \"counter_tier\": \"" + obs::prof::tier_name(counter_tier) +
+      "\", \"simd\": {\"dispatched\": \"" + dispatched +
+      "\", \"capabilities\": \"" + simd::capability_string() +
+      "\"}, \"kernels\": [";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelSweep& k = kernels[i];
-    const double serial = k.seconds_by_threads.front().second;
-    const double fastest = [&] {
-      double best = serial;
-      for (const auto& [t, s] : k.seconds_by_threads) best = std::min(best, s);
-      return best;
-    }();
+    const TierSweep& scalar = k.tiers.front();
+    const TierSweep& active = k.tiers.back();
+    const double scalar_serial = scalar.seconds_by_threads.front().second;
+    const double active_serial = active.seconds_by_threads.front().second;
     if (i > 0) json += ", ";
-    json += "{\"name\": \"" + k.name + "\", \"timings\": [";
-    for (std::size_t j = 0; j < k.seconds_by_threads.size(); ++j) {
-      const auto& [t, s] = k.seconds_by_threads[j];
+    // Legacy top-level timings/best_speedup/counters describe the
+    // dispatched tier (what production runs use); the per-tier detail
+    // lives under "tiers".
+    json += "{\"name\": \"" + k.name + "\", \"simd_tier\": \"" + active.tier +
+            "\", \"online_cpus\": " + std::to_string(cpus) +
+            ", \"simd_speedup\": " +
+            fmt(active_serial > 0.0 ? scalar_serial / active_serial : 0.0, 3) +
+            ", \"timings\": " + json_timings(active.seconds_by_threads) +
+            ", \"best_speedup\": " + fmt(best_speedup(active.seconds_by_threads), 3) +
+            ", \"counters\": " + json_counters(active.counters) +
+            ", \"tiers\": [";
+    for (std::size_t j = 0; j < k.tiers.size(); ++j) {
+      const TierSweep& ts = k.tiers[j];
       if (j > 0) json += ", ";
-      json += "{\"threads\": " + std::to_string(t) +
-              ", \"seconds\": " + fmt(s, 6) +
-              ", \"speedup\": " + fmt(s > 0.0 ? serial / s : 0.0, 3) + "}";
+      json += "{\"tier\": \"" + ts.tier +
+              "\", \"timings\": " + json_timings(ts.seconds_by_threads) +
+              ", \"best_speedup\": " + fmt(best_speedup(ts.seconds_by_threads), 3) +
+              ", \"counters\": " + json_counters(ts.counters) + "}";
     }
-    json += "], \"best_speedup\": " + fmt(fastest > 0.0 ? serial / fastest : 0.0, 3);
-    const obs::prof::CounterValues& c = k.counters;
-    json += ", \"counters\": {\"tier\": \"" +
-            std::string(obs::prof::tier_name(c.tier)) +
-            "\", \"cycles\": " + std::to_string(c.cycles) +
-            ", \"instructions\": " + std::to_string(c.instructions) +
-            ", \"ipc\": " + fmt(c.ipc(), 3) +
-            ", \"cache_misses\": " + std::to_string(c.cache_misses) +
-            ", \"branch_misses\": " + std::to_string(c.branch_misses) +
-            ", \"cpu_seconds\": " + fmt(c.cpu_seconds, 6) + "}}";
+    json += "]}";
   }
   json += "]}\n";
 
-  std::printf("\n==== kernel thread sweep (json) ====\n%s", json.c_str());
+  std::printf("\n==== kernel tier/thread sweep (json) ====\n%s", json.c_str());
   std::fflush(stdout);
   if (!json_path.empty()) {
     std::ofstream out(json_path);

@@ -1,0 +1,95 @@
+#include "ccg/graph/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <vector>
+
+#include "ccg/parallel/parallel.hpp"
+
+namespace ccg {
+
+namespace {
+
+constexpr std::size_t kArenaAlign = 64;
+
+std::size_t round_up(std::size_t v) {
+  return (v + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+
+std::int32_t tag_of(const CommGraph& g, NodeId owner, EdgeId e) {
+  switch (g.edge_role(owner, e)) {
+    case CommGraph::EdgeRole::kInitiator: return CsrAdjacency::kTagInitiator;
+    case CommGraph::EdgeRole::kResponder: return CsrAdjacency::kTagResponder;
+    case CommGraph::EdgeRole::kMixed: return CsrAdjacency::kTagMixed;
+  }
+  return CsrAdjacency::kTagMixed;
+}
+
+}  // namespace
+
+CsrAdjacency::CsrAdjacency(const CommGraph& g) {
+  n_ = g.node_count();
+  std::size_t m = 0;
+  for (NodeId v = 0; v < n_; ++v) m += g.degree(v);
+
+  // One allocation, every column 64-byte aligned.
+  const std::size_t off_bytes = round_up((n_ + 1) * sizeof(std::uint64_t));
+  const std::size_t ids_bytes = round_up(m * sizeof(std::uint32_t));
+  const std::size_t tag_bytes = round_up(m * sizeof(std::int32_t));
+  const std::size_t port_bytes = round_up(m * sizeof(std::int32_t));
+  const std::size_t weight_bytes = round_up(m * sizeof(double));
+  arena_bytes_ = off_bytes + ids_bytes + tag_bytes + port_bytes + weight_bytes;
+  arena_.reset(static_cast<std::byte*>(
+      ::operator new[](arena_bytes_, std::align_val_t{kArenaAlign})));
+
+  std::byte* p = arena_.get();
+  auto* offsets = reinterpret_cast<std::uint64_t*>(p);
+  auto* ids = reinterpret_cast<std::uint32_t*>(p += off_bytes);
+  auto* tags = reinterpret_cast<std::int32_t*>(p += ids_bytes);
+  auto* ports = reinterpret_cast<std::int32_t*>(p += tag_bytes);
+  auto* weights = reinterpret_cast<double*>(p += port_bytes);
+  offsets_ = offsets;
+  ids_ = ids;
+  tags_ = tags;
+  ports_ = ports;
+  weights_ = weights;
+
+  offsets[0] = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    offsets[v + 1] = offsets[v] + g.degree(v);
+  }
+
+  // Rows are independent: flatten and id-sort each one in parallel. Sorted
+  // rows make iteration order a function of the graph, not of edge
+  // insertion order.
+  struct Entry {
+    std::uint32_t id;
+    std::int32_t tag;
+    std::int32_t port;
+    double weight;
+  };
+  parallel::parallel_for(n_, 64, [&](std::size_t begin, std::size_t end) {
+    std::vector<Entry> row;
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      row.clear();
+      row.reserve(g.degree(v));
+      for (const auto& [peer, edge] : g.neighbors(v)) {
+        row.push_back(
+            {peer, tag_of(g, v, edge), g.edge(edge).stats.server_port_hint,
+             std::log1p(static_cast<double>(g.edge(edge).stats.bytes()))});
+      }
+      std::sort(row.begin(), row.end(),
+                [](const Entry& a, const Entry& b) { return a.id < b.id; });
+      const std::uint64_t base = offsets[v];
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        ids[base + k] = row[k].id;
+        tags[base + k] = row[k].tag;
+        ports[base + k] = row[k].port;
+        weights[base + k] = row[k].weight;
+      }
+    }
+  });
+}
+
+}  // namespace ccg

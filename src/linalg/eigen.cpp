@@ -7,6 +7,7 @@
 #include "ccg/common/expect.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
+#include "ccg/simd/simd.hpp"
 
 namespace ccg {
 
@@ -18,28 +19,39 @@ namespace {
 // the cutoff affects speed only, never the result.
 constexpr std::size_t kJacobiParallelMinDim = 256;
 
-/// Applies the (p, q) rotation to every row/column index k ∉ {p, q} of `a`
-/// and to every row of `v`. Each k reads and writes only a(k,p), a(k,q),
-/// a(p,k), a(q,k), v(k,p), v(k,q) — disjoint across k and untouched by the
-/// serial 2x2 block fix-up that follows — so the loop parallelizes with
-/// byte-identical results.
-void apply_rotation_offblock(Matrix& a, Matrix& v, std::size_t p, std::size_t q,
-                             double c, double s, std::size_t k_begin,
-                             std::size_t k_end) {
+/// Applies the (p, q) rotation to rows p/q of `a` (contiguous — vectorized
+/// with simd::rotate_pair, which is element-wise exact), to columns p/q of
+/// `a` (strided — scalar), and to rows p/q of `vt` (the eigenvector matrix
+/// stored TRANSPOSED precisely so its rotation touches two contiguous rows
+/// instead of two strided columns). Each k reads and writes only a(k,p),
+/// a(k,q), a(p,k), a(q,k), vt(p,k), vt(q,k) — disjoint across k and
+/// untouched by the serial 2x2 block fix-up that follows — so the loop
+/// parallelizes with byte-identical results.
+void apply_rotation_offblock(Matrix& a, Matrix& vt, std::size_t p,
+                             std::size_t q, double c, double s,
+                             std::size_t k_begin, std::size_t k_end) {
+  const std::size_t len = k_end - k_begin;
+  simd::rotate_pair(&vt(p, k_begin), &vt(q, k_begin), c, s, len);
+
+  // Row segments of `a`, skipping k ∈ {p, q} (handled by the 2x2 fix-up).
+  // rotate_pair is element-wise, so splitting at p/q changes nothing.
+  std::size_t seg = k_begin;
+  for (const std::size_t stop : {std::min(p, q), std::max(p, q), k_end}) {
+    const std::size_t hi = std::min(stop, k_end);
+    if (seg < hi) {
+      simd::rotate_pair(&a(p, seg), &a(q, seg), c, s, hi - seg);
+    }
+    seg = std::max(seg, std::min(hi + 1, k_end));
+  }
+
+  // Column updates stay scalar: stride-n access defeats vector loads, and
+  // the element arithmetic is identical either way.
   for (std::size_t k = k_begin; k < k_end; ++k) {
-    const double vkp = v(k, p);
-    const double vkq = v(k, q);
-    v(k, p) = c * vkp - s * vkq;
-    v(k, q) = s * vkp + c * vkq;
     if (k == p || k == q) continue;
     const double akp = a(k, p);
     const double akq = a(k, q);
     a(k, p) = c * akp - s * akq;
     a(k, q) = s * akp + c * akq;
-    const double apk = a(p, k);
-    const double aqk = a(q, k);
-    a(p, k) = c * apk - s * aqk;
-    a(q, k) = s * apk + c * aqk;
   }
 }
 
@@ -53,8 +65,9 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
   CCG_EXPECT(input.is_symmetric(1e-6 * (1.0 + input.frobenius())));
   const std::size_t n = input.rows();
 
-  Matrix a = input;            // working copy, driven to diagonal
-  Matrix v = Matrix::identity(n);  // accumulated rotations
+  Matrix a = input;                 // working copy, driven to diagonal
+  Matrix vt = Matrix::identity(n);  // accumulated rotations, TRANSPOSED:
+                                    // row j of vt is eigenvector column j
 
   const double frob = std::max(a.frobenius(), 1e-300);
   const double threshold = tolerance * frob;
@@ -63,13 +76,14 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     // max is associative and commutative, so the chunked reduction matches
-    // the serial scan exactly (chunk geometry is thread-count independent).
+    // the serial scan exactly (chunk geometry is thread-count independent),
+    // and simd::max_abs over each row tail is exact at any vector width.
     const double off = parallel::parallel_reduce(
         n, 16, 0.0,
         [&](double& part, std::size_t begin, std::size_t end) {
           for (std::size_t p = begin; p < end; ++p) {
-            for (std::size_t q = p + 1; q < n; ++q) {
-              part = std::max(part, std::abs(a(p, q)));
+            if (p + 1 < n) {
+              part = std::max(part, simd::max_abs(&a(p, p + 1), n - p - 1));
             }
           }
         },
@@ -92,10 +106,10 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
 
         if (parallel_rotations) {
           parallel::parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
-            apply_rotation_offblock(a, v, p, q, c, s, begin, end);
+            apply_rotation_offblock(a, vt, p, q, c, s, begin, end);
           });
         } else {
-          apply_rotation_offblock(a, v, p, q, c, s, 0, n);
+          apply_rotation_offblock(a, vt, p, q, c, s, 0, n);
         }
 
         // The 2x2 pivot block, applied in the serial algorithm's exact
@@ -139,7 +153,7 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tolerance,
   for (std::size_t j = 0; j < n; ++j) {
     out.values[j] = diag[order[j]];
     for (std::size_t i = 0; i < n; ++i) {
-      out.vectors(i, j) = v(i, order[j]);
+      out.vectors(i, j) = vt(order[j], i);
     }
   }
   return out;
@@ -160,15 +174,15 @@ PowerIterationResult power_iteration(const Matrix& m, int max_iterations,
     x[i] = 1.0 + 0.001 * static_cast<double>(i % 7);
   }
 
-  // Mat-vec rows write disjoint outputs and each row's dot product keeps
-  // the serial accumulation order, so the parallel sweep is byte-identical
-  // to the serial one; the O(n) norm and Rayleigh reductions stay serial.
+  // Mat-vec rows write disjoint outputs and each row is one canonical-
+  // geometry simd::dot (fixed by n alone), so the parallel sweep is
+  // byte-identical to the serial one at any tier and thread count; the
+  // O(n) norm and Rayleigh reductions are single canonical dots.
+  const double* rows = m.data().data();
   const auto matvec = [&](const std::vector<double>& in, std::vector<double>& out) {
     parallel::parallel_for(n, 16, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < n; ++j) acc += m(i, j) * in[j];
-        out[i] = acc;
+        out[i] = simd::dot(rows + i * n, in.data(), n);
       }
     });
   };
@@ -178,16 +192,13 @@ PowerIterationResult power_iteration(const Matrix& m, int max_iterations,
   std::vector<double> my(n);
   for (int iter = 0; iter < max_iterations; ++iter) {
     matvec(x, y);
-    double norm = 0.0;
-    for (double v : y) norm += v * v;
-    norm = std::sqrt(norm);
+    double norm = std::sqrt(simd::dot(y.data(), y.data(), n));
     if (norm == 0.0) break;  // x in the null space
     for (std::size_t i = 0; i < n; ++i) y[i] /= norm;
 
     // Rayleigh quotient.
     matvec(y, my);
-    double new_lambda = 0.0;
-    for (std::size_t i = 0; i < n; ++i) new_lambda += y[i] * my[i];
+    const double new_lambda = simd::dot(y.data(), my.data(), n);
     result.iterations = iter + 1;
     x = y;
     if (std::abs(new_lambda - lambda) <= tolerance * (1.0 + std::abs(new_lambda))) {

@@ -8,6 +8,7 @@
 #include "ccg/common/rng.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
+#include "ccg/simd/simd.hpp"
 
 namespace ccg {
 
@@ -15,12 +16,11 @@ namespace {
 
 double sq_distance(const Matrix& data, std::size_t row, const Matrix& centroids,
                    std::size_t centroid) {
-  double acc = 0.0;
-  for (std::size_t c = 0; c < data.cols(); ++c) {
-    const double d = data(row, c) - centroids(centroid, c);
-    acc += d * d;
-  }
-  return acc;
+  // Canonical-geometry simd reduction: the result depends only on cols(),
+  // never on the dispatched tier or thread count.
+  return simd::squared_distance(data.data().data() + row * data.cols(),
+                                centroids.data().data() + centroid * centroids.cols(),
+                                data.cols());
 }
 
 /// k-means++ seeding: each next centroid drawn proportional to squared

@@ -5,6 +5,7 @@
 #include "ccg/common/expect.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
+#include "ccg/simd/simd.hpp"
 
 namespace ccg {
 
@@ -17,20 +18,23 @@ Matrix PcaSummary::reconstruct(std::size_t k) const {
   const std::size_t n = dimension();
   CCG_EXPECT(k <= n);
   Matrix out(n, n);
-  // Row r of the rank-k sum only touches out(r, ·): rows parallelize with
-  // unchanged per-row arithmetic (components applied in the same j order).
-  parallel::parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t j = 0; j < k; ++j) {
-      const double lambda = eig_.values[j];
+  // One component at a time: eigenvector column j is copied into a
+  // contiguous buffer once, then every row adds its rank-1 term with
+  // simd::rank1_update (element-wise exact, so tier- and thread-count-
+  // independent). Row r only touches out(r, ·), and components apply in
+  // the same j order for every row.
+  std::vector<double> col(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double lambda = eig_.values[j];
+    for (std::size_t c = 0; c < n; ++c) col[c] = eig_.vectors(c, j);
+    parallel::parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
       for (std::size_t r = begin; r < end; ++r) {
-        const double vr = eig_.vectors(r, j) * lambda;
+        const double vr = col[r] * lambda;
         if (vr == 0.0) continue;
-        for (std::size_t c = 0; c < n; ++c) {
-          out(r, c) += vr * eig_.vectors(c, j);
-        }
+        simd::rank1_update(&out(r, 0), col.data(), vr, n);
       }
-    }
-  });
+    });
+  }
   return out;
 }
 
@@ -49,24 +53,22 @@ std::vector<double> PcaSummary::error_curve(std::size_t max_k) const {
 
   // Incremental: maintain the residual M - Mk and subtract one rank-1 term
   // per step, accumulating the L1 norm in the same pass. O(n^2) per k.
-  // Row chunks are fixed by n alone and their |·| partials are summed in
-  // ascending chunk order, so the curve is identical at any thread count
-  // (per-row partial sums regroup the serial L1 accumulation; the values
-  // agree to the last bit across thread counts, and with the serial chunked
-  // run by construction).
+  // The component column is copied contiguous once per k; each row then
+  // runs one fused simd::rank1_update_abs_sum whose canonical-geometry
+  // row sum depends only on n. Row chunks are fixed by n alone and their
+  // |·| partials are summed in ascending chunk order, so the curve is
+  // identical at any tier and thread count.
   Matrix residual = original_;
+  std::vector<double> col(n);
   const auto residual_abs_l1 = [&](std::size_t component) {
+    const double lambda = eig_.values[component];
+    for (std::size_t c = 0; c < n; ++c) col[c] = eig_.vectors(c, component);
     return parallel::parallel_reduce(
         n, 8, 0.0,
         [&](double& part, std::size_t begin, std::size_t end) {
-          const std::size_t j = component;
-          const double lambda = eig_.values[j];
           for (std::size_t r = begin; r < end; ++r) {
-            const double vr = eig_.vectors(r, j) * lambda;
-            for (std::size_t c = 0; c < n; ++c) {
-              residual(r, c) -= vr * eig_.vectors(c, j);
-              part += std::abs(residual(r, c));
-            }
+            part += simd::rank1_update_abs_sum(&residual(r, 0), col.data(),
+                                               col[r] * lambda, n);
           }
         },
         [](double& acc, double part) { acc += part; });

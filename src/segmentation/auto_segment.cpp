@@ -56,7 +56,8 @@ WeightedGraph volume_weighted(const CommGraph& graph, bool bytes) {
 
 }  // namespace
 
-Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
+Segmentation auto_segment(const CommGraph& graph, const CsrAdjacency& csr,
+                          SegmentationMethod method,
                           SegmentationOptions options) {
   CCG_OBS_SPAN("ccg.segment.total");
   obs::Registry::global().counter("ccg.segment.runs").add();
@@ -69,21 +70,21 @@ Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
     switch (method) {
       case SegmentationMethod::kJaccardLouvain:
         objective = similarity_clique(
-            graph,
+            graph, csr,
             {.kind = SimilarityKind::kJaccard, .min_score = options.min_similarity});
         break;
       case SegmentationMethod::kWeightedJaccardLouvain:
-        objective = similarity_clique(graph,
+        objective = similarity_clique(graph, csr,
                                       {.kind = SimilarityKind::kWeightedJaccard,
                                        .min_score = options.min_similarity});
         break;
       case SegmentationMethod::kSimRank:
         objective = simrank_clique(
-            graph, {.min_score = options.min_similarity, .plus_plus = false});
+            graph, csr, {.min_score = options.min_similarity, .plus_plus = false});
         break;
       case SegmentationMethod::kSimRankPlusPlus:
         objective = simrank_clique(
-            graph, {.min_score = options.min_similarity, .plus_plus = true});
+            graph, csr, {.min_score = options.min_similarity, .plus_plus = true});
         break;
       case SegmentationMethod::kConnectivityModularity:
         objective = volume_weighted(graph, /*bytes=*/false);
@@ -111,8 +112,16 @@ Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
   return out;
 }
 
+Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
+                          SegmentationOptions options) {
+  const CsrAdjacency csr(graph);
+  return auto_segment(graph, csr, method, options);
+}
+
 std::vector<Segmentation> segment_all_methods(const CommGraph& graph,
                                               SegmentationOptions options) {
+  // One CSR flattening serves every method in the sweep.
+  const CsrAdjacency csr(graph);
   std::vector<Segmentation> out;
   for (const auto method :
        {SegmentationMethod::kJaccardLouvain,
@@ -120,7 +129,7 @@ std::vector<Segmentation> segment_all_methods(const CommGraph& graph,
         SegmentationMethod::kSimRankPlusPlus,
         SegmentationMethod::kConnectivityModularity,
         SegmentationMethod::kByteModularity}) {
-    out.push_back(auto_segment(graph, method, options));
+    out.push_back(auto_segment(graph, csr, method, options));
   }
   return out;
 }

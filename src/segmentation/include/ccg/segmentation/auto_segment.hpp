@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ccg/graph/comm_graph.hpp"
+#include "ccg/graph/csr.hpp"
 #include "ccg/segmentation/louvain.hpp"
 
 namespace ccg {
@@ -56,6 +57,12 @@ struct Segmentation {
 
 /// Runs one segmentation method over a communication graph.
 Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
+                          SegmentationOptions options = {});
+
+/// Same, over a prebuilt CSR flattening of `graph` — callers running
+/// several analyses on one window build the CSR once and share it.
+Segmentation auto_segment(const CommGraph& graph, const CsrAdjacency& csr,
+                          SegmentationMethod method,
                           SegmentationOptions options = {});
 
 /// All Fig. 1 + Fig. 3 methods in one sweep (for the comparison benches).

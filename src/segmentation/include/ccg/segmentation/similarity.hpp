@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ccg/graph/comm_graph.hpp"
+#include "ccg/graph/csr.hpp"
 #include "ccg/segmentation/louvain.hpp"
 
 namespace ccg {
@@ -59,6 +60,11 @@ struct SimilarityOptions {
 /// neighbor inversion), which is exact for Jaccard-style scores since
 /// disjoint pairs score zero.
 WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions options = {});
+
+/// Same, over a prebuilt CSR flattening of `graph` — the window's CSR is
+/// built once and shared by every kernel that reads the window.
+WeightedGraph similarity_clique(const CommGraph& graph, const CsrAdjacency& csr,
+                                SimilarityOptions options = {});
 
 /// Pairwise similarity of two specific nodes (exact, for tests/inspection).
 double node_similarity(const CommGraph& graph, NodeId a, NodeId b,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ccg/graph/comm_graph.hpp"
+#include "ccg/graph/csr.hpp"
 #include "ccg/segmentation/louvain.hpp"
 
 namespace ccg {
@@ -32,5 +33,13 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
 /// The similarity clique (same shape as similarity_clique()) built from
 /// SimRank scores, ready for Louvain.
 WeightedGraph simrank_clique(const CommGraph& graph, SimRankOptions options = {});
+
+/// Overloads over a prebuilt CSR flattening of `graph` (built once per
+/// window, shared by every kernel that reads the window).
+std::vector<double> simrank_scores(const CommGraph& graph,
+                                   const CsrAdjacency& csr,
+                                   SimRankOptions options = {});
+WeightedGraph simrank_clique(const CommGraph& graph, const CsrAdjacency& csr,
+                             SimRankOptions options = {});
 
 }  // namespace ccg

@@ -6,8 +6,10 @@
 #include <unordered_map>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/graph/csr.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
+#include "ccg/simd/simd.hpp"
 
 namespace ccg {
 
@@ -16,67 +18,12 @@ namespace {
 constexpr int kMinHashFunctions = 96;
 constexpr int kLshBandSize = 4;  // 24 bands of 4 -> catches J >~ 0.25 pairs
 
-/// Direction tag of a neighbor, from the owning node's perspective.
-using Tag = std::uint8_t;
-constexpr Tag kTagInitiator = 0;  // I connect to this neighbor
-constexpr Tag kTagResponder = 1;  // this neighbor connects to me
-constexpr Tag kTagMixed = 2;
-
-Tag tag_of(const CommGraph& g, NodeId owner, EdgeId e) {
-  switch (g.edge_role(owner, e)) {
-    case CommGraph::EdgeRole::kInitiator: return kTagInitiator;
-    case CommGraph::EdgeRole::kResponder: return kTagResponder;
-    case CommGraph::EdgeRole::kMixed: return kTagMixed;
-  }
-  return kTagMixed;
-}
-
-struct TaggedNeighbor {
-  std::uint32_t id;
-  Tag tag;
-  std::int32_t port;  // the edge's server-port hint (-1 unknown)
-  double weight;      // log1p(bytes) of the edge, cached for stamping
-};
-
-std::vector<std::vector<TaggedNeighbor>> tagged_neighbors(const CommGraph& g,
-                                                          bool use_direction) {
-  std::vector<std::vector<TaggedNeighbor>> out(g.node_count());
-  parallel::parallel_for(
-      g.node_count(), 64, [&](std::size_t begin, std::size_t end) {
-        for (NodeId i = static_cast<NodeId>(begin); i < end; ++i) {
-          out[i].reserve(g.degree(i));
-          for (const auto& [peer, edge] : g.neighbors(i)) {
-            // The service identity of the conversation distinguishes roles
-            // that plain IP-level sets cannot: a db (reached on 5432) and a
-            // cache (reached on 6379) may otherwise have identical neighbor
-            // sets.
-            out[i].push_back(
-                {peer, use_direction ? tag_of(g, i, edge) : kTagMixed,
-                 use_direction ? g.edge(edge).stats.server_port_hint : -1,
-                 std::log1p(static_cast<double>(g.edge(edge).stats.bytes()))});
-          }
-          std::sort(out[i].begin(), out[i].end(),
-                    [](const TaggedNeighbor& a, const TaggedNeighbor& b) {
-                      return a.id < b.id;
-                    });
-        }
-      });
-  return out;
-}
-
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDull;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ull;
-  x ^= x >> 33;
-  return x;
-}
-
 /// State for scoring pairs (a, *): a's neighborhood stamped into arrays.
+/// Column types match the simd primitives (stamp/tag/port are gatherable
+/// 32-bit lanes, weight is a gatherable double lane).
 struct StampedView {
   std::vector<std::uint32_t> stamp;  // stamp[x] == version  <=>  x ∈ N(a)
-  std::vector<Tag> tag;              // a's direction tag for x
+  std::vector<std::int32_t> tag;     // a's direction tag for x
   std::vector<std::int32_t> port;    // server-port hint of the (a, x) edge
   std::vector<double> weight;        // a's log-byte weight for x
   std::uint32_t version = 0;
@@ -85,67 +32,74 @@ struct StampedView {
       : stamp(n, 0), tag(n, 0), port(n, -1), weight(n, 0.0) {}
 };
 
-double score_pair(const CommGraph& graph,
-                  const std::vector<TaggedNeighbor>& nbrs_b,
-                  const StampedView& view, std::uint32_t a, std::uint32_t b,
-                  std::size_t deg_a, const SimilarityOptions& options) {
-  const bool exclude_self = options.exclude_self_edges;
+/// Stamps node a's CSR row into the view; returns |N(a)|.
+std::size_t stamp_node(const CsrAdjacency& csr, std::uint32_t a,
+                       StampedView& view) {
+  ++view.version;
+  const auto ids = csr.ids(a);
+  const auto tags = csr.tags(a);
+  const auto ports = csr.ports(a);
+  const auto weights = csr.weights(a);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const std::uint32_t x = ids[k];
+    view.stamp[x] = view.version;
+    view.tag[x] = tags[k];
+    view.port[x] = ports[k];
+    view.weight[x] = weights[k];
+  }
+  return ids.size();
+}
+
+double score_pair(const CsrAdjacency& csr, const StampedView& view,
+                  std::uint32_t a, std::uint32_t b, std::size_t deg_a,
+                  const SimilarityOptions& options) {
+  const std::uint32_t exclude_a =
+      options.exclude_self_edges ? a : simd::kNoExclude;
+  const auto ids_b = csr.ids(b);
+  const std::size_t nb = ids_b.size();
   switch (options.kind) {
     case SimilarityKind::kJaccard: {
-      std::size_t inter = 0, deg_b = 0;
-      for (const TaggedNeighbor& x : nbrs_b) {
-        if (exclude_self && x.id == a) continue;
-        ++deg_b;
-        if (view.stamp[x.id] == view.version &&
-            (!options.use_direction ||
-             (view.tag[x.id] == x.tag && view.port[x.id] == x.port))) {
-          ++inter;
-        }
-      }
-      const std::size_t uni = deg_a + deg_b - inter;
+      const simd::JaccardCounts jc = simd::jaccard_counts(
+          ids_b.data(), csr.tags(b).data(), csr.ports(b).data(), nb,
+          view.stamp.data(), view.tag.data(), view.port.data(), view.version,
+          options.use_direction, exclude_a);
+      const std::size_t uni = deg_a + jc.deg_b - jc.inter;
       return uni == 0 ? 0.0
-                      : static_cast<double>(inter) / static_cast<double>(uni);
+                      : static_cast<double>(jc.inter) /
+                            static_cast<double>(uni);
     }
     case SimilarityKind::kWeightedJaccard: {
       // Ruzicka: Σ min(wa, wb) / Σ max(wa, wb) over the neighbor union,
       // where missing neighbors have weight 0.
-      double sum_min = 0.0, sum_max_matched = 0.0;
-      double b_total = 0.0, matched_a = 0.0, matched_b = 0.0;
-      for (const auto& [x, e] : graph.neighbors(b)) {
-        if (exclude_self && x == a) continue;
-        const double wb =
-            std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
-        b_total += wb;
-        if (view.stamp[x] == view.version) {
-          const double wa = view.weight[x];
-          sum_min += std::min(wa, wb);
-          sum_max_matched += std::max(wa, wb);
-          matched_a += wa;
-          matched_b += wb;
-        }
-      }
-      double a_total = 0.0;
-      for (const auto& [x, e] : graph.neighbors(a)) {
-        if (exclude_self && x == b) continue;
-        a_total += view.weight[x];
-      }
-      const double sum_max =
-          sum_max_matched + (a_total - matched_a) + (b_total - matched_b);
-      return sum_max <= 0.0 ? 0.0 : sum_min / sum_max;
+      const simd::WeightedOverlap wo = simd::weighted_overlap(
+          ids_b.data(), csr.weights(b).data(), nb, view.stamp.data(),
+          view.weight.data(), view.version, exclude_a);
+      const double a_total = simd::masked_sum(
+          csr.ids(a).data(), csr.weights(a).data(), csr.degree(a),
+          options.exclude_self_edges ? b : simd::kNoExclude);
+      const double sum_max = wo.sum_max_matched + (a_total - wo.matched_a) +
+                             (wo.b_total - wo.matched_b);
+      return sum_max <= 0.0 ? 0.0 : wo.sum_min / sum_max;
     }
     case SimilarityKind::kCosine: {
+      // Scalar on purpose: the dot needs a stamp-gated gather (stale
+      // view.weight entries must not contribute), which no backend
+      // primitive models; the loop is tier-independent by construction.
+      const auto w_b = csr.weights(b);
       double dot = 0.0, norm_b = 0.0;
-      for (const auto& [x, e] : graph.neighbors(b)) {
-        if (exclude_self && x == a) continue;
-        const double wb =
-            std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
+      for (std::size_t k = 0; k < nb; ++k) {
+        const std::uint32_t x = ids_b[k];
+        if (options.exclude_self_edges && x == a) continue;
+        const double wb = w_b[k];
         norm_b += wb * wb;
         if (view.stamp[x] == view.version) dot += view.weight[x] * wb;
       }
+      const auto ids_a = csr.ids(a);
+      const auto w_a = csr.weights(a);
       double norm_a = 0.0;
-      for (const auto& [x, e] : graph.neighbors(a)) {
-        if (exclude_self && x == b) continue;
-        norm_a += view.weight[x] * view.weight[x];
+      for (std::size_t k = 0; k < ids_a.size(); ++k) {
+        if (options.exclude_self_edges && ids_a[k] == b) continue;
+        norm_a += w_a[k] * w_a[k];
       }
       const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
       return denom <= 0.0 ? 0.0 : dot / denom;
@@ -154,42 +108,38 @@ double score_pair(const CommGraph& graph,
   return 0.0;
 }
 
-/// Stamps node a's neighborhood into the view in one pass over the tagged
-/// list (which caches id, tag, port, and log-byte weight per neighbor);
-/// returns |N(a)|.
-std::size_t stamp_node(const std::vector<TaggedNeighbor>& nbrs_a,
-                       StampedView& view) {
-  ++view.version;
-  for (const TaggedNeighbor& x : nbrs_a) {
-    view.stamp[x.id] = view.version;
-    view.tag[x.id] = x.tag;
-    view.port[x.id] = x.port;
-    view.weight[x.id] = x.weight;
-  }
-  return nbrs_a.size();
-}
-
 using CandidatePair = std::pair<std::uint32_t, std::uint32_t>;
 
-/// MinHash signatures over (neighbor, direction-tag, port) features, one
-/// node per row. Rows are independent -> parallel over nodes.
-std::vector<std::vector<std::uint64_t>> minhash_signatures(
-    const std::vector<std::vector<TaggedNeighbor>>& nbrs) {
-  const std::size_t n = nbrs.size();
-  std::vector<std::vector<std::uint64_t>> sig(n);
+/// MinHash signatures over (neighbor, direction-tag, port) features,
+/// flattened n x kMinHashFunctions (row v at sig[v * kMinHashFunctions]).
+/// Rows are independent -> parallel over nodes; the per-feature lane
+/// updates run on the simd tier (min over exact u64 hashes, so any lane
+/// order gives the same signature).
+std::vector<std::uint64_t> minhash_signatures(const CsrAdjacency& csr,
+                                              bool use_direction) {
+  const std::size_t n = csr.node_count();
+  std::vector<std::uint64_t> salts(kMinHashFunctions);
+  for (int h = 0; h < kMinHashFunctions; ++h) {
+    salts[h] = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(h * 0x9E3779B9u));
+  }
+  std::vector<std::uint64_t> sig(n * kMinHashFunctions, ~std::uint64_t{0});
   parallel::parallel_for(n, 32, [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
-      auto& s = sig[v];
-      s.assign(kMinHashFunctions, ~std::uint64_t{0});
-      for (const TaggedNeighbor& x : nbrs[v]) {
+      std::uint64_t* row = sig.data() + v * kMinHashFunctions;
+      const auto ids = csr.ids(static_cast<NodeId>(v));
+      const auto tags = csr.tags(static_cast<NodeId>(v));
+      const auto ports = csr.ports(static_cast<NodeId>(v));
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const std::int32_t tag =
+            use_direction ? tags[k] : CsrAdjacency::kTagMixed;
+        const std::int32_t port = use_direction ? ports[k] : -1;
         const std::uint64_t feature =
-            ((std::uint64_t{x.id} << 2) | x.tag) ^
-            (static_cast<std::uint64_t>(x.port + 1) << 40);
-        for (int h = 0; h < kMinHashFunctions; ++h) {
-          const std::uint64_t hv =
-              mix64((feature << 8) ^ static_cast<std::uint64_t>(h * 0x9E3779B9u));
-          s[h] = std::min(s[h], hv);
-        }
+            ((std::uint64_t{ids[k]} << 2) |
+             static_cast<std::uint64_t>(tag)) ^
+            (static_cast<std::uint64_t>(port + 1) << 40);
+        simd::minhash_update(feature << 8, salts.data(), row,
+                             kMinHashFunctions);
       }
     }
   });
@@ -201,10 +151,9 @@ std::vector<std::vector<std::uint64_t>> minhash_signatures(
 /// band; the per-band pair lists are concatenated in band order, then
 /// sorted and deduplicated, which yields the same sorted unique candidate
 /// list at any thread count.
-std::vector<CandidatePair> lsh_candidates(
-    const std::vector<std::vector<TaggedNeighbor>>& nbrs,
-    const std::vector<std::vector<std::uint64_t>>& sig) {
-  const std::size_t n = nbrs.size();
+std::vector<CandidatePair> lsh_candidates(const CsrAdjacency& csr,
+                                          const std::vector<std::uint64_t>& sig) {
+  const std::size_t n = csr.node_count();
   const int bands = kMinHashFunctions / kLshBandSize;
   std::vector<std::vector<CandidatePair>> band_pairs(bands);
   parallel::parallel_for(
@@ -213,10 +162,11 @@ std::vector<CandidatePair> lsh_candidates(
         for (std::size_t band = begin; band < end; ++band) {
           std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
           for (std::uint32_t v = 0; v < n; ++v) {
-            if (nbrs[v].empty()) continue;
+            if (csr.degree(v) == 0) continue;
             std::uint64_t h = 0xCBF29CE484222325ull;
             for (int j = 0; j < kLshBandSize; ++j) {
-              h = mix64(h ^ sig[v][band * kLshBandSize + j]);
+              h = simd::mix64(
+                  h ^ sig[v * kMinHashFunctions + band * kLshBandSize + j]);
             }
             buckets[h].push_back(v);
           }
@@ -250,24 +200,25 @@ double node_similarity(const CommGraph& graph, NodeId a, NodeId b,
                        SimilarityOptions options) {
   CCG_EXPECT(a < graph.node_count() && b < graph.node_count());
   if (a == b) return 1.0;
-  const auto nbrs = tagged_neighbors(graph, options.use_direction);
+  const CsrAdjacency csr(graph);
   StampedView view(graph.node_count());
-  std::size_t deg_a = stamp_node(nbrs[a], view);
+  std::size_t deg_a = stamp_node(csr, a, view);
   if (options.exclude_self_edges && view.stamp[b] == view.version) {
     view.stamp[b] = 0;
     --deg_a;
   }
-  return score_pair(graph, nbrs[b], view, a, b, deg_a, options);
+  return score_pair(csr, view, a, b, deg_a, options);
 }
 
-WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions options) {
+WeightedGraph similarity_clique(const CommGraph& graph,
+                                const CsrAdjacency& csr,
+                                SimilarityOptions options) {
   parallel::ScopedJobTag job_tag("similarity");
   obs::prof::KernelCounterScope counters("similarity_clique");
   const std::size_t n = graph.node_count();
+  CCG_EXPECT(csr.node_count() == n);
   WeightedGraph clique(n);
   if (n < 2) return clique;
-
-  const auto nbrs = tagged_neighbors(graph, options.use_direction);
 
   // Candidate pairs: exact all-pairs for small graphs, MinHash LSH beyond.
   std::vector<CandidatePair> candidates;
@@ -279,7 +230,7 @@ WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions option
       }
     }
   } else {
-    candidates = lsh_candidates(nbrs, minhash_signatures(nbrs));
+    candidates = lsh_candidates(csr, minhash_signatures(csr, options.use_direction));
   }
 
   // Exact scoring of candidates. Chunks partition the (a-major sorted)
@@ -301,7 +252,7 @@ WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions option
           const auto [a, b] = candidates[i];
           if (a != current_a) {
             current_a = a;
-            deg_a_full = stamp_node(nbrs[a], view);
+            deg_a_full = stamp_node(csr, a, view);
           }
           // Exclude a direct a~b edge from both neighborhoods.
           std::size_t deg_a = deg_a_full;
@@ -311,7 +262,7 @@ WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions option
             view.stamp[b] = 0;
             --deg_a;
           }
-          scores[i] = score_pair(graph, nbrs[b], view, a, b, deg_a, options);
+          scores[i] = score_pair(csr, view, a, b, deg_a, options);
           if (options.exclude_self_edges && b_in_a) view.stamp[b] = saved;
         }
       });
@@ -322,6 +273,11 @@ WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions option
     }
   }
   return clique;
+}
+
+WeightedGraph similarity_clique(const CommGraph& graph, SimilarityOptions options) {
+  const CsrAdjacency csr(graph);
+  return similarity_clique(graph, csr, options);
 }
 
 }  // namespace ccg

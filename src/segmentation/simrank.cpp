@@ -5,8 +5,10 @@
 #include <memory>
 
 #include "ccg/common/expect.hpp"
+#include "ccg/graph/csr.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/parallel/parallel.hpp"
+#include "ccg/simd/simd.hpp"
 
 namespace ccg {
 
@@ -14,21 +16,28 @@ namespace {
 
 /// Normalized edge weights for SimRank++: w(a,x) = log1p(bytes) scaled so
 /// Σ_x w(a,x) = 1 per node (a random-surfer transition distribution).
-std::vector<std::vector<std::pair<std::uint32_t, double>>> transition_weights(
-    const CommGraph& graph) {
-  const std::size_t n = graph.node_count();
-  std::vector<std::vector<std::pair<std::uint32_t, double>>> out(n);
+/// Flattened parallel to the CSR rows; rows whose total weight is zero are
+/// flagged empty (they keep score 0, matching the unweighted degenerate
+/// case).
+struct TransitionWeights {
+  std::vector<double> w;        // aligned with csr row entries
+  std::vector<char> nonempty;   // per node
+};
+
+TransitionWeights transition_weights(const CsrAdjacency& csr) {
+  const std::size_t n = csr.node_count();
+  TransitionWeights out;
+  out.w.assign(csr.edge_entry_count(), 0.0);
+  out.nonempty.assign(n, 0);
   for (NodeId a = 0; a < n; ++a) {
-    double total = 0.0;
-    for (const auto& [x, e] : graph.neighbors(a)) {
-      total += std::log1p(static_cast<double>(graph.edge(e).stats.bytes()));
-    }
+    const auto weights = csr.weights(a);
+    const double total = simd::masked_sum(csr.ids(a).data(), weights.data(),
+                                          weights.size(), simd::kNoExclude);
     if (total <= 0.0) continue;
-    out[a].reserve(graph.degree(a));
-    for (const auto& [x, e] : graph.neighbors(a)) {
-      const double w =
-          std::log1p(static_cast<double>(graph.edge(e).stats.bytes())) / total;
-      out[a].emplace_back(x, w);
+    out.nonempty[a] = 1;
+    double* row = out.w.data() + csr.offsets()[a];
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      row[k] = weights[k] / total;
     }
   }
   return out;
@@ -41,12 +50,13 @@ double evidence(std::size_t common) {
   return 1.0 - std::pow(0.5, static_cast<double>(common));
 }
 
-}  // namespace
-
-std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions options) {
+std::vector<double> simrank_scores_impl(const CommGraph& graph,
+                                        const CsrAdjacency& csr,
+                                        SimRankOptions options) {
   parallel::ScopedJobTag job_tag("simrank");
   obs::prof::KernelCounterScope counters("simrank");
   const std::size_t n = graph.node_count();
+  CCG_EXPECT(csr.node_count() == n);
   CCG_EXPECT(n <= 3000);
   CCG_EXPECT(options.decay > 0.0 && options.decay < 1.0);
   CCG_EXPECT(options.iterations >= 1);
@@ -55,48 +65,46 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
   std::vector<double> next(n * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) s[i * n + i] = 1.0;
 
-  const auto weights =
-      options.plus_plus ? transition_weights(graph)
-                        : std::vector<std::vector<std::pair<std::uint32_t, double>>>{};
+  const auto weights = options.plus_plus ? transition_weights(csr)
+                                         : TransitionWeights{};
 
   // Each sweep reads only `s` and writes `next`; entry (a, b) with a < b is
   // written exactly once (mirrored into (b, a) by the same writer), so rows
   // can be swept in parallel with byte-identical results at any thread
-  // count. Small grain: row a costs O((n - a) · deg), so the dynamic chunk
+  // count. The inner accumulation gathers b's neighbor columns out of
+  // node i's score row — contiguous w and id arrays straight from the CSR,
+  // one canonical-geometry reduction per i, summed over i in row order.
+  // Small grain: row a costs O((n - a) · deg), so the dynamic chunk
   // scheduler balances the triangular workload.
   for (int iter = 0; iter < options.iterations; ++iter) {
     parallel::parallel_for(n, 8, [&](std::size_t row_begin, std::size_t row_end) {
     for (std::size_t a = row_begin; a < row_end; ++a) {
       next[a * n + a] = 1.0;
+      const auto ids_a = csr.ids(static_cast<NodeId>(a));
       for (std::size_t b = a + 1; b < n; ++b) {
+        const auto ids_b = csr.ids(static_cast<NodeId>(b));
         double acc = 0.0;
         if (!options.plus_plus) {
-          const auto na = graph.neighbors(static_cast<NodeId>(a));
-          const auto nb = graph.neighbors(static_cast<NodeId>(b));
-          if (na.empty() || nb.empty()) {
+          if (ids_a.empty() || ids_b.empty()) {
             next[a * n + b] = next[b * n + a] = 0.0;
             continue;
           }
-          for (const auto& [i, ei] : na) {
-            const double* row = &s[std::size_t{i} * n];
-            for (const auto& [j, ej] : nb) {
-              acc += row[j];
-            }
+          for (const std::uint32_t i : ids_a) {
+            acc += simd::gather_sum(&s[std::size_t{i} * n], ids_b.data(),
+                                    ids_b.size());
           }
-          acc *= options.decay /
-                 (static_cast<double>(na.size()) * static_cast<double>(nb.size()));
+          acc *= options.decay / (static_cast<double>(ids_a.size()) *
+                                  static_cast<double>(ids_b.size()));
         } else {
-          const auto& wa = weights[a];
-          const auto& wb = weights[b];
-          if (wa.empty() || wb.empty()) {
+          if (!weights.nonempty[a] || !weights.nonempty[b]) {
             next[a * n + b] = next[b * n + a] = 0.0;
             continue;
           }
-          for (const auto& [i, wi] : wa) {
-            const double* row = &s[std::size_t{i} * n];
-            for (const auto& [j, wj] : wb) {
-              acc += wi * wj * row[j];
-            }
+          const double* wa = weights.w.data() + csr.offsets()[a];
+          const double* wb = weights.w.data() + csr.offsets()[b];
+          for (std::size_t k = 0; k < ids_a.size(); ++k) {
+            acc += wa[k] * simd::gather_dot(&s[std::size_t{ids_a[k]} * n],
+                                            ids_b.data(), wb, ids_b.size());
           }
           acc *= options.decay;
         }
@@ -110,8 +118,9 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
 
   if (options.plus_plus) {
     // Scale by the evidence factor, which damps scores supported by very
-    // few common neighbors. Row a only touches s[a*n ..) plus a per-worker
-    // stamp array, so rows parallelize with unchanged arithmetic.
+    // few common neighbors (an exact integer count on the simd tier). Row a
+    // only touches s[a*n ..) plus a per-worker stamp array, so rows
+    // parallelize with unchanged arithmetic.
     std::vector<std::unique_ptr<std::vector<std::uint32_t>>> stamps(
         parallel::max_workers());
     parallel::parallel_for_worker(
@@ -122,15 +131,14 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
           std::vector<std::uint32_t>& stamp = *stamps[worker];
           for (std::size_t a = row_begin; a < row_end; ++a) {
             const auto va = static_cast<std::uint32_t>(a + 1);
-            for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(a))) {
+            for (const std::uint32_t x : csr.ids(static_cast<NodeId>(a))) {
               stamp[x] = va;
             }
             for (std::size_t b = 0; b < n; ++b) {
               if (a == b) continue;
-              std::size_t common = 0;
-              for (const auto& [x, e] : graph.neighbors(static_cast<NodeId>(b))) {
-                if (stamp[x] == va) ++common;
-              }
+              const auto ids_b = csr.ids(static_cast<NodeId>(b));
+              const std::size_t common = simd::count_stamped(
+                  ids_b.data(), ids_b.size(), stamp.data(), va);
               s[a * n + b] *= evidence(common);
             }
           }
@@ -139,9 +147,28 @@ std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions option
   return s;
 }
 
+}  // namespace
+
+std::vector<double> simrank_scores(const CommGraph& graph, SimRankOptions options) {
+  const CsrAdjacency csr(graph);
+  return simrank_scores_impl(graph, csr, options);
+}
+
+std::vector<double> simrank_scores(const CommGraph& graph,
+                                   const CsrAdjacency& csr,
+                                   SimRankOptions options) {
+  return simrank_scores_impl(graph, csr, options);
+}
+
 WeightedGraph simrank_clique(const CommGraph& graph, SimRankOptions options) {
+  const CsrAdjacency csr(graph);
+  return simrank_clique(graph, csr, options);
+}
+
+WeightedGraph simrank_clique(const CommGraph& graph, const CsrAdjacency& csr,
+                             SimRankOptions options) {
   const std::size_t n = graph.node_count();
-  const auto scores = simrank_scores(graph, options);
+  const auto scores = simrank_scores_impl(graph, csr, options);
   WeightedGraph clique(n);
   for (std::uint32_t a = 0; a < n; ++a) {
     for (std::uint32_t b = a + 1; b < n; ++b) {

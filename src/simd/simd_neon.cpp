@@ -1,0 +1,291 @@
+// NEON backend for aarch64 (NEON is baseline there, no extra flags). The
+// canonical four lanes map onto two float64x2_t registers: lanes {0,1} in
+// the low register, {2,3} in the high one, collapsed as (l0+l1)+(l2+l3).
+// No vfmaq — explicit vmulq/vaddq only, to keep each lane bit-identical to
+// the scalar reference (the library is also built with -ffp-contract=off).
+//
+// NEON has no gather instructions, so the gather/stamp primitives reuse the
+// scalar code verbatim; the exact integer primitives (minhash, counts) are
+// order-insensitive, so scalar code there is byte-identical anyway.
+#include <cmath>
+
+#include "backend.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace ccg::simd::detail {
+
+namespace {
+
+inline double collapse(float64x2_t lo, float64x2_t hi) {
+  return (vgetq_lane_f64(lo, 0) + vgetq_lane_f64(lo, 1)) +
+         (vgetq_lane_f64(hi, 0) + vgetq_lane_f64(hi, 1));
+}
+
+double dot_impl(const double* a, const double* b, std::size_t n) {
+  float64x2_t lo = vdupq_n_f64(0.0);
+  float64x2_t hi = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lo = vaddq_f64(lo, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    hi = vaddq_f64(hi, vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+  }
+  double acc = collapse(lo, hi);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance_impl(const double* a, const double* b, std::size_t n) {
+  float64x2_t lo = vdupq_n_f64(0.0);
+  float64x2_t hi = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t d1 =
+        vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    lo = vaddq_f64(lo, vmulq_f64(d0, d0));
+    hi = vaddq_f64(hi, vmulq_f64(d1, d1));
+  }
+  double acc = collapse(lo, hi);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double gather_sum_impl(const double* base, const std::uint32_t* idx,
+                       std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += base[idx[i]];
+    lane[1] += base[idx[i + 1]];
+    lane[2] += base[idx[i + 2]];
+    lane[3] += base[idx[i + 3]];
+  }
+  double acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) acc += base[idx[i]];
+  return acc;
+}
+
+double gather_dot_impl(const double* base, const std::uint32_t* idx,
+                       const double* w, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += w[i] * base[idx[i]];
+    lane[1] += w[i + 1] * base[idx[i + 1]];
+    lane[2] += w[i + 2] * base[idx[i + 2]];
+    lane[3] += w[i + 3] * base[idx[i + 3]];
+  }
+  double acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) acc += w[i] * base[idx[i]];
+  return acc;
+}
+
+double masked_sum_impl(const std::uint32_t* ids, const double* w, std::size_t n,
+                       std::uint32_t exclude_id) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += ids[i] != exclude_id ? w[i] : 0.0;
+    lane[1] += ids[i + 1] != exclude_id ? w[i + 1] : 0.0;
+    lane[2] += ids[i + 2] != exclude_id ? w[i + 2] : 0.0;
+    lane[3] += ids[i + 3] != exclude_id ? w[i + 3] : 0.0;
+  }
+  double acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) acc += ids[i] != exclude_id ? w[i] : 0.0;
+  return acc;
+}
+
+double max_abs_impl(const double* a, std::size_t n) {
+  float64x2_t best = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    best = vmaxq_f64(best, vabsq_f64(vld1q_f64(a + i)));
+  }
+  double out = vgetq_lane_f64(best, 0);
+  if (vgetq_lane_f64(best, 1) > out) out = vgetq_lane_f64(best, 1);
+  for (; i < n; ++i) {
+    const double v = std::abs(a[i]);
+    if (v > out) out = v;
+  }
+  return out;
+}
+
+void rotate_pair_impl(double* x, double* y, double c, double s, std::size_t n) {
+  const float64x2_t cv = vdupq_n_f64(c);
+  const float64x2_t sv = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t xi = vld1q_f64(x + i);
+    const float64x2_t yi = vld1q_f64(y + i);
+    vst1q_f64(x + i, vsubq_f64(vmulq_f64(cv, xi), vmulq_f64(sv, yi)));
+    vst1q_f64(y + i, vaddq_f64(vmulq_f64(sv, xi), vmulq_f64(cv, yi)));
+  }
+  for (; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+void rank1_update_impl(double* row, const double* vec, double vr,
+                       std::size_t n) {
+  const float64x2_t vrv = vdupq_n_f64(vr);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(row + i, vaddq_f64(vld1q_f64(row + i),
+                                 vmulq_f64(vrv, vld1q_f64(vec + i))));
+  }
+  for (; i < n; ++i) row[i] += vr * vec[i];
+}
+
+double rank1_update_abs_sum_impl(double* row, const double* vec, double vr,
+                                 std::size_t n) {
+  const float64x2_t vrv = vdupq_n_f64(vr);
+  float64x2_t lo = vdupq_n_f64(0.0);
+  float64x2_t hi = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t u0 = vsubq_f64(vld1q_f64(row + i),
+                                     vmulq_f64(vrv, vld1q_f64(vec + i)));
+    const float64x2_t u1 = vsubq_f64(vld1q_f64(row + i + 2),
+                                     vmulq_f64(vrv, vld1q_f64(vec + i + 2)));
+    vst1q_f64(row + i, u0);
+    vst1q_f64(row + i + 2, u1);
+    lo = vaddq_f64(lo, vabsq_f64(u0));
+    hi = vaddq_f64(hi, vabsq_f64(u1));
+  }
+  double acc = collapse(lo, hi);
+  for (; i < n; ++i) {
+    row[i] -= vr * vec[i];
+    acc += std::abs(row[i]);
+  }
+  return acc;
+}
+
+std::uint32_t count_stamped_impl(const std::uint32_t* ids, std::size_t n,
+                                 const std::uint32_t* stamp,
+                                 std::uint32_t version) {
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stamp[ids[i]] == version) ++count;
+  }
+  return count;
+}
+
+JaccardCounts jaccard_counts_impl(const std::uint32_t* ids,
+                                  const std::int32_t* tags,
+                                  const std::int32_t* ports, std::size_t n,
+                                  const std::uint32_t* stamp,
+                                  const std::int32_t* vtag,
+                                  const std::int32_t* vport,
+                                  std::uint32_t version, bool use_direction,
+                                  std::uint32_t exclude_id) {
+  JaccardCounts out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t id = ids[i];
+    if (id == exclude_id) continue;
+    ++out.deg_b;
+    if (stamp[id] == version &&
+        (!use_direction || (vtag[id] == tags[i] && vport[id] == ports[i]))) {
+      ++out.inter;
+    }
+  }
+  return out;
+}
+
+WeightedOverlap weighted_overlap_impl(const std::uint32_t* ids, const double* w,
+                                      std::size_t n, const std::uint32_t* stamp,
+                                      const double* vweight,
+                                      std::uint32_t version,
+                                      std::uint32_t exclude_id) {
+  double sum_min[4] = {0.0, 0.0, 0.0, 0.0};
+  double sum_max[4] = {0.0, 0.0, 0.0, 0.0};
+  double b_total[4] = {0.0, 0.0, 0.0, 0.0};
+  double matched_a[4] = {0.0, 0.0, 0.0, 0.0};
+  double matched_b[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::uint32_t id = ids[i + j];
+      const bool keep = id != exclude_id;
+      const double wb = keep ? w[i + j] : 0.0;
+      b_total[j] += wb;
+      const bool matched = keep && stamp[id] == version;
+      const double wa = matched ? vweight[id] : 0.0;
+      const double wbm = matched ? wb : 0.0;
+      sum_min[j] += wa < wbm ? wa : wbm;
+      sum_max[j] += wa > wbm ? wa : wbm;
+      matched_a[j] += wa;
+      matched_b[j] += wbm;
+    }
+  }
+  WeightedOverlap out;
+  out.sum_min = (sum_min[0] + sum_min[1]) + (sum_min[2] + sum_min[3]);
+  out.sum_max_matched = (sum_max[0] + sum_max[1]) + (sum_max[2] + sum_max[3]);
+  out.b_total = (b_total[0] + b_total[1]) + (b_total[2] + b_total[3]);
+  out.matched_a =
+      (matched_a[0] + matched_a[1]) + (matched_a[2] + matched_a[3]);
+  out.matched_b =
+      (matched_b[0] + matched_b[1]) + (matched_b[2] + matched_b[3]);
+  for (; i < n; ++i) {
+    const std::uint32_t id = ids[i];
+    const bool keep = id != exclude_id;
+    const double wb = keep ? w[i] : 0.0;
+    out.b_total += wb;
+    const bool matched = keep && stamp[id] == version;
+    const double wa = matched ? vweight[id] : 0.0;
+    const double wbm = matched ? wb : 0.0;
+    out.sum_min += wa < wbm ? wa : wbm;
+    out.sum_max_matched += wa > wbm ? wa : wbm;
+    out.matched_a += wa;
+    out.matched_b += wbm;
+  }
+  return out;
+}
+
+void minhash_update_impl(std::uint64_t feature_shifted,
+                         const std::uint64_t* salts, std::uint64_t* sig,
+                         std::size_t k) {
+  for (std::size_t h = 0; h < k; ++h) {
+    const std::uint64_t hv = mix64(feature_shifted ^ salts[h]);
+    if (hv < sig[h]) sig[h] = hv;
+  }
+}
+
+constexpr Backend kNeonBackend = {
+    Tier::kNeon,
+    dot_impl,
+    squared_distance_impl,
+    gather_sum_impl,
+    gather_dot_impl,
+    masked_sum_impl,
+    max_abs_impl,
+    rotate_pair_impl,
+    rank1_update_impl,
+    rank1_update_abs_sum_impl,
+    count_stamped_impl,
+    jaccard_counts_impl,
+    weighted_overlap_impl,
+    minhash_update_impl,
+};
+
+}  // namespace
+
+const Backend* neon_backend() { return &kNeonBackend; }
+
+}  // namespace ccg::simd::detail
+
+#else  // not aarch64 NEON
+
+namespace ccg::simd::detail {
+const Backend* neon_backend() { return nullptr; }
+}  // namespace ccg::simd::detail
+
+#endif

@@ -1,0 +1,253 @@
+// Bit-identity of every simd primitive across backends, plus the tier
+// dispatch/override semantics.
+//
+// The contract under test is the one src/simd documents: for every
+// primitive and every input size (including ragged tails), a non-scalar
+// backend returns results BYTE-identical to the scalar reference — the
+// comparisons below are on std::uint64_t bit patterns, not tolerances.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccg/common/rng.hpp"
+#include "ccg/obs/metrics.hpp"
+#include "ccg/simd/simd.hpp"
+
+namespace ccg {
+namespace {
+
+struct TierGuard {
+  ~TierGuard() { simd::set_tier("auto"); }
+};
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Tiers this host can actually run: scalar always, plus the best
+/// auto-dispatched tier when it differs (avx2 on an AVX2 x86-64 host,
+/// neon on aarch64). On a scalar-only host the loop still runs — it just
+/// compares scalar against itself, keeping the test portable.
+std::vector<std::string> selectable_tiers() {
+  simd::set_tier("auto");
+  std::vector<std::string> tiers{"scalar"};
+  const std::string best = simd::tier_name(simd::active_tier());
+  if (best != "scalar") tiers.push_back(best);
+  return tiers;
+}
+
+/// Runs `fn` (which returns the full result as a bit vector) once under the
+/// scalar backend and once under every other selectable tier, and demands
+/// exact equality.
+template <typename Fn>
+void expect_tier_identical(Fn&& fn, const std::string& what) {
+  const std::vector<std::string> tiers = selectable_tiers();
+  simd::set_tier("scalar");
+  const std::vector<std::uint64_t> reference = fn();
+  for (const std::string& tier : tiers) {
+    simd::set_tier(tier);
+    ASSERT_EQ(reference, fn()) << what << " diverged under tier=" << tier;
+  }
+}
+
+// Sizes straddling the 4-lane geometry: empty, sub-width, exact multiples,
+// every tail residue, and larger blocks crossing cache lines.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 15, 16, 17, 31, 33, 64, 100, 257};
+
+TEST(SimdPrimitives, FpReductionsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  Rng rng(29);
+  for (const std::size_t n : kSizes) {
+    std::vector<double> a(n), b(n);
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : b) v = rng.normal();
+    expect_tier_identical(
+        [&] {
+          return std::vector<std::uint64_t>{
+              bits(simd::dot(a.data(), b.data(), n)),
+              bits(simd::squared_distance(a.data(), b.data(), n)),
+              bits(simd::max_abs(a.data(), n))};
+        },
+        "dot/sqdist/max_abs n=" + std::to_string(n));
+  }
+}
+
+TEST(SimdPrimitives, GatherReductionsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  Rng rng(31);
+  constexpr std::size_t kBase = 64;
+  std::vector<double> base(kBase);
+  for (auto& v : base) v = rng.normal();
+  for (const std::size_t n : kSizes) {
+    std::vector<std::uint32_t> idx(n);
+    std::vector<double> w(n);
+    for (auto& i : idx) i = static_cast<std::uint32_t>(rng.uniform(kBase));
+    for (auto& v : w) v = std::log1p(static_cast<double>(rng.uniform(100000)));
+    const std::uint32_t present = n > 0 ? idx[n / 2] : 7u;
+    expect_tier_identical(
+        [&] {
+          return std::vector<std::uint64_t>{
+              bits(simd::gather_sum(base.data(), idx.data(), n)),
+              bits(simd::gather_dot(base.data(), idx.data(), w.data(), n)),
+              bits(simd::masked_sum(idx.data(), w.data(), n, present)),
+              bits(simd::masked_sum(idx.data(), w.data(), n, simd::kNoExclude))};
+        },
+        "gather/masked n=" + std::to_string(n));
+  }
+}
+
+TEST(SimdPrimitives, ElementwiseUpdatesBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  Rng rng(37);
+  const double c = std::cos(0.3), s = std::sin(0.3);
+  for (const std::size_t n : kSizes) {
+    std::vector<double> x0(n), y0(n), row0(n), vec(n);
+    for (auto& v : x0) v = rng.normal();
+    for (auto& v : y0) v = rng.normal();
+    for (auto& v : row0) v = rng.normal();
+    for (auto& v : vec) v = rng.normal();
+    expect_tier_identical(
+        [&] {
+          std::vector<double> x = x0, y = y0, row = row0, row2 = row0;
+          simd::rotate_pair(x.data(), y.data(), c, s, n);
+          simd::rank1_update(row.data(), vec.data(), 0.75, n);
+          const double abs_sum =
+              simd::rank1_update_abs_sum(row2.data(), vec.data(), -1.25, n);
+          std::vector<std::uint64_t> out{bits(abs_sum)};
+          for (const auto& vecs : {x, y, row, row2}) {
+            for (const double v : vecs) out.push_back(bits(v));
+          }
+          return out;
+        },
+        "rotate/rank1 n=" + std::to_string(n));
+  }
+}
+
+TEST(SimdPrimitives, StampedCountsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  Rng rng(41);
+  constexpr std::size_t kNodes = 64;
+  constexpr std::uint32_t kVersion = 3;
+  std::vector<std::uint32_t> stamp(kNodes);
+  std::vector<std::int32_t> vtag(kNodes), vport(kNodes);
+  std::vector<double> vweight(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    stamp[i] = rng.chance(0.5) ? kVersion : 0u;
+    vtag[i] = static_cast<std::int32_t>(rng.uniform(3));
+    vport[i] = rng.chance(0.5) ? static_cast<std::int32_t>(rng.uniform(1024)) : -1;
+    vweight[i] = std::log1p(static_cast<double>(rng.uniform(100000)));
+  }
+  for (const std::size_t n : kSizes) {
+    std::vector<std::uint32_t> ids(n);
+    std::vector<std::int32_t> tags(n), ports(n);
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<std::uint32_t>(rng.uniform(kNodes));
+      // Half the entries share the stamped view's tag/port so the matched
+      // branches actually fire; the rest diverge.
+      tags[i] = rng.chance(0.5) ? vtag[ids[i]] : static_cast<std::int32_t>(rng.uniform(3));
+      ports[i] = rng.chance(0.5) ? vport[ids[i]] : -1;
+      w[i] = std::log1p(static_cast<double>(rng.uniform(100000)));
+    }
+    const std::uint32_t excluded = n > 0 ? ids[n / 3] : 5u;
+    expect_tier_identical(
+        [&] {
+          std::vector<std::uint64_t> out;
+          out.push_back(simd::count_stamped(ids.data(), n, stamp.data(), kVersion));
+          for (const bool use_direction : {false, true}) {
+            for (const std::uint32_t ex : {excluded, simd::kNoExclude}) {
+              const simd::JaccardCounts jc = simd::jaccard_counts(
+                  ids.data(), tags.data(), ports.data(), n, stamp.data(),
+                  vtag.data(), vport.data(), kVersion, use_direction, ex);
+              out.push_back(jc.inter);
+              out.push_back(jc.deg_b);
+            }
+          }
+          for (const std::uint32_t ex : {excluded, simd::kNoExclude}) {
+            const simd::WeightedOverlap wo = simd::weighted_overlap(
+                ids.data(), w.data(), n, stamp.data(), vweight.data(), kVersion, ex);
+            for (const double v : {wo.sum_min, wo.sum_max_matched, wo.b_total,
+                                   wo.matched_a, wo.matched_b}) {
+              out.push_back(bits(v));
+            }
+          }
+          return out;
+        },
+        "stamped counts n=" + std::to_string(n));
+  }
+}
+
+TEST(SimdPrimitives, MinHashBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  constexpr std::size_t kHashes = 96;
+  std::uint64_t salts[kHashes];
+  for (std::size_t h = 0; h < kHashes; ++h) {
+    salts[h] = static_cast<std::uint64_t>(static_cast<std::uint32_t>(h * 0x9E3779B9u));
+  }
+  // Ragged signature lengths exercise the 4-wide tail handling too.
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{7}, std::size_t{96}}) {
+    expect_tier_identical(
+        [&] {
+          std::vector<std::uint64_t> sig(k, ~0ull);
+          for (std::uint32_t f = 0; f < 100; ++f) {
+            const std::uint64_t feature =
+                (static_cast<std::uint64_t>(f) << 2 | (f % 3)) ^
+                (static_cast<std::uint64_t>(f % 7 + 1) << 40);
+            simd::minhash_update(feature << 8, salts, sig.data(), k);
+          }
+          return sig;
+        },
+        "minhash k=" + std::to_string(k));
+  }
+  // The shared finalizer is the identity at 0 and avalanche-mixes elsewhere.
+  EXPECT_EQ(simd::mix64(0), 0u);
+  EXPECT_NE(simd::mix64(1), 1u);
+}
+
+TEST(SimdDispatch, TierOverrideAndDegradation) {
+  TierGuard guard;
+  // Scalar is compiled in and selectable on every host.
+  EXPECT_TRUE(simd::tier_available(simd::Tier::kScalar));
+  EXPECT_TRUE(simd::set_tier("scalar"));
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+
+  // Unknown names are rejected without changing the dispatch.
+  EXPECT_FALSE(simd::set_tier("sse9"));
+  EXPECT_FALSE(simd::set_tier(""));
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+
+  // Requesting an unavailable tier degrades to the best available one:
+  // whichever of these two the host lacks must still land on a tier that
+  // is actually selectable.
+  EXPECT_TRUE(simd::set_tier("avx2"));
+  EXPECT_TRUE(simd::tier_available(simd::active_tier()));
+  EXPECT_TRUE(simd::set_tier("neon"));
+  EXPECT_TRUE(simd::tier_available(simd::active_tier()));
+
+  // "auto" resolves to an available tier as well.
+  EXPECT_TRUE(simd::set_tier("auto"));
+  EXPECT_TRUE(simd::tier_available(simd::active_tier()));
+}
+
+TEST(SimdDispatch, CapabilityStringAndGauge) {
+  TierGuard guard;
+  simd::set_tier("auto");
+  const std::string caps = simd::capability_string();
+  EXPECT_NE(caps.find("compiled=scalar"), std::string::npos) << caps;
+  EXPECT_NE(caps.find("dispatched="), std::string::npos) << caps;
+  EXPECT_NE(caps.find(simd::tier_name(simd::active_tier())), std::string::npos)
+      << caps;
+
+  // The resolved tier is exported so flight records can say which tier ran.
+  obs::Gauge& gauge = obs::Registry::global().gauge("ccg.simd.tier");
+  EXPECT_EQ(gauge.value(),
+            static_cast<double>(static_cast<int>(simd::active_tier())));
+  simd::set_tier("scalar");
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ccg

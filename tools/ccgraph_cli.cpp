@@ -49,6 +49,7 @@
 #include "ccg/obs/span.hpp"
 #include "ccg/obs/trace.hpp"
 #include "ccg/parallel/parallel.hpp"
+#include "ccg/simd/simd.hpp"
 #include "ccg/policy/higher_order.hpp"
 #include "ccg/policy/policy_io.hpp"
 #include "ccg/policy/reachability.hpp"
@@ -163,7 +164,11 @@ int usage() {
                "  --threads N          analysis-kernel worker threads (default:\n"
                "                       $CCG_THREADS, else all hardware threads;\n"
                "                       output is bit-identical for every N)\n"
-               "ccgraph --version prints version, build type and sanitizers\n");
+               "  --simd TIER          kernel simd tier auto|scalar|avx2|neon\n"
+               "                       (default: $CCG_SIMD, else auto; output\n"
+               "                       is bit-identical for every tier)\n"
+               "ccgraph --version prints version, build type, sanitizers and\n"
+               "simd capabilities\n");
   return 2;
 }
 
@@ -1132,6 +1137,7 @@ int print_version() {
   const char* sanitize = CCG_SANITIZE_STRING;
   std::printf("ccgraph %s (%s build, sanitizers: %s)\n", CCG_VERSION_STRING,
               CCG_BUILD_TYPE_STRING, sanitize[0] != '\0' ? sanitize : "none");
+  std::printf("simd: %s\n", ccg::simd::capability_string().c_str());
   return 0;
 }
 
@@ -1305,6 +1311,14 @@ int main(int argc, char** argv) {
   // bit-identical at any setting, only the wall clock changes.
   if (const long threads = args.get_long("threads", 0); threads > 0) {
     ccg::parallel::set_thread_count(static_cast<int>(threads));
+  }
+  // So is the simd tier; --simd beats $CCG_SIMD beats auto-detection.
+  if (const auto simd_mode = args.get("simd"); simd_mode && !simd_mode->empty()) {
+    if (!ccg::simd::set_tier(*simd_mode)) {
+      std::fprintf(stderr, "ccgraph: unknown --simd tier '%s'\n",
+                   simd_mode->c_str());
+      return usage();
+    }
   }
   configure_diagnostics(args);
   try {
