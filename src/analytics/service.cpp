@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 
 #include "ccg/common/expect.hpp"
@@ -71,6 +73,19 @@ AnalyticsService::AnalyticsService(AnalyticsServiceOptions options,
       tracker_(options.segmentation, options.segmentation_options) {
   CCG_EXPECT(options.training_windows >= 1);
   CCG_EXPECT(on_report_ != nullptr);
+  if (const char* env = std::getenv("CCG_INCREMENTAL");
+      env != nullptr && env[0] != '\0' && std::string_view(env) != "0") {
+    options_.incremental = true;
+  }
+  if (options_.incremental) {
+    incremental::IncrementalOptions iopts;
+    iopts.method = options_.segmentation;
+    iopts.segmentation = options_.segmentation_options;
+    iopts.refine = options_.incremental_refine;
+    iopts.verify_against_full = options_.incremental_verify;
+    incremental_ =
+        std::make_unique<incremental::IncrementalEngine>(std::move(iopts));
+  }
   obs::Registry& registry = obs::Registry::global();
   m_stage_build_ = &obs::span_histogram("ccg.analytics.stage.build");
   m_stage_spectral_ = &obs::span_histogram("ccg.analytics.stage.spectral");
@@ -173,7 +188,14 @@ WindowReport AnalyticsService::analyze(const CommGraph& graph) {
   {
     static const HeapInstruments heap = heap_instruments("stage.tracker");
     StageMeter meter(*m_stage_tracker_, "ccg.analytics.stage.tracker", heap);
-    report.segments = tracker_.observe(graph);
+    if (incremental_ != nullptr) {
+      // Exact mode hands the tracker a segmentation byte-identical to the
+      // auto_segment call it would otherwise make itself.
+      report.segments =
+          tracker_.observe(graph, incremental_->observe(graph).segmentation);
+    } else {
+      report.segments = tracker_.observe(graph);
+    }
   }
   {
     static const HeapInstruments heap = heap_instruments("stage.patterns");

@@ -26,70 +26,92 @@ std::int32_t tag_of(const CommGraph& g, NodeId owner, EdgeId e) {
   return CsrAdjacency::kTagMixed;
 }
 
+struct Entry {
+  std::uint32_t id;
+  std::int32_t tag;
+  std::int32_t port;
+  double weight;
+};
+
 }  // namespace
 
-CsrAdjacency::CsrAdjacency(const CommGraph& g) {
+void CsrAdjacency::fill_row(const CommGraph& g, NodeId v) {
+  thread_local std::vector<Entry> row;
+  row.clear();
+  row.reserve(g.degree(v));
+  for (const auto& [peer, edge] : g.neighbors(v)) {
+    row.push_back({peer, tag_of(g, v, edge), g.edge(edge).stats.server_port_hint,
+                   std::log1p(static_cast<double>(g.edge(edge).stats.bytes()))});
+  }
+  std::sort(row.begin(), row.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  const std::uint64_t base = offsets_[v];
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    ids_[base + k] = row[k].id;
+    tags_[base + k] = row[k].tag;
+    ports_[base + k] = row[k].port;
+    weights_[base + k] = row[k].weight;
+  }
+}
+
+void CsrAdjacency::rebuild(const CommGraph& g) {
   n_ = g.node_count();
   std::size_t m = 0;
   for (NodeId v = 0; v < n_; ++v) m += g.degree(v);
 
-  // One allocation, every column 64-byte aligned.
-  const std::size_t off_bytes = round_up((n_ + 1) * sizeof(std::uint64_t));
-  const std::size_t ids_bytes = round_up(m * sizeof(std::uint32_t));
-  const std::size_t tag_bytes = round_up(m * sizeof(std::int32_t));
-  const std::size_t port_bytes = round_up(m * sizeof(std::int32_t));
-  const std::size_t weight_bytes = round_up(m * sizeof(double));
-  arena_bytes_ = off_bytes + ids_bytes + tag_bytes + port_bytes + weight_bytes;
-  arena_.reset(static_cast<std::byte*>(
-      ::operator new[](arena_bytes_, std::align_val_t{kArenaAlign})));
+  // Grow-only: reallocate only when this window outgrows every previous
+  // one in either dimension. Column bases are derived from the capacities,
+  // so smaller windows slot into the same layout.
+  if (arena_ == nullptr || n_ > node_capacity_ || m > entry_capacity_) {
+    node_capacity_ = std::max(n_, node_capacity_);
+    entry_capacity_ = std::max(m, entry_capacity_);
+    const std::size_t off_bytes =
+        round_up((node_capacity_ + 1) * sizeof(std::uint64_t));
+    const std::size_t ids_bytes =
+        round_up(entry_capacity_ * sizeof(std::uint32_t));
+    const std::size_t tag_bytes =
+        round_up(entry_capacity_ * sizeof(std::int32_t));
+    const std::size_t port_bytes =
+        round_up(entry_capacity_ * sizeof(std::int32_t));
+    const std::size_t weight_bytes = round_up(entry_capacity_ * sizeof(double));
+    arena_bytes_ = off_bytes + ids_bytes + tag_bytes + port_bytes + weight_bytes;
+    arena_.reset(static_cast<std::byte*>(
+        ::operator new[](arena_bytes_, std::align_val_t{kArenaAlign})));
 
-  std::byte* p = arena_.get();
-  auto* offsets = reinterpret_cast<std::uint64_t*>(p);
-  auto* ids = reinterpret_cast<std::uint32_t*>(p += off_bytes);
-  auto* tags = reinterpret_cast<std::int32_t*>(p += ids_bytes);
-  auto* ports = reinterpret_cast<std::int32_t*>(p += tag_bytes);
-  auto* weights = reinterpret_cast<double*>(p += port_bytes);
-  offsets_ = offsets;
-  ids_ = ids;
-  tags_ = tags;
-  ports_ = ports;
-  weights_ = weights;
+    std::byte* p = arena_.get();
+    offsets_ = reinterpret_cast<std::uint64_t*>(p);
+    ids_ = reinterpret_cast<std::uint32_t*>(p += off_bytes);
+    tags_ = reinterpret_cast<std::int32_t*>(p += ids_bytes);
+    ports_ = reinterpret_cast<std::int32_t*>(p += tag_bytes);
+    weights_ = reinterpret_cast<double*>(p += port_bytes);
+  }
 
-  offsets[0] = 0;
+  offsets_[0] = 0;
   for (NodeId v = 0; v < n_; ++v) {
-    offsets[v + 1] = offsets[v] + g.degree(v);
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
   }
 
   // Rows are independent: flatten and id-sort each one in parallel. Sorted
   // rows make iteration order a function of the graph, not of edge
   // insertion order.
-  struct Entry {
-    std::uint32_t id;
-    std::int32_t tag;
-    std::int32_t port;
-    double weight;
-  };
   parallel::parallel_for(n_, 64, [&](std::size_t begin, std::size_t end) {
-    std::vector<Entry> row;
     for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-      row.clear();
-      row.reserve(g.degree(v));
-      for (const auto& [peer, edge] : g.neighbors(v)) {
-        row.push_back(
-            {peer, tag_of(g, v, edge), g.edge(edge).stats.server_port_hint,
-             std::log1p(static_cast<double>(g.edge(edge).stats.bytes()))});
-      }
-      std::sort(row.begin(), row.end(),
-                [](const Entry& a, const Entry& b) { return a.id < b.id; });
-      const std::uint64_t base = offsets[v];
-      for (std::size_t k = 0; k < row.size(); ++k) {
-        ids[base + k] = row[k].id;
-        tags[base + k] = row[k].tag;
-        ports[base + k] = row[k].port;
-        weights[base + k] = row[k].weight;
-      }
+      fill_row(g, v);
     }
   });
+}
+
+bool CsrAdjacency::patch_rows(const CommGraph& g, std::span<const NodeId> rows) {
+  if (arena_ == nullptr || g.node_count() != n_) return false;
+  for (NodeId v : rows) {
+    if (v >= n_ || g.degree(v) != degree(v)) return false;
+  }
+  parallel::parallel_for(rows.size(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      fill_row(g, rows[k]);
+    }
+  });
+  return true;
 }
 
 }  // namespace ccg

@@ -21,6 +21,10 @@
 // function of the graph alone, not of edge insertion order.
 //
 // Build once per window, share across every kernel that reads the window.
+// Long-lived pipelines reuse one CsrAdjacency across windows via rebuild()
+// (grow-only arena: reallocation happens only when a window exceeds every
+// previous window's node or entry count) or, when only edge statistics
+// moved, via patch_rows() which rewrites the touched rows in place.
 #pragma once
 
 #include <cstddef>
@@ -40,8 +44,23 @@ class CsrAdjacency {
   static constexpr std::int32_t kTagResponder = 1;
   static constexpr std::int32_t kTagMixed = 2;
 
+  /// Empty adjacency; call rebuild() before reading any row.
+  CsrAdjacency() = default;
+
   /// Flattens `g`. O(E log deg) for the per-row sort.
-  explicit CsrAdjacency(const CommGraph& g);
+  explicit CsrAdjacency(const CommGraph& g) { rebuild(g); }
+
+  /// Reflattens `g` into the existing arena when it fits. The arena only
+  /// ever grows: a window smaller than a previous one reuses the old
+  /// allocation, so steady-state windows cost zero allocator traffic.
+  void rebuild(const CommGraph& g);
+
+  /// Rewrites the given rows in place from `g`, leaving every other row
+  /// untouched. Only legal when the node count and the degree of every
+  /// listed row are unchanged since the last rebuild (stats-only churn);
+  /// returns false — with the arena untouched — when that doesn't hold
+  /// and the caller must rebuild() instead.
+  bool patch_rows(const CommGraph& g, std::span<const NodeId> rows);
 
   std::size_t node_count() const { return n_; }
   std::size_t edge_entry_count() const {
@@ -80,14 +99,18 @@ class CsrAdjacency {
     void operator()(void* p) const noexcept { ::operator delete[](p, std::align_val_t{64}); }
   };
 
+  void fill_row(const CommGraph& g, NodeId v);
+
   std::size_t n_ = 0;
+  std::size_t node_capacity_ = 0;
+  std::size_t entry_capacity_ = 0;
   std::size_t arena_bytes_ = 0;
   std::unique_ptr<std::byte[], ArenaFree> arena_;
-  const std::uint64_t* offsets_ = nullptr;
-  const std::uint32_t* ids_ = nullptr;
-  const std::int32_t* tags_ = nullptr;
-  const std::int32_t* ports_ = nullptr;
-  const double* weights_ = nullptr;
+  std::uint64_t* offsets_ = nullptr;
+  std::uint32_t* ids_ = nullptr;
+  std::int32_t* tags_ = nullptr;
+  std::int32_t* ports_ = nullptr;
+  double* weights_ = nullptr;
 };
 
 }  // namespace ccg

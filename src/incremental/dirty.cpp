@@ -1,0 +1,189 @@
+#include "ccg/incremental/dirty.hpp"
+
+#include <algorithm>
+
+#include "ccg/common/expect.hpp"
+
+namespace ccg::incremental {
+
+namespace {
+
+/// Direction role from one endpoint's perspective, mirroring
+/// CommGraph::edge_role's 2x-majority rule — the value CSR tags encode.
+int role_of(std::uint64_t mine, std::uint64_t theirs) {
+  if (mine > 2 * theirs && mine > 0) return 0;
+  if (theirs > 2 * mine && theirs > 0) return 1;
+  return 2;
+}
+
+EdgeStats oriented(const EdgeStats& s, bool flipped) {
+  if (!flipped) return s;
+  EdgeStats out = s;
+  std::swap(out.bytes_ab, out.bytes_ba);
+  std::swap(out.packets_ab, out.packets_ba);
+  std::swap(out.client_minutes_ab, out.client_minutes_ba);
+  return out;
+}
+
+bool stats_equal(const EdgeStats& a, const EdgeStats& b) {
+  return a.bytes_ab == b.bytes_ab && a.bytes_ba == b.bytes_ba &&
+         a.packets_ab == b.packets_ab && a.packets_ba == b.packets_ba &&
+         a.connection_minutes == b.connection_minutes &&
+         a.active_minutes == b.active_minutes &&
+         a.client_minutes_ab == b.client_minutes_ab &&
+         a.client_minutes_ba == b.client_minutes_ba &&
+         a.server_port_hint == b.server_port_hint;
+}
+
+struct Core {
+  std::vector<std::uint8_t> structural;  // flags over target NodeIds
+  std::vector<std::uint8_t> weighted;    // weights-column-only dirtiness
+  std::vector<std::int64_t> old_to_new;
+  bool identity_map = false;
+  ChurnStats stats;
+};
+
+Core compute_core(const CommGraph& before, const GraphPatch& patch) {
+  Core core;
+  const std::size_t n_after = patch.nodes.size();
+  core.structural.assign(n_after, 0);
+  core.weighted.assign(n_after, 0);
+  core.old_to_new.assign(before.node_count(), -1);
+  core.stats.nodes_total = n_after;
+  core.stats.edges_total = patch.edges.size();
+
+  // New nodes are dirty outright; referenced nodes record the id mapping.
+  for (std::size_t i = 0; i < patch.nodes.size(); ++i) {
+    const GraphPatch::Node& entry = patch.nodes[i];
+    if (entry.ref >= 0 &&
+        static_cast<std::size_t>(entry.ref) < before.node_count()) {
+      core.old_to_new[static_cast<std::size_t>(entry.ref)] =
+          static_cast<std::int64_t>(i);
+    } else {
+      core.structural[i] = 1;
+      ++core.stats.nodes_added;
+    }
+  }
+
+  // A node that was removed or renumbered changes the id column of every
+  // surviving neighbor's row (an entry disappears, or its id value moves).
+  // The node's own row lists *neighbors*, so its own renumbering does not
+  // dirty its own row.
+  for (NodeId r = 0; r < before.node_count(); ++r) {
+    if (core.old_to_new[r] == static_cast<std::int64_t>(r)) continue;
+    if (core.old_to_new[r] < 0) ++core.stats.nodes_removed;
+    for (const auto& [peer, edge] : before.neighbors(r)) {
+      const std::int64_t t = core.old_to_new[peer];
+      if (t >= 0) core.structural[static_cast<std::size_t>(t)] = 1;
+    }
+  }
+
+  // Edge entries: new edges dirty both endpoints; referenced edges compare
+  // stats in the target orientation and dirty the tier the change reaches
+  // (role/port flips reach tags/ports; byte moves reach only weights).
+  std::vector<std::uint8_t> referenced(before.edge_count(), 0);
+  for (const GraphPatch::Edge& entry : patch.edges) {
+    if (entry.ref < 0) {
+      ++core.stats.edges_added;
+      if (entry.a < n_after) core.structural[entry.a] = 1;
+      if (entry.b < n_after) core.structural[entry.b] = 1;
+      continue;
+    }
+    if (static_cast<std::size_t>(entry.ref) >= before.edge_count()) continue;
+    referenced[static_cast<std::size_t>(entry.ref)] = 1;
+    const Edge& prev = before.edge(static_cast<EdgeId>(entry.ref));
+    const std::int64_t ta = core.old_to_new[prev.a];
+    const std::int64_t tb = core.old_to_new[prev.b];
+    if (ta < 0 || tb < 0) continue;  // patch would not apply; be defensive
+    const EdgeStats base = oriented(prev.stats, ta > tb);
+    const EdgeStats& tgt = entry.stats;
+    if (stats_equal(base, tgt)) continue;
+    ++core.stats.edges_restated;
+    const auto ea = static_cast<std::size_t>(std::min(ta, tb));
+    const auto eb = static_cast<std::size_t>(std::max(ta, tb));
+    if (base.server_port_hint != tgt.server_port_hint ||
+        role_of(base.client_minutes_ab, base.client_minutes_ba) !=
+            role_of(tgt.client_minutes_ab, tgt.client_minutes_ba) ||
+        role_of(base.client_minutes_ba, base.client_minutes_ab) !=
+            role_of(tgt.client_minutes_ba, tgt.client_minutes_ab)) {
+      core.structural[ea] = 1;
+      core.structural[eb] = 1;
+    }
+    if (base.bytes() != tgt.bytes()) {
+      core.weighted[ea] = 1;
+      core.weighted[eb] = 1;
+    }
+  }
+
+  // Base edges no patch entry references were dropped.
+  for (EdgeId e = 0; e < before.edge_count(); ++e) {
+    if (referenced[e]) continue;
+    ++core.stats.edges_removed;
+    const Edge& prev = before.edge(e);
+    const std::int64_t ta = core.old_to_new[prev.a];
+    const std::int64_t tb = core.old_to_new[prev.b];
+    if (ta >= 0) core.structural[static_cast<std::size_t>(ta)] = 1;
+    if (tb >= 0) core.structural[static_cast<std::size_t>(tb)] = 1;
+  }
+
+  core.identity_map =
+      before.node_count() == n_after && core.stats.nodes_added == 0;
+  if (core.identity_map) {
+    for (NodeId r = 0; r < before.node_count(); ++r) {
+      if (core.old_to_new[r] != static_cast<std::int64_t>(r)) {
+        core.identity_map = false;
+        break;
+      }
+    }
+  }
+
+  for (const std::uint8_t f : core.structural) core.stats.nodes_touched += f;
+  core.stats.edges_touched = core.stats.edges_added +
+                             core.stats.edges_removed +
+                             core.stats.edges_restated;
+  return core;
+}
+
+std::vector<NodeId> collect(const std::vector<std::uint8_t>& flags) {
+  std::vector<NodeId> out;
+  for (std::size_t v = 0; v < flags.size(); ++v) {
+    if (flags[v]) out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+DirtySet compute_dirty(const CommGraph& before, const GraphPatch& patch,
+                       const CommGraph& after) {
+  CCG_EXPECT(after.node_count() == patch.nodes.size());
+  CCG_EXPECT(after.edge_count() == patch.edges.size());
+
+  Core core = compute_core(before, patch);
+  DirtySet out;
+  out.old_to_new = std::move(core.old_to_new);
+  out.identity_map = core.identity_map;
+  out.stats = core.stats;
+  out.structural_flag = core.structural;
+  // weighted tier is a superset of structural.
+  out.weighted_flag = std::move(core.weighted);
+  for (std::size_t v = 0; v < out.structural_flag.size(); ++v) {
+    if (out.structural_flag[v]) out.weighted_flag[v] = 1;
+  }
+  out.structural = collect(out.structural_flag);
+  out.weighted = collect(out.weighted_flag);
+
+  // 1-hop frontier in the target graph.
+  std::vector<std::uint8_t> frontier = out.structural_flag;
+  for (const NodeId v : out.structural) {
+    for (const auto& [peer, edge] : after.neighbors(v)) frontier[peer] = 1;
+  }
+  out.frontier = collect(frontier);
+  return out;
+}
+
+ChurnStats patch_churn(const CommGraph& before, const GraphPatch& patch) {
+  return compute_core(before, patch).stats;
+}
+
+}  // namespace ccg::incremental

@@ -1,0 +1,90 @@
+// Patch-driven dirty tracking: which analytics state does a window's
+// GraphPatch actually invalidate?
+//
+// The exactness contract the whole incremental engine rests on: a node's
+// MinHash signature and any pairwise similarity score are pure functions of
+// the *numeric* CSR rows they read (neighbor ids / direction tags / ports,
+// plus log-byte weights for the weighted kinds). A target node is "clean"
+// when its row is numerically identical to the row its patch ref pointed
+// at in the previous window — then cached per-node results can be carried
+// over bit-for-bit, regardless of how the node's own id or key moved.
+// Over-marking a clean node dirty costs time, never correctness, so every
+// rule below errs toward dirty.
+//
+// Two tiers, because byte volumes fluctuate every window while topology
+// does not: `structural` covers the id/tag/port columns (what kJaccard and
+// MinHash read — tags and ports are volume-stable, so realistic windows
+// keep most rows structurally clean), `weighted` adds the weights column
+// (kWeightedJaccard / kCosine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+#include "ccg/graph/delta.hpp"
+
+namespace ccg::incremental {
+
+/// Per-patch churn accounting — also surfaced by `ccgraph store stats` so
+/// users can predict incremental speedup before enabling the engine.
+struct ChurnStats {
+  std::size_t nodes_total = 0;  // target window
+  std::size_t edges_total = 0;
+  std::size_t nodes_added = 0;
+  std::size_t nodes_removed = 0;
+  std::size_t edges_added = 0;
+  std::size_t edges_removed = 0;
+  /// Referenced edges whose stats changed in any field.
+  std::size_t edges_restated = 0;
+  /// Structurally dirty target nodes (see DirtySet::structural).
+  std::size_t nodes_touched = 0;
+  std::size_t edges_touched = 0;  // added + removed + restated
+
+  double node_churn() const {
+    return nodes_total == 0 ? 0.0
+                            : static_cast<double>(nodes_touched) /
+                                  static_cast<double>(nodes_total);
+  }
+  double edge_churn() const {
+    return edges_total == 0 ? 0.0
+                            : static_cast<double>(edges_touched) /
+                                  static_cast<double>(edges_total);
+  }
+};
+
+struct DirtySet {
+  /// Target NodeIds whose (ids, tags, ports) CSR row content may differ
+  /// from the row their ref pointed at. Sorted ascending. New nodes,
+  /// endpoints of added/removed edges, neighbors of removed or renumbered
+  /// nodes, and endpoints of edges whose direction role or port hint
+  /// flipped.
+  std::vector<NodeId> structural;
+  /// Superset of structural: additionally rows whose weights column (log
+  /// total bytes per edge) may differ. Sorted ascending.
+  std::vector<NodeId> weighted;
+  /// structural plus its 1-hop frontier in the target graph (the nodes
+  /// whose pair scores can change even with clean rows of their own are
+  /// always dirty-by-row, but community refinement seeds from here).
+  std::vector<NodeId> frontier;
+  /// O(1) membership, indexed by target NodeId.
+  std::vector<std::uint8_t> structural_flag;
+  std::vector<std::uint8_t> weighted_flag;
+  /// before NodeId -> target NodeId, -1 when the node was dropped.
+  std::vector<std::int64_t> old_to_new;
+  /// Node sets and ids line up exactly (old_to_new is the identity and no
+  /// node was added): row indices are directly comparable across windows.
+  bool identity_map = false;
+  ChurnStats stats;
+};
+
+/// Maps `patch` (taking `before` to `after`) to the dirty rows. `after`
+/// must be exactly apply_patch(before, patch).
+DirtySet compute_dirty(const CommGraph& before, const GraphPatch& patch,
+                       const CommGraph& after);
+
+/// Churn accounting alone, without the target graph (store-stats path:
+/// the rolling base is enough).
+ChurnStats patch_churn(const CommGraph& before, const GraphPatch& patch);
+
+}  // namespace ccg::incremental

@@ -1,0 +1,86 @@
+// Rank-k PCA maintained across windows (paper §2.2's succinct summaries,
+// made patch-driven).
+//
+// The adjacency matrix itself is rebuilt exactly every window — it is
+// O(n² + E), cheap next to the O(n³) Jacobi eigendecomposition this class
+// avoids. Between full decompositions the top-k eigenpairs are updated by
+// Rayleigh-Ritz on a small subspace: the previous basis B augmented with
+// the coordinate and matrix columns of the dirty rows. The patch confines
+// the matrix delta to dirty rows/columns, so that subspace captures where
+// the spectrum can move; truncation error is bounded, not zero, which is
+// why this path carries an explicit divergence contract (reconstruction
+// error within `epsilon` of the full decomposition) instead of the
+// bit-equality the MinHash/Louvain paths promise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ccg/graph/comm_graph.hpp"
+#include "ccg/linalg/matrix.hpp"
+#include "ccg/summarize/graph_pca.hpp"
+
+namespace ccg::incremental {
+
+struct IncrementalPcaOptions {
+  /// Eigenpairs maintained (the paper: ~25 reconstructs a 500+-node K8s
+  /// matrix to within 5%).
+  std::size_t rank = 25;
+  /// Fall back to a full Jacobi decomposition when the dirty rows exceed
+  /// this fraction of the matrix — past that the "small" subspace is not.
+  double dirty_budget = 0.25;
+  /// Full decomposition every this many windows regardless of churn, so
+  /// subspace truncation error cannot accumulate without bound.
+  int refresh_interval = 16;
+  AdjacencyOptions adjacency;
+};
+
+struct PcaWindowResult {
+  std::size_t rank = 0;          // min(options.rank, matrix dimension)
+  std::vector<double> values;    // Ritz/eigen values, descending |value|
+  Matrix basis;                  // n x rank; column j pairs with values[j]
+  /// |M − Mk|₁ / |M|₁ for this window's matrix at `rank`.
+  double recon_error = 0.0;
+  bool full_recompute = false;
+  /// Why the full path ran: "first", "budget", "refresh", "dimension".
+  std::string full_reason;
+  std::size_t dirty_rows = 0;    // matrix rows treated as dirty
+};
+
+/// Keeps a grow-only NodeIndex so matrix rows are comparable across
+/// windows, and the current rank-k basis. One instance per method stream.
+class IncrementalPca {
+ public:
+  explicit IncrementalPca(IncrementalPcaOptions options = {});
+
+  /// Folds the next window in. `dirty_keys` must cover every node whose
+  /// matrix row may differ from the previous window: the weighted-dirty
+  /// targets plus the keys of dropped nodes (their rows go to zero).
+  /// Unknown keys are fine; new keys extend the index and are dirty by
+  /// construction. Over-reporting costs time, never correctness.
+  const PcaWindowResult& observe(const CommGraph& window,
+                                 std::span<const NodeKey> dirty_keys);
+
+  /// This window's matrix in the index's row order (valid until the next
+  /// observe) — what verify-against-full decomposes.
+  const Matrix& matrix() const { return matrix_; }
+  const NodeIndex& index() const { return index_; }
+  const PcaWindowResult& last() const { return result_; }
+  const IncrementalPcaOptions& options() const { return options_; }
+
+ private:
+  void full_decompose(const char* reason);
+  void subspace_update(const std::vector<std::size_t>& dirty_rows);
+  void finish_result();
+
+  IncrementalPcaOptions options_;
+  NodeIndex index_;
+  Matrix matrix_;
+  PcaWindowResult result_;
+  int windows_since_full_ = 0;
+  bool seen_window_ = false;
+};
+
+}  // namespace ccg::incremental

@@ -1,0 +1,217 @@
+#include "ccg/incremental/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ccg/common/expect.hpp"
+#include "ccg/linalg/eigen.hpp"
+
+namespace ccg::incremental {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Modified Gram-Schmidt with one re-orthogonalization pass; vectors that
+/// collapse below the drop tolerance add no direction and are discarded.
+class Orthonormalizer {
+ public:
+  explicit Orthonormalizer(std::size_t n) : n_(n) {}
+
+  void push(std::vector<double> v) {
+    if (basis_.size() >= n_) return;  // span is already complete
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& q : basis_) {
+        const double d = dot(q, v);
+        for (std::size_t i = 0; i < n_; ++i) v[i] -= d * q[i];
+      }
+    }
+    const double norm = std::sqrt(dot(v, v));
+    if (norm < 1e-8) return;
+    for (double& x : v) x /= norm;
+    basis_.push_back(std::move(v));
+  }
+
+  const std::vector<std::vector<double>>& columns() const { return basis_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<double>> basis_;
+};
+
+}  // namespace
+
+IncrementalPca::IncrementalPca(IncrementalPcaOptions options)
+    : options_(options) {
+  CCG_EXPECT(options_.rank > 0);
+  CCG_EXPECT(options_.dirty_budget > 0.0);
+  CCG_EXPECT(options_.refresh_interval > 0);
+}
+
+const PcaWindowResult& IncrementalPca::observe(
+    const CommGraph& window, std::span<const NodeKey> dirty_keys) {
+  const std::size_t prev_size = index_.size();
+  index_.extend(window);
+  const std::size_t n = index_.size();
+  matrix_ = adjacency_matrix(window, index_, options_.adjacency);
+
+  if (n == 0) {
+    result_ = PcaWindowResult{};
+    result_.full_recompute = true;
+    result_.full_reason = "first";
+    seen_window_ = true;
+    windows_since_full_ = 0;
+    return result_;
+  }
+
+  // Dirty matrix rows: every row the index just grew plus the mapped keys.
+  std::vector<std::uint8_t> dirty_flag(n, 0);
+  for (std::size_t row = prev_size; row < n; ++row) dirty_flag[row] = 1;
+  for (const NodeKey& key : dirty_keys) {
+    const std::size_t row = index_.row_of(key);
+    if (row != NodeIndex::npos) dirty_flag[row] = 1;
+  }
+  std::vector<std::size_t> dirty_rows;
+  for (std::size_t row = 0; row < n; ++row) {
+    if (dirty_flag[row]) dirty_rows.push_back(row);
+  }
+
+  const std::size_t rank = std::min(options_.rank, n);
+  const std::size_t prev_rank = result_.rank;
+  const std::size_t d = dirty_rows.size();
+
+  if (!seen_window_) {
+    full_decompose("first");
+  } else if (++windows_since_full_ >= options_.refresh_interval) {
+    full_decompose("refresh");
+  } else if (static_cast<double>(d) >
+             options_.dirty_budget * static_cast<double>(n)) {
+    full_decompose("budget");
+  } else if (prev_rank < rank || prev_rank + 2 * d >= n) {
+    // The previous basis cannot seed a subspace that both fits the target
+    // rank and stays small relative to n.
+    full_decompose("dimension");
+  } else {
+    subspace_update(dirty_rows);
+  }
+
+  result_.dirty_rows = d;
+  finish_result();
+  seen_window_ = true;
+  return result_;
+}
+
+void IncrementalPca::full_decompose(const char* reason) {
+  const std::size_t n = matrix_.rows();
+  const std::size_t rank = std::min(options_.rank, n);
+  const EigenDecomposition eig = jacobi_eigen(matrix_);
+
+  PcaWindowResult next;
+  next.rank = rank;
+  next.values.assign(eig.values.begin(), eig.values.begin() + rank);
+  next.basis = Matrix(n, rank);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < rank; ++j) {
+      next.basis(i, j) = eig.vectors(i, j);
+    }
+  }
+  next.full_recompute = true;
+  next.full_reason = reason;
+  result_ = std::move(next);
+  windows_since_full_ = 0;
+}
+
+void IncrementalPca::subspace_update(const std::vector<std::size_t>& dirty_rows) {
+  const std::size_t n = matrix_.rows();
+  const std::size_t rank = std::min(options_.rank, n);
+
+  // Subspace: previous basis (zero-padded into any new rows) plus, per
+  // dirty row i, the coordinate vector e_i and the new matrix column M'eᵢ —
+  // the patch confines M' − M to dirty rows/columns, so these directions
+  // cover where the spectrum can have moved.
+  Orthonormalizer ortho(n);
+  const std::size_t prev_n = result_.basis.rows();
+  for (std::size_t j = 0; j < result_.rank; ++j) {
+    std::vector<double> col(n, 0.0);
+    for (std::size_t i = 0; i < prev_n; ++i) col[i] = result_.basis(i, j);
+    ortho.push(std::move(col));
+  }
+  for (const std::size_t row : dirty_rows) {
+    std::vector<double> e(n, 0.0);
+    e[row] = 1.0;
+    ortho.push(std::move(e));
+    std::vector<double> m_col(n);
+    for (std::size_t i = 0; i < n; ++i) m_col[i] = matrix_(i, row);
+    ortho.push(std::move(m_col));
+  }
+
+  const auto& z = ortho.columns();
+  const std::size_t k = z.size();
+  CCG_EXPECT(k >= rank);
+
+  // Rayleigh-Ritz: T = Zᵀ M' Z, eigendecompose the small T, lift the top
+  // `rank` Ritz pairs back through Z.
+  std::vector<std::vector<double>> mz(k, std::vector<double>(n, 0.0));
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += matrix_(i, j) * z[c][j];
+      mz[c][i] = s;
+    }
+  }
+  Matrix t(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) t(a, b) = dot(z[a], mz[b]);
+  }
+  // Symmetrize away MGS roundoff so Jacobi's precondition holds exactly.
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const double avg = 0.5 * (t(a, b) + t(b, a));
+      t(a, b) = avg;
+      t(b, a) = avg;
+    }
+  }
+  const EigenDecomposition small = jacobi_eigen(t);
+
+  PcaWindowResult next;
+  next.rank = rank;
+  next.values.assign(small.values.begin(), small.values.begin() + rank);
+  next.basis = Matrix(n, rank);
+  for (std::size_t j = 0; j < rank; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < k; ++c) s += z[c][i] * small.vectors(c, j);
+      next.basis(i, j) = s;
+    }
+  }
+  next.full_recompute = false;
+  result_ = std::move(next);
+}
+
+void IncrementalPca::finish_result() {
+  const std::size_t n = matrix_.rows();
+  const double denom = matrix_.abs_sum();
+  if (denom == 0.0) {
+    result_.recon_error = 0.0;
+    return;
+  }
+  // |M' − Σ λ v vᵀ|₁ accumulated row-wise without materializing Mk.
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double mk = 0.0;
+      for (std::size_t c = 0; c < result_.rank; ++c) {
+        mk += result_.values[c] * result_.basis(i, c) * result_.basis(j, c);
+      }
+      err += std::abs(matrix_(i, j) - mk);
+    }
+  }
+  result_.recon_error = err / denom;
+}
+
+}  // namespace ccg::incremental

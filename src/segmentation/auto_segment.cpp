@@ -120,8 +120,11 @@ Segmentation auto_segment(const CommGraph& graph, SegmentationMethod method,
 
 std::vector<Segmentation> segment_all_methods(const CommGraph& graph,
                                               SegmentationOptions options) {
-  // One CSR flattening serves every method in the sweep.
-  const CsrAdjacency csr(graph);
+  // One CSR flattening serves every method in the sweep, and the arena is
+  // kept across calls (grow-only), so per-window sweeps stop paying the
+  // allocator for a structure whose size barely moves window to window.
+  static thread_local CsrAdjacency csr;
+  csr.rebuild(graph);
   std::vector<Segmentation> out;
   for (const auto method :
        {SegmentationMethod::kJaccardLouvain,

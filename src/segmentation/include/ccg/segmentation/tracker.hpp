@@ -42,6 +42,11 @@ class SegmentTracker {
   /// segment as new and zero churn.
   SegmentTransition observe(const CommGraph& window);
 
+  /// Same matching over a segmentation computed elsewhere (the incremental
+  /// engine hands its labels in here; identical labels give identical
+  /// transitions and stable ids).
+  SegmentTransition observe(const CommGraph& window, const Segmentation& seg);
+
   /// Monitored IP -> stable segment id, as of the last observe().
   const std::unordered_map<IpAddr, std::uint32_t>& assignment() const {
     return assignment_;

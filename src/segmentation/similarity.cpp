@@ -15,8 +15,8 @@ namespace ccg {
 
 namespace {
 
-constexpr int kMinHashFunctions = 96;
-constexpr int kLshBandSize = 4;  // 24 bands of 4 -> catches J >~ 0.25 pairs
+using sim::kLshBandSize;
+using sim::kMinHashFunctions;
 
 /// State for scoring pairs (a, *): a's neighborhood stamped into arrays.
 /// Column types match the simd primitives (stamp/tag/port are gatherable
@@ -108,42 +108,68 @@ double score_pair(const CsrAdjacency& csr, const StampedView& view,
   return 0.0;
 }
 
-using CandidatePair = std::pair<std::uint32_t, std::uint32_t>;
+using CandidatePair = sim::CandidatePair;
 
-/// MinHash signatures over (neighbor, direction-tag, port) features,
-/// flattened n x kMinHashFunctions (row v at sig[v * kMinHashFunctions]).
-/// Rows are independent -> parallel over nodes; the per-feature lane
+/// The MinHash salt table: one fixed 32-bit salt per hash function.
+const std::uint64_t* minhash_salts() {
+  static const auto salts = [] {
+    std::vector<std::uint64_t> s(kMinHashFunctions);
+    for (int h = 0; h < kMinHashFunctions; ++h) {
+      s[h] = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(h * 0x9E3779B9u));
+    }
+    return s;
+  }();
+  return salts.data();
+}
+
+/// (Re)stamps one signature row from v's CSR row. The per-feature lane
 /// updates run on the simd tier (min over exact u64 hashes, so any lane
 /// order gives the same signature).
+void minhash_stamp_row(const CsrAdjacency& csr, NodeId v, bool use_direction,
+                       std::uint64_t* row) {
+  std::fill(row, row + kMinHashFunctions, ~std::uint64_t{0});
+  const auto ids = csr.ids(v);
+  const auto tags = csr.tags(v);
+  const auto ports = csr.ports(v);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const std::int32_t tag = use_direction ? tags[k] : CsrAdjacency::kTagMixed;
+    const std::int32_t port = use_direction ? ports[k] : -1;
+    const std::uint64_t feature =
+        ((std::uint64_t{ids[k]} << 2) | static_cast<std::uint64_t>(tag)) ^
+        (static_cast<std::uint64_t>(port + 1) << 40);
+    simd::minhash_update(feature << 8, minhash_salts(), row, kMinHashFunctions);
+  }
+}
+
+}  // namespace
+
+namespace sim {
+
+/// Rows are independent -> parallel over nodes.
 std::vector<std::uint64_t> minhash_signatures(const CsrAdjacency& csr,
                                               bool use_direction) {
   const std::size_t n = csr.node_count();
-  std::vector<std::uint64_t> salts(kMinHashFunctions);
-  for (int h = 0; h < kMinHashFunctions; ++h) {
-    salts[h] = static_cast<std::uint64_t>(
-        static_cast<std::uint32_t>(h * 0x9E3779B9u));
-  }
-  std::vector<std::uint64_t> sig(n * kMinHashFunctions, ~std::uint64_t{0});
+  std::vector<std::uint64_t> sig(n * kMinHashFunctions);
   parallel::parallel_for(n, 32, [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
-      std::uint64_t* row = sig.data() + v * kMinHashFunctions;
-      const auto ids = csr.ids(static_cast<NodeId>(v));
-      const auto tags = csr.tags(static_cast<NodeId>(v));
-      const auto ports = csr.ports(static_cast<NodeId>(v));
-      for (std::size_t k = 0; k < ids.size(); ++k) {
-        const std::int32_t tag =
-            use_direction ? tags[k] : CsrAdjacency::kTagMixed;
-        const std::int32_t port = use_direction ? ports[k] : -1;
-        const std::uint64_t feature =
-            ((std::uint64_t{ids[k]} << 2) |
-             static_cast<std::uint64_t>(tag)) ^
-            (static_cast<std::uint64_t>(port + 1) << 40);
-        simd::minhash_update(feature << 8, salts.data(), row,
-                             kMinHashFunctions);
-      }
+      minhash_stamp_row(csr, static_cast<NodeId>(v), use_direction,
+                        sig.data() + v * kMinHashFunctions);
     }
   });
   return sig;
+}
+
+void minhash_restamp(const CsrAdjacency& csr, std::span<const NodeId> rows,
+                     bool use_direction, std::vector<std::uint64_t>& sig) {
+  CCG_EXPECT(sig.size() == csr.node_count() * kMinHashFunctions);
+  parallel::parallel_for(rows.size(), 32,
+                         [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      minhash_stamp_row(csr, rows[k], use_direction,
+                        sig.data() + rows[k] * std::size_t{kMinHashFunctions});
+    }
+  });
 }
 
 /// LSH banding: each band buckets nodes by a hash of its signature slice
@@ -194,7 +220,45 @@ std::vector<CandidatePair> lsh_candidates(const CsrAdjacency& csr,
   return candidates;
 }
 
-}  // namespace
+/// Chunks partition the (a-major sorted) candidate list; each worker keeps
+/// one reusable StampedView and re-stamps whenever the first endpoint
+/// changes inside its chunk, so the stamp arrays are rebuilt at most once
+/// per (node, chunk). Scores land in per-candidate slots — byte-identical
+/// at any thread count, and each slot is independent of which other pairs
+/// are in the list (the incremental engine scores subsets).
+void score_candidates(const CsrAdjacency& csr,
+                      std::span<const CandidatePair> candidates,
+                      const SimilarityOptions& options, double* scores) {
+  const std::size_t n = csr.node_count();
+  std::vector<std::unique_ptr<StampedView>> views(parallel::max_workers());
+  parallel::parallel_for_worker(
+      candidates.size(), 512,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        if (!views[worker]) views[worker] = std::make_unique<StampedView>(n);
+        StampedView& view = *views[worker];
+        std::uint32_t current_a = static_cast<std::uint32_t>(n);  // invalid
+        std::size_t deg_a_full = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto [a, b] = candidates[i];
+          if (a != current_a) {
+            current_a = a;
+            deg_a_full = stamp_node(csr, a, view);
+          }
+          // Exclude a direct a~b edge from both neighborhoods.
+          std::size_t deg_a = deg_a_full;
+          const bool b_in_a = view.stamp[b] == view.version;
+          const std::uint32_t saved = view.stamp[b];
+          if (options.exclude_self_edges && b_in_a) {
+            view.stamp[b] = 0;
+            --deg_a;
+          }
+          scores[i] = score_pair(csr, view, a, b, deg_a, options);
+          if (options.exclude_self_edges && b_in_a) view.stamp[b] = saved;
+        }
+      });
+}
+
+}  // namespace sim
 
 double node_similarity(const CommGraph& graph, NodeId a, NodeId b,
                        SimilarityOptions options) {
@@ -230,42 +294,14 @@ WeightedGraph similarity_clique(const CommGraph& graph,
       }
     }
   } else {
-    candidates = lsh_candidates(csr, minhash_signatures(csr, options.use_direction));
+    candidates =
+        sim::lsh_candidates(csr, sim::minhash_signatures(csr, options.use_direction));
   }
 
-  // Exact scoring of candidates. Chunks partition the (a-major sorted)
-  // candidate list; each worker keeps one reusable StampedView and
-  // re-stamps whenever the first endpoint changes inside its chunk, so the
-  // stamp arrays are rebuilt at most once per (node, chunk). Scores land in
-  // per-candidate slots; the clique is assembled serially in candidate
-  // order afterwards — byte-identical output at any thread count.
+  // Exact scoring of candidates; the clique is assembled serially in
+  // candidate order afterwards — byte-identical output at any thread count.
   std::vector<double> scores(candidates.size());
-  std::vector<std::unique_ptr<StampedView>> views(parallel::max_workers());
-  parallel::parallel_for_worker(
-      candidates.size(), 512,
-      [&](std::size_t begin, std::size_t end, std::size_t worker) {
-        if (!views[worker]) views[worker] = std::make_unique<StampedView>(n);
-        StampedView& view = *views[worker];
-        std::uint32_t current_a = static_cast<std::uint32_t>(n);  // invalid
-        std::size_t deg_a_full = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto [a, b] = candidates[i];
-          if (a != current_a) {
-            current_a = a;
-            deg_a_full = stamp_node(csr, a, view);
-          }
-          // Exclude a direct a~b edge from both neighborhoods.
-          std::size_t deg_a = deg_a_full;
-          const bool b_in_a = view.stamp[b] == view.version;
-          const std::uint32_t saved = view.stamp[b];
-          if (options.exclude_self_edges && b_in_a) {
-            view.stamp[b] = 0;
-            --deg_a;
-          }
-          scores[i] = score_pair(csr, view, a, b, deg_a, options);
-          if (options.exclude_self_edges && b_in_a) view.stamp[b] = saved;
-        }
-      });
+  sim::score_candidates(csr, candidates, options, scores.data());
 
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (scores[i] >= options.min_score) {

@@ -14,8 +14,11 @@ SegmentTracker::SegmentTracker(SegmentationMethod method,
 }
 
 SegmentTransition SegmentTracker::observe(const CommGraph& window) {
-  const Segmentation seg = auto_segment(window, method_, options_);
+  return observe(window, auto_segment(window, method_, options_));
+}
 
+SegmentTransition SegmentTracker::observe(const CommGraph& window,
+                                          const Segmentation& seg) {
   // Member IPs per raw segment (monitored, non-collapsed only: those are
   // the resources whose tag assignments matter).
   std::vector<std::vector<IpAddr>> members(seg.segment_count);

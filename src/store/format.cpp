@@ -278,8 +278,8 @@ std::optional<FrameHeader> peek_frame(std::span<const std::uint8_t> payload) {
                      static_cast<std::int64_t>(*len)};
 }
 
-std::optional<CommGraph> decode_frame(std::span<const std::uint8_t> payload,
-                                      const CommGraph& base) {
+std::optional<GraphPatch> decode_frame_patch(
+    std::span<const std::uint8_t> payload, const CommGraph& base) {
   static const CommGraph empty_base;
   const auto header = peek_frame(payload);
   if (!header) return std::nullopt;
@@ -383,7 +383,18 @@ std::optional<CommGraph> decode_frame(std::span<const std::uint8_t> payload,
   }
   if (!in.done()) return std::nullopt;  // trailing garbage
 
-  return apply_patch(before, patch);
+  return patch;
+}
+
+std::optional<CommGraph> decode_frame(std::span<const std::uint8_t> payload,
+                                      const CommGraph& base) {
+  static const CommGraph empty_base;
+  const auto header = peek_frame(payload);
+  if (!header) return std::nullopt;
+  const auto patch = decode_frame_patch(payload, base);
+  if (!patch) return std::nullopt;
+  return apply_patch(
+      header->kind == FrameKind::kKeyframe ? empty_base : base, *patch);
 }
 
 }  // namespace ccg::store

@@ -38,6 +38,7 @@
 #include "ccg/graph/builder.hpp"
 #include "ccg/graph/delta.hpp"
 #include "ccg/graph/metrics.hpp"
+#include "ccg/incremental/dirty.hpp"
 #include "ccg/graph/serialize.hpp"
 #include "ccg/net/frame.hpp"
 #include "ccg/obs/export.hpp"
@@ -115,7 +116,12 @@ int usage() {
                "           [--min-support N] [--save policy.txt]\n"
                "  diff     --before a.csv --after b.csv [--factor F]\n"
                "  anomaly  --in flows.csv [--window MIN] [--train N] [--rank K]\n"
-               "           [--summary-out FILE]\n"
+               "           [--summary-out FILE] [--incremental] patch-driven\n"
+               "           incremental segmentation ($CCG_INCREMENTAL=1 too;\n"
+               "           output is byte-identical to a plain run)\n"
+               "           [--incremental-verify] check each window against a\n"
+               "           full recompute  [--incremental-refine] warm-start\n"
+               "           Louvain (bounded divergence)\n"
                "  serve    --in flows.csv --shards N [--window MIN] [--train N]\n"
                "           [--rank K] [--collapse F] [--summary-out FILE]\n"
                "           [--store DIR] forks N local shard workers and\n"
@@ -141,7 +147,9 @@ int usage() {
                "                [--train N] [--rank K] [--summary-out FILE]\n"
                "  store compact --store DIR [--keyframe K] [--retain-from MIN]\n"
                "                [--segment-mb MB]\n"
-               "  store stats   --store DIR\n"
+               "  store stats   --store DIR prints frame/segment totals plus\n"
+               "                per-window patch churn (nodes/edges touched,\n"
+               "                churn-ratio histogram)\n"
                "  profile <command> [options...] runs any command under the\n"
                "           sampling profiler and prints a per-stage self/total\n"
                "           cost table plus hardware-counter deltas\n"
@@ -502,6 +510,9 @@ int cmd_anomaly(const Args& args) {
                  .collapse_threshold = args.get_double("collapse", 0.001)},
        .training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
        .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))},
+       .incremental = args.get("incremental").has_value(),
+       .incremental_verify = args.get("incremental-verify").has_value(),
+       .incremental_refine = args.get("incremental-refine").has_value(),
        .stall_injection_ms = static_cast<int>(args.get_long("stall-ms", 0))},
       monitored_from(*records), [&](const WindowReport& report) {
         std::printf("%s\n", report.summary().c_str());
@@ -1105,6 +1116,53 @@ int cmd_store_stats(const Args& args) {
     return 1;
   }
   std::printf("%s\n", reader->stats().to_string().c_str());
+
+  // Window-to-window churn: how much of each window a patch actually
+  // touches — the number that predicts incremental-analytics speedup.
+  // Computed against the true previous window (keyframes are a storage
+  // artifact, not a workload change), so it reads the same after
+  // compaction reshuffles frame kinds.
+  CommGraph prev;
+  bool has_prev = false;
+  std::size_t windows = 0;
+  double node_churn_sum = 0.0, edge_churn_sum = 0.0;
+  std::size_t nodes_touched = 0, edges_touched = 0;
+  std::size_t nodes_touched_max = 0, edges_touched_max = 0;
+  // Edge-churn ratio buckets: <=1%, 2%, 5%, 10%, 25%, 50%, >50%.
+  constexpr double kBounds[] = {0.01, 0.02, 0.05, 0.10, 0.25, 0.50};
+  std::size_t buckets[7] = {0};
+  auto patches = reader->patches();
+  while (const auto entry = patches.next()) {
+    if (has_prev) {
+      const incremental::ChurnStats churn =
+          incremental::patch_churn(prev, make_patch(prev, entry->graph));
+      ++windows;
+      node_churn_sum += churn.node_churn();
+      edge_churn_sum += churn.edge_churn();
+      nodes_touched += churn.nodes_touched;
+      edges_touched += churn.edges_touched;
+      nodes_touched_max = std::max(nodes_touched_max, churn.nodes_touched);
+      edges_touched_max = std::max(edges_touched_max, churn.edges_touched);
+      std::size_t b = 0;
+      while (b < 6 && churn.edge_churn() > kBounds[b]) ++b;
+      ++buckets[b];
+    }
+    prev = entry->graph;
+    has_prev = true;
+  }
+  if (windows > 0) {
+    const double n = static_cast<double>(windows);
+    std::printf(
+        "churn: %zu window transitions, mean node churn %.1f%%, mean edge "
+        "churn %.1f%%\n"
+        "  touched/window: nodes mean %.1f max %zu, edges mean %.1f max %zu\n"
+        "  edge churn histogram: <=1%%: %zu  <=2%%: %zu  <=5%%: %zu  "
+        "<=10%%: %zu  <=25%%: %zu  <=50%%: %zu  >50%%: %zu\n",
+        windows, 100.0 * node_churn_sum / n, 100.0 * edge_churn_sum / n,
+        static_cast<double>(nodes_touched) / n, nodes_touched_max,
+        static_cast<double>(edges_touched) / n, edges_touched_max, buckets[0],
+        buckets[1], buckets[2], buckets[3], buckets[4], buckets[5], buckets[6]);
+  }
   return 0;
 }
 
