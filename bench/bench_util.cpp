@@ -58,6 +58,15 @@ void emit_resource_summary() {
     }
   }
 
+  // Transport health and SLO-watcher verdicts ride along so a bench run's
+  // artifact shows whether the run was clean end to end.
+  const auto counter_or_zero = [&snapshot](const char* name) {
+    for (const obs::CounterSample& c : snapshot.counters) {
+      if (c.name == name) return c.value;
+    }
+    return std::uint64_t{0};
+  };
+
   std::string json = "{\"counter_tier\": \"";
   json += obs::prof::tier_name(now.tier);
   json += "\", \"cpu_user_seconds\": " + fmt(now.cpu_user_seconds, 3) +
@@ -66,7 +75,23 @@ void emit_resource_summary() {
           ", \"heap\": {\"tracked\": " +
           (obs::prof::heap_tracking_available() ? "true" : "false") +
           ", \"alloc_bytes\": " + std::to_string(heap.bytes) +
-          ", \"allocs\": " + std::to_string(heap.allocs) + "}, \"stages\": [";
+          ", \"allocs\": " + std::to_string(heap.allocs) +
+          "}, \"net\": {\"frames_sent\": " +
+          std::to_string(counter_or_zero("ccg.net.frames_sent")) +
+          ", \"frames_received\": " +
+          std::to_string(counter_or_zero("ccg.net.frames_received")) +
+          ", \"connect_retries\": " +
+          std::to_string(counter_or_zero("ccg.net.connect_retries")) +
+          ", \"timeouts\": " +
+          std::to_string(counter_or_zero("ccg.net.timeouts")) +
+          ", \"errors\": " + std::to_string(counter_or_zero("ccg.net.errors")) +
+          "}, \"slo\": {\"evaluations\": " +
+          std::to_string(counter_or_zero("ccg.slo.evaluations")) +
+          ", \"breaches\": " +
+          std::to_string(counter_or_zero("ccg.slo.breaches")) +
+          ", \"sustained\": " +
+          std::to_string(counter_or_zero("ccg.slo.sustained")) +
+          "}, \"stages\": [";
   bool first = true;
   for (const auto& [name, cost] : stages) {
     if (!first) json += ", ";

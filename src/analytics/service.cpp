@@ -9,6 +9,7 @@
 #include "ccg/common/expect.hpp"
 #include "ccg/obs/flight.hpp"
 #include "ccg/obs/heap.hpp"
+#include "ccg/obs/slo.hpp"
 #include "ccg/obs/span.hpp"
 #include "ccg/obs/trace.hpp"
 
@@ -149,6 +150,7 @@ void AnalyticsService::deliver(const CommGraph& graph) {
     report = analyze(graph);
   }
   obs::Watchdog::global().end_window();
+  obs::SloWatcher::global().note_window();
   history_.push_back(std::move(report));
   ++windows_reported_;
   on_report_(history_.back());

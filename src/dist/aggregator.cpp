@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "ccg/obs/fleet.hpp"
 #include "ccg/obs/flight.hpp"
 #include "ccg/obs/log.hpp"
 #include "ccg/obs/span.hpp"
@@ -19,6 +20,7 @@ Aggregator::Aggregator(AggregatorOptions options,
   obs::Registry& registry = obs::Registry::global();
   m_windows_merged_ = &registry.counter("ccg.dist.agg.windows_merged");
   m_frames_ = &registry.counter("ccg.dist.agg.frames_received");
+  m_telemetry_ = &registry.counter("ccg.dist.agg.telemetry_frames");
   m_pending_hwm_ = &registry.gauge("ccg.dist.agg.queue_depth_hwm");
   m_merge_wait_ = &obs::span_histogram("ccg.dist.agg.merge_wait");
   m_merge_ = &obs::span_histogram("ccg.dist.agg.window_merge");
@@ -118,6 +120,32 @@ bool Aggregator::advance(std::size_t s) {
         }
         shard.records = eos->records;
         shard.done = true;
+        break;
+      }
+      case MsgType::kTelemetry: {
+        // Out-of-band: merged into the fleet registry and the barrier loop
+        // keeps reading. A malformed frame still fails the run — the
+        // transport is supposed to be clean.
+        auto frame = decode_telemetry(payload);
+        if (!frame || frame->shard_id != s) {
+          fail(s, "undecodable telemetry frame", 0);
+          return false;
+        }
+        obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+        fleet.apply(frame->shard_id, frame->metrics);
+        if (!frame->logs.empty()) {
+          // Shipped records worth mirroring reach this terminal too,
+          // tagged with their shard — through the same threshold and rate
+          // limiter as local records.
+          for (const obs::LogRecord& record : frame->logs) {
+            obs::mirror_shard_record(frame->shard_id, record);
+          }
+          fleet.add_logs(frame->shard_id, frame->logs);
+        }
+        if (!frame->spans.empty()) {
+          fleet.add_spans(frame->shard_id, frame->spans);
+        }
+        m_telemetry_->add();
         break;
       }
       default:

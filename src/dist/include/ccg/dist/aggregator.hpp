@@ -83,6 +83,7 @@ class Aggregator {
 
   obs::Counter* m_windows_merged_ = nullptr;  // ccg.dist.agg.windows_merged
   obs::Counter* m_frames_ = nullptr;          // ccg.dist.agg.frames_received
+  obs::Counter* m_telemetry_ = nullptr;       // ccg.dist.agg.telemetry_frames
   obs::Gauge* m_pending_hwm_ = nullptr;  // ccg.dist.agg.queue_depth_hwm
   obs::Histogram* m_merge_wait_ = nullptr;  // ccg.dist.agg.merge_wait.seconds
   obs::Histogram* m_merge_ = nullptr;  // ccg.dist.agg.window_merge.seconds

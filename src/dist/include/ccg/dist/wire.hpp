@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "ccg/graph/builder.hpp"
+#include "ccg/obs/log.hpp"
+#include "ccg/obs/metrics.hpp"
+#include "ccg/obs/span.hpp"
 
 namespace ccg::dist {
 
@@ -24,13 +27,15 @@ namespace ccg::dist {
 inline constexpr std::uint32_t kMagic = 0x44474343;
 
 /// Bumped on any incompatible wire or semantics change.
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: adds the out-of-band kTelemetry frame (metrics/log/span shipping).
+inline constexpr std::uint16_t kWireVersion = 2;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,        // shard -> aggregator: version + shard identity + config
   kHelloAck = 2,     // aggregator -> shard: handshake accepted
   kWindow = 3,       // shard -> aggregator: one window's partial graph
   kEndOfStream = 4,  // shard -> aggregator: clean shutdown + final counts
+  kTelemetry = 5,    // shard -> aggregator: out-of-band observability data
 };
 
 /// The graph-build parameters both sides must agree on for the merge to be
@@ -71,10 +76,28 @@ struct EndOfStream {
   std::uint64_t windows = 0;   // window frames it shipped
 };
 
+/// One out-of-band observability shipment from a shard worker: a metrics
+/// *delta* (Registry::snapshot_delta against the last shipped snapshot —
+/// counters and histogram buckets are increments, gauges and histogram
+/// min/max are last-write), plus the log records and trace spans emitted
+/// since the previous shipment. Strictly out-of-band: the aggregator's
+/// merge output is byte-identical whether or not these frames arrive.
+/// Histogram quantiles are NOT shipped; the receiver recomputes them from
+/// the accumulated buckets. `seq` increments per shipment so drops are
+/// observable.
+struct TelemetryFrame {
+  std::uint32_t shard_id = 0;
+  std::uint64_t seq = 0;
+  obs::Snapshot metrics;
+  std::vector<obs::LogRecord> logs;
+  std::vector<obs::TraceEvent> spans;
+};
+
 std::vector<std::uint8_t> encode_hello(const Hello& hello);
 std::vector<std::uint8_t> encode_hello_ack();
 std::vector<std::uint8_t> encode_window(const WindowFrame& frame);
 std::vector<std::uint8_t> encode_end_of_stream(const EndOfStream& eos);
+std::vector<std::uint8_t> encode_telemetry(const TelemetryFrame& frame);
 
 /// Message type of a payload (nullopt on empty/unknown).
 std::optional<MsgType> peek_type(std::span<const std::uint8_t> payload);
@@ -84,6 +107,8 @@ std::optional<Hello> decode_hello(std::span<const std::uint8_t> payload);
 bool decode_hello_ack(std::span<const std::uint8_t> payload);
 std::optional<WindowFrame> decode_window(std::span<const std::uint8_t> payload);
 std::optional<EndOfStream> decode_end_of_stream(
+    std::span<const std::uint8_t> payload);
+std::optional<TelemetryFrame> decode_telemetry(
     std::span<const std::uint8_t> payload);
 
 }  // namespace ccg::dist

@@ -1,5 +1,6 @@
 #include "ccg/dist/shard_worker.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -36,6 +37,7 @@ ShardWorker::ShardWorker(ShardWorkerOptions options,
   m_records_ = &registry.counter(prefix + ".records");
   m_windows_ = &registry.counter(prefix + ".windows_shipped");
   m_bytes_ = &registry.counter(prefix + ".bytes_shipped");
+  m_telemetry_ = &registry.counter(prefix + ".telemetry_frames");
   m_ship_ = &obs::span_histogram("ccg.dist.shard.ship");
 }
 
@@ -107,7 +109,59 @@ bool ShardWorker::ship_closed_windows() {
     m_windows_->add();
     m_bytes_->add(payload.size());
   }
+  // Piggyback one telemetry shipment on window traffic: the aggregator
+  // sees fresh per-shard series at window granularity without a timer.
+  ship_telemetry();
   return ok;
+}
+
+void ShardWorker::ship_telemetry() {
+  TelemetryFrame frame;
+  frame.shard_id = options_.shard_id;
+  obs::Snapshot current;
+  frame.metrics =
+      obs::Registry::global().snapshot_delta(last_shipped_, &current);
+
+  obs::LogRing& logs = obs::LogRing::global();
+  const std::vector<obs::LogRecord> retained_logs = logs.records();
+  const std::size_t logs_total = retained_logs.size() + logs.dropped();
+  if (logs_total > logs_seen_) {
+    const std::size_t fresh =
+        std::min(logs_total - logs_seen_, retained_logs.size());
+    frame.logs.assign(retained_logs.end() - static_cast<std::ptrdiff_t>(fresh),
+                      retained_logs.end());
+  }
+
+  obs::TraceRing& traces = obs::TraceRing::global();
+  const std::vector<obs::TraceEvent> retained_spans = traces.events();
+  const std::size_t spans_total = retained_spans.size() + traces.dropped();
+  if (spans_total > spans_seen_) {
+    const std::size_t fresh =
+        std::min(spans_total - spans_seen_, retained_spans.size());
+    frame.spans.assign(
+        retained_spans.end() - static_cast<std::ptrdiff_t>(fresh),
+        retained_spans.end());
+  }
+
+  if (frame.metrics.counters.empty() && frame.metrics.gauges.empty() &&
+      frame.metrics.histograms.empty() && frame.logs.empty() &&
+      frame.spans.empty()) {
+    return;  // nothing new; don't burn a frame
+  }
+  frame.seq = telemetry_seq_;
+  if (!conn_.send(encode_telemetry(frame))) {
+    // Out-of-band: a lost telemetry frame never fails the worker. The
+    // baselines are not advanced, so the data rides the next shipment.
+    obs::log_warn("dist: telemetry ship failed",
+                  {obs::field("shard", options_.shard_id),
+                   obs::field("seq", frame.seq)});
+    return;
+  }
+  ++telemetry_seq_;
+  m_telemetry_->add();
+  last_shipped_ = std::move(current);
+  logs_seen_ = logs_total;
+  spans_seen_ = spans_total;
 }
 
 bool ShardWorker::finish() {

@@ -46,6 +46,44 @@ bool type_is(std::span<const std::uint8_t> payload, MsgType t) {
   return !payload.empty() && payload[0] == static_cast<std::uint8_t>(t);
 }
 
+// --- telemetry body helpers -------------------------------------------------
+// Sanity caps: a telemetry frame is small by construction; a count beyond
+// these is corruption, not a big fleet.
+constexpr std::uint64_t kMaxTelemetrySeries = 65536;
+constexpr std::uint64_t kMaxTelemetryBuckets = 1024;
+constexpr std::uint64_t kMaxTelemetryLogs = 4096;
+constexpr std::uint64_t kMaxTelemetrySpans = 65536;
+constexpr std::uint64_t kMaxTelemetryString = 4096;
+constexpr std::uint64_t kMaxTelemetryFields = 64;
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  put_varint(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::optional<std::string> get_string(store::ByteReader& in) {
+  const auto len = in.varint();
+  if (!len || *len > kMaxTelemetryString) return std::nullopt;
+  std::string s;
+  s.reserve(static_cast<std::size_t>(*len));
+  for (std::uint64_t i = 0; i < *len; ++i) {
+    const auto b = in.byte();
+    if (!b) return std::nullopt;
+    s.push_back(static_cast<char>(*b));
+  }
+  return s;
+}
+
+std::optional<double> get_double(store::ByteReader& in) {
+  const auto bits = in.varint();
+  if (!bits) return std::nullopt;
+  return std::bit_cast<double>(*bits);
+}
+
 }  // namespace
 
 WireConfig wire_config(const GraphBuildConfig& config) {
@@ -92,8 +130,65 @@ std::vector<std::uint8_t> encode_end_of_stream(const EndOfStream& eos) {
   return out;
 }
 
+std::vector<std::uint8_t> encode_telemetry(const TelemetryFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(MsgType::kTelemetry));
+  put_varint(out, frame.shard_id);
+  put_varint(out, frame.seq);
+
+  put_varint(out, frame.metrics.counters.size());
+  for (const obs::CounterSample& c : frame.metrics.counters) {
+    put_string(out, c.name);
+    put_varint(out, c.value);
+  }
+  put_varint(out, frame.metrics.gauges.size());
+  for (const obs::GaugeSample& g : frame.metrics.gauges) {
+    put_string(out, g.name);
+    put_double(out, g.value);
+  }
+  put_varint(out, frame.metrics.histograms.size());
+  for (const obs::HistogramSample& h : frame.metrics.histograms) {
+    put_string(out, h.name);
+    put_varint(out, h.count);
+    put_double(out, h.sum);
+    put_double(out, h.min);
+    put_double(out, h.max);
+    put_varint(out, h.buckets.size());
+    for (const auto& [bound, occupancy] : h.buckets) {
+      put_double(out, bound);
+      put_varint(out, occupancy);
+    }
+  }
+
+  put_varint(out, frame.logs.size());
+  for (const obs::LogRecord& r : frame.logs) {
+    out.push_back(static_cast<std::uint8_t>(r.level));
+    put_varint(out, r.ts_ns);
+    put_varint(out, r.thread_hash);
+    put_varint(out, r.trace_id);
+    put_string(out, r.message);
+    put_varint(out, r.fields.size());
+    for (const obs::LogField& f : r.fields) {
+      put_string(out, f.key);
+      put_string(out, f.value);
+    }
+  }
+
+  put_varint(out, frame.spans.size());
+  for (const obs::TraceEvent& e : frame.spans) {
+    put_string(out, e.name);
+    put_varint(out, e.start_ns);
+    put_varint(out, e.duration_ns);
+    put_varint(out, e.thread_hash);
+    put_varint(out, e.trace_id);
+    put_varint(out, e.span_id);
+    put_varint(out, e.parent_id);
+  }
+  return out;
+}
+
 std::optional<MsgType> peek_type(std::span<const std::uint8_t> payload) {
-  if (payload.empty() || payload[0] < 1 || payload[0] > 4) return std::nullopt;
+  if (payload.empty() || payload[0] < 1 || payload[0] > 5) return std::nullopt;
   return static_cast<MsgType>(payload[0]);
 }
 
@@ -172,6 +267,132 @@ std::optional<EndOfStream> decode_end_of_stream(
     return std::nullopt;
   }
   return EndOfStream{static_cast<std::uint32_t>(*shard_id), *records, *windows};
+}
+
+std::optional<TelemetryFrame> decode_telemetry(
+    std::span<const std::uint8_t> payload) {
+  if (!type_is(payload, MsgType::kTelemetry)) return std::nullopt;
+  store::ByteReader in(payload.subspan(1));
+  const auto shard_id = in.varint();
+  const auto seq = in.varint();
+  if (!shard_id || *shard_id > 0xFFFF || !seq) return std::nullopt;
+  TelemetryFrame frame;
+  frame.shard_id = static_cast<std::uint32_t>(*shard_id);
+  frame.seq = *seq;
+
+  const auto n_counters = in.varint();
+  if (!n_counters || *n_counters > kMaxTelemetrySeries) return std::nullopt;
+  frame.metrics.counters.reserve(static_cast<std::size_t>(*n_counters));
+  for (std::uint64_t i = 0; i < *n_counters; ++i) {
+    auto name = get_string(in);
+    const auto value = in.varint();
+    if (!name || !value) return std::nullopt;
+    frame.metrics.counters.push_back({std::move(*name), *value, {}});
+  }
+
+  const auto n_gauges = in.varint();
+  if (!n_gauges || *n_gauges > kMaxTelemetrySeries) return std::nullopt;
+  frame.metrics.gauges.reserve(static_cast<std::size_t>(*n_gauges));
+  for (std::uint64_t i = 0; i < *n_gauges; ++i) {
+    auto name = get_string(in);
+    const auto value = get_double(in);
+    if (!name || !value) return std::nullopt;
+    frame.metrics.gauges.push_back({std::move(*name), *value, {}});
+  }
+
+  const auto n_histograms = in.varint();
+  if (!n_histograms || *n_histograms > kMaxTelemetrySeries) return std::nullopt;
+  frame.metrics.histograms.reserve(static_cast<std::size_t>(*n_histograms));
+  for (std::uint64_t i = 0; i < *n_histograms; ++i) {
+    obs::HistogramSample h;
+    auto name = get_string(in);
+    const auto count = in.varint();
+    const auto sum = get_double(in);
+    const auto min = get_double(in);
+    const auto max = get_double(in);
+    const auto n_buckets = in.varint();
+    if (!name || !count || !sum || !min || !max || !n_buckets ||
+        *n_buckets > kMaxTelemetryBuckets) {
+      return std::nullopt;
+    }
+    h.name = std::move(*name);
+    h.count = *count;
+    h.sum = *sum;
+    h.min = *min;
+    h.max = *max;
+    h.buckets.reserve(static_cast<std::size_t>(*n_buckets));
+    for (std::uint64_t b = 0; b < *n_buckets; ++b) {
+      const auto bound = get_double(in);
+      const auto occupancy = in.varint();
+      if (!bound || !occupancy) return std::nullopt;
+      h.buckets.emplace_back(*bound, *occupancy);
+    }
+    // Quantiles are receiver-side; recompute so the decoded sample is
+    // self-consistent even before fleet accumulation.
+    h.p50 = obs::quantile_from_buckets(h.buckets, h.count, h.min, h.max, 0.50);
+    h.p90 = obs::quantile_from_buckets(h.buckets, h.count, h.min, h.max, 0.90);
+    h.p99 = obs::quantile_from_buckets(h.buckets, h.count, h.min, h.max, 0.99);
+    frame.metrics.histograms.push_back(std::move(h));
+  }
+
+  const auto n_logs = in.varint();
+  if (!n_logs || *n_logs > kMaxTelemetryLogs) return std::nullopt;
+  frame.logs.reserve(static_cast<std::size_t>(*n_logs));
+  for (std::uint64_t i = 0; i < *n_logs; ++i) {
+    obs::LogRecord r;
+    const auto level = in.byte();
+    const auto ts = in.varint();
+    const auto thread_hash = in.varint();
+    const auto trace_id = in.varint();
+    auto message = get_string(in);
+    const auto n_fields = in.varint();
+    if (!level || *level > 3 || !ts || !thread_hash || !trace_id || !message ||
+        !n_fields || *n_fields > kMaxTelemetryFields) {
+      return std::nullopt;
+    }
+    r.level = static_cast<obs::LogLevel>(*level);
+    r.ts_ns = *ts;
+    r.thread_hash = *thread_hash;
+    r.trace_id = *trace_id;
+    r.message = std::move(*message);
+    r.fields.reserve(static_cast<std::size_t>(*n_fields));
+    for (std::uint64_t f = 0; f < *n_fields; ++f) {
+      auto key = get_string(in);
+      auto value = get_string(in);
+      if (!key || !value) return std::nullopt;
+      r.fields.push_back({std::move(*key), std::move(*value)});
+    }
+    frame.logs.push_back(std::move(r));
+  }
+
+  const auto n_spans = in.varint();
+  if (!n_spans || *n_spans > kMaxTelemetrySpans) return std::nullopt;
+  frame.spans.reserve(static_cast<std::size_t>(*n_spans));
+  for (std::uint64_t i = 0; i < *n_spans; ++i) {
+    obs::TraceEvent e;
+    auto name = get_string(in);
+    const auto start = in.varint();
+    const auto duration = in.varint();
+    const auto thread_hash = in.varint();
+    const auto trace_id = in.varint();
+    const auto span_id = in.varint();
+    const auto parent_id = in.varint();
+    if (!name || !start || !duration || !thread_hash || !trace_id ||
+        !span_id || !parent_id) {
+      return std::nullopt;
+    }
+    e.name = std::move(*name);
+    e.start_ns = *start;
+    e.duration_ns = *duration;
+    e.thread_hash = *thread_hash;
+    e.trace_id = *trace_id;
+    e.span_id = *span_id;
+    e.parent_id = *parent_id;
+    frame.spans.push_back(std::move(e));
+  }
+
+  if (!in.done()) return std::nullopt;
+  return frame;
 }
 
 }  // namespace ccg::dist

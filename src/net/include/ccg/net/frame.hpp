@@ -95,6 +95,7 @@ class Listener {
   static std::optional<Listener> bind_loopback(std::uint16_t port = 0);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   std::uint16_t port() const { return port_; }
 
   /// Accepts one connection. Same timeout convention as FrameConn::recv.

@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "ccg/obs/fleet.hpp"
+
 namespace ccg::obs {
 namespace {
 
@@ -68,34 +70,113 @@ void json_escape_into(std::string& out, const std::string& s) {
   }
 }
 
+/// Label values per the exposition format: backslash, quote and newline
+/// must be escaped; everything else passes through.
+void prom_label_escape_into(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+/// HELP text: backslash and newline are the only escapes.
+void prom_help_escape_into(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+/// `{shard="0",le="1"}` — `extra` appends one more pair (the histogram
+/// bucket's `le`). Empty when there is nothing to render.
+std::string prom_labels(const SampleLabels& labels,
+                        const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  const auto put = [&](const std::string& key, const std::string& value) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += prom_name(key) + "=\"";
+    prom_label_escape_into(out, value);
+    out.push_back('"');
+  };
+  for (const auto& [key, value] : labels) put(key, value);
+  if (extra != nullptr) put(extra->first, extra->second);
+  out.push_back('}');
+  return out;
+}
+
+/// Display key for JSON/summary output: labeled series are suffixed with
+/// their label set so fleet-merged snapshots keep unique keys.
+std::string labeled_name(const std::string& name, const SampleLabels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key + "=" + value;
+  }
+  out.push_back('}');
+  return out;
+}
+
 }  // namespace
 
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
+  // One HELP/TYPE block per distinct metric: labeled series of the same
+  // name (snapshots keep them adjacent) share it — repeating the header
+  // inside a metric family is an exposition-format violation.
+  std::string last_header;
+  const auto header = [&](const std::string& name, const char* type,
+                          const std::string& dotted) {
+    if (name == last_header) return;
+    last_header = name;
+    out += "# HELP " + name + " ";
+    prom_help_escape_into(out, dotted);
+    out += "\n# TYPE " + name + " ";
+    out += type;
+    out.push_back('\n');
+  };
   for (const auto& c : snapshot.counters) {
     std::string name = prom_name(c.name);
     if (!ends_with(name, "_total")) name += "_total";
-    out += "# TYPE " + name + " counter\n";
-    out += name + " " + std::to_string(c.value) + "\n";
+    header(name, "counter", c.name);
+    out += name + prom_labels(c.labels, nullptr) + " " +
+           std::to_string(c.value) + "\n";
   }
+  last_header.clear();
   for (const auto& g : snapshot.gauges) {
     const std::string name = prom_name(g.name);
-    out += "# TYPE " + name + " gauge\n";
-    out += name + " " + fmt_double(g.value) + "\n";
+    header(name, "gauge", g.name);
+    out += name + prom_labels(g.labels, nullptr) + " " + fmt_double(g.value) +
+           "\n";
   }
+  last_header.clear();
   for (const auto& h : snapshot.histograms) {
     const std::string name = prom_name(h.name);
-    out += "# TYPE " + name + " histogram\n";
+    header(name, "histogram", h.name);
     std::uint64_t cumulative = 0;
     for (const auto& [bound, n] : h.buckets) {
       cumulative += n;
-      const std::string le =
-          std::isinf(bound) ? std::string("+Inf") : fmt_double(bound);
-      out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
-             "\n";
+      const std::pair<std::string, std::string> le = {
+          "le", std::isinf(bound) ? std::string("+Inf") : fmt_double(bound)};
+      out += name + "_bucket" + prom_labels(h.labels, &le) + " " +
+             std::to_string(cumulative) + "\n";
     }
-    out += name + "_sum " + fmt_double(h.sum) + "\n";
-    out += name + "_count " + std::to_string(h.count) + "\n";
+    out += name + "_sum" + prom_labels(h.labels, nullptr) + " " +
+           fmt_double(h.sum) + "\n";
+    out += name + "_count" + prom_labels(h.labels, nullptr) + " " +
+           std::to_string(h.count) + "\n";
   }
   return out;
 }
@@ -107,7 +188,7 @@ std::string to_json(const Snapshot& snapshot) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    json_escape_into(out, c.name);
+    json_escape_into(out, labeled_name(c.name, c.labels));
     out += "\": " + std::to_string(c.value);
   }
   out += first ? "},\n" : "\n  },\n";
@@ -118,7 +199,7 @@ std::string to_json(const Snapshot& snapshot) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    json_escape_into(out, g.name);
+    json_escape_into(out, labeled_name(g.name, g.labels));
     out += "\": " + fmt_double(g.value);
   }
   out += first ? "},\n" : "\n  },\n";
@@ -129,7 +210,7 @@ std::string to_json(const Snapshot& snapshot) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    json_escape_into(out, h.name);
+    json_escape_into(out, labeled_name(h.name, h.labels));
     out += "\": {\"count\": " + std::to_string(h.count) +
            ", \"sum\": " + fmt_double(h.sum) +
            ", \"min\": " + fmt_double(h.min) +
@@ -169,7 +250,8 @@ std::string summary_text(const Snapshot& snapshot) {
         return secs ? fmt_duration(v) : fmt_double(v);
       };
       std::snprintf(line, sizeof(line), "%-44s %8llu %10s %10s %10s %10s %10s\n",
-                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    labeled_name(h.name, h.labels).c_str(),
+                    static_cast<unsigned long long>(h.count),
                     cell(h.sum / static_cast<double>(h.count)).c_str(),
                     cell(h.p50).c_str(), cell(h.p90).c_str(),
                     cell(h.p99).c_str(), cell(h.max).c_str());
@@ -183,7 +265,8 @@ std::string summary_text(const Snapshot& snapshot) {
       out << "counters:\n";
       header = true;
     }
-    std::snprintf(line, sizeof(line), "  %-44s %llu\n", c.name.c_str(),
+    std::snprintf(line, sizeof(line), "  %-44s %llu\n",
+                  labeled_name(c.name, c.labels).c_str(),
                   static_cast<unsigned long long>(c.value));
     out << line;
   }
@@ -194,7 +277,8 @@ std::string summary_text(const Snapshot& snapshot) {
       out << "gauges:\n";
       header = true;
     }
-    std::snprintf(line, sizeof(line), "  %-44s %s\n", g.name.c_str(),
+    std::snprintf(line, sizeof(line), "  %-44s %s\n",
+                  labeled_name(g.name, g.labels).c_str(),
                   fmt_double(g.value).c_str());
     out << line;
   }
@@ -269,11 +353,77 @@ std::string to_trace_json(const std::vector<TraceEvent>& events,
   return out;
 }
 
+std::string to_trace_json_processes(
+    const std::vector<ProcessTrace>& processes) {
+  std::size_t dropped = 0;
+  for (const ProcessTrace& p : processes) dropped += p.dropped;
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": "
+                    "{\"dropped\": " +
+                    std::to_string(dropped) + "},\n  \"traceEvents\": [";
+  bool first = true;
+  for (const ProcessTrace& p : processes) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(p.pid) + ", \"tid\": 0, \"args\": {\"name\": \"";
+    json_escape_into(out, p.name);
+    out += "\"}}";
+  }
+  for (const ProcessTrace& p : processes) {
+    // Dense tids per process, by first appearance — same scheme as the
+    // single-process exporter, scoped to this process's lane.
+    std::map<std::uint64_t, std::size_t> tids;
+    for (const TraceEvent& e : p.events) {
+      tids.emplace(e.thread_hash, tids.size() + 1);
+    }
+    for (const TraceEvent& e : p.events) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"name\": \"";
+      json_escape_into(out, e.name);
+      out += "\", \"cat\": \"ccg\", \"ph\": \"X\", \"ts\": " +
+             fmt_us(e.start_ns) + ", \"dur\": " + fmt_us(e.duration_ns) +
+             ", \"pid\": " + std::to_string(p.pid) +
+             ", \"tid\": " + std::to_string(tids.at(e.thread_hash)) +
+             ", \"args\": {";
+      bool first_arg = true;
+      const auto arg = [&](const char* key, std::uint64_t id) {
+        if (id == 0) return;
+        if (!first_arg) out += ", ";
+        first_arg = false;
+        out += "\"";
+        out += key;
+        out += "\": \"" + hex_id(id) + "\"";
+      };
+      arg("trace", e.trace_id);
+      arg("span", e.span_id);
+      arg("parent", e.parent_id);
+      out += "}}";
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
 bool write_trace_file(const std::string& path) {
   TraceRing& ring = TraceRing::global();
   std::ofstream out(path);
   if (!out) return false;
-  out << to_trace_json(ring.events(), ring.dropped());
+  const auto fleet = FleetRegistry::global().spans_by_shard();
+  if (fleet.empty()) {
+    out << to_trace_json(ring.events(), ring.dropped());
+  } else {
+    // An aggregator that received shard spans writes the merged fleet
+    // trace: its own lane plus one process lane per shard.
+    std::vector<ProcessTrace> processes;
+    processes.push_back({"aggregator", 1, ring.events(), ring.dropped()});
+    for (const auto& [shard, spans] : fleet) {
+      processes.push_back({"shard " + std::to_string(shard), 2 + shard, spans,
+                           FleetRegistry::global().spans_dropped(shard)});
+    }
+    out << to_trace_json_processes(processes);
+  }
   return static_cast<bool>(out);
 }
 

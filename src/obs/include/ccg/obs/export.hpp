@@ -15,6 +15,12 @@ namespace ccg::obs {
 /// Prometheus text format (version 0.0.4). Dotted metric names are
 /// sanitized to underscores; counters get a `_total` suffix; histograms
 /// emit cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+/// Every distinct metric gets one `# HELP` line (the original dotted name)
+/// and one `# TYPE` line; labeled samples of the same metric (the fleet
+/// registry's `shard="N"` series) share a single header block, and label
+/// values are escaped per the exposition spec (`\\`, `\"`, `\n`). Series
+/// order is the snapshot order, which is sorted — so scrapes are stable
+/// across runs.
 std::string to_prometheus(const Snapshot& snapshot);
 
 /// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
@@ -39,7 +45,24 @@ bool write_json_file(const std::string& path, const Snapshot& snapshot);
 std::string to_trace_json(const std::vector<TraceEvent>& events,
                           std::size_t dropped = 0);
 
+/// One process's span stream for a merged fleet trace.
+struct ProcessTrace {
+  std::string name;               // "aggregator", "shard 0", ...
+  std::uint32_t pid = 1;
+  std::vector<TraceEvent> events;
+  std::size_t dropped = 0;
+};
+
+/// Multi-process Chrome trace: same event encoding as to_trace_json plus
+/// one "process_name" metadata event per process, events stamped with
+/// their process's pid and per-process dense tids — so an aggregator run
+/// renders its own spans and every shard's shipped spans as separate
+/// process lanes in one timeline.
+std::string to_trace_json_processes(const std::vector<ProcessTrace>& processes);
+
 /// Snapshots the global TraceRing and writes to_trace_json to `path`.
+/// When the FleetRegistry holds shipped shard spans the file is the merged
+/// multi-process trace (pid 1 = this process, pid 2+N = shard N).
 /// Returns false on I/O failure.
 bool write_trace_file(const std::string& path);
 

@@ -97,6 +97,50 @@ class LogRing {
 LogLevel stderr_level() noexcept;
 void set_stderr_level(LogLevel level) noexcept;
 
+/// Token-bucket limiter for the stderr mirror, one bucket per level so a
+/// debug flood (a shard worker at --log-level debug, say) cannot starve
+/// error lines. admit() is deterministic in the supplied timestamp, which
+/// is what the unit tests drive. Records suppressed while a bucket is dry
+/// are counted; the first admitted record after a dry spell reports them
+/// so the terminal shows "...suppressed N..." instead of silence.
+class StderrRateLimiter {
+ public:
+  struct Decision {
+    bool mirror = true;          // print this record?
+    std::uint64_t recovered = 0; // suppressed records this admit recovers
+  };
+
+  /// `rate_per_sec` tokens accrue per level, up to `burst`.
+  StderrRateLimiter(double rate_per_sec, double burst);
+
+  Decision admit(LogLevel level, std::uint64_t now_ns);
+
+  /// Total records suppressed across all levels so far.
+  std::uint64_t suppressed() const;
+
+ private:
+  struct Bucket {
+    double tokens;
+    std::uint64_t last_ns = 0;
+    std::uint64_t dropped = 0;  // current dry spell
+  };
+  mutable std::mutex mutex_;
+  double rate_;
+  double burst_;
+  Bucket buckets_[4];
+  std::uint64_t suppressed_total_ = 0;
+};
+
+/// The limiter guarding the process's stderr mirror. Rate from
+/// CCG_LOG_STDERR_RPS (default 25/s per level, burst 2x).
+StderrRateLimiter& stderr_rate_limiter();
+
+/// Mirrors a record shipped from another process (a telemetry frame) to
+/// stderr, tagged `shard=N` — subject to the same threshold and rate
+/// limiter as local records. The record is NOT pushed into the local
+/// LogRing (the fleet registry retains shipped records separately).
+void mirror_shard_record(std::uint32_t shard, const LogRecord& record);
+
 /// Emits one record: stamps time/thread/trace, pushes into the global
 /// LogRing, bumps the ccg.log.<level> counter, and mirrors to stderr when
 /// `level >= stderr_level()`.

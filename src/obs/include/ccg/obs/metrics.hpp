@@ -129,14 +129,21 @@ class Histogram {
 
 // --- snapshots (what the exporters consume) --------------------------------
 
+/// Label set attached to a sample ("shard" = "3", ...). Sorted by key by
+/// convention; instruments registered directly always have no labels — the
+/// fleet registry stamps them when merging remote snapshots.
+using SampleLabels = std::vector<std::pair<std::string, std::string>>;
+
 struct CounterSample {
   std::string name;
   std::uint64_t value = 0;
+  SampleLabels labels;
 };
 
 struct GaugeSample {
   std::string name;
   double value = 0.0;
+  SampleLabels labels;
 };
 
 struct HistogramSample {
@@ -150,6 +157,7 @@ struct HistogramSample {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  SampleLabels labels;
 };
 
 struct Snapshot {
@@ -157,6 +165,13 @@ struct Snapshot {
   std::vector<GaugeSample> gauges;          // sorted by name
   std::vector<HistogramSample> histograms;  // sorted by name
 };
+
+/// Quantile estimate from (bound, occupancy) buckets: same linear
+/// interpolation as Histogram::quantile, usable on shipped/merged bucket
+/// sets where the live Histogram is in another process.
+double quantile_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& buckets,
+    std::uint64_t count, double min, double max, double q) noexcept;
 
 // --- registry ---------------------------------------------------------------
 
@@ -183,6 +198,23 @@ class Registry {
 
   /// Consistent-per-instrument view of everything registered.
   Snapshot snapshot() const;
+
+  /// What changed since `prev` (an earlier snapshot() of this registry) —
+  /// the shipping primitive for cross-process telemetry:
+  ///  - counters: monotonic delta (a current value below prev is a reset;
+  ///    the current value ships). Zero deltas are omitted.
+  ///  - gauges: last-write — included only when the value changed or the
+  ///    gauge is new.
+  ///  - histograms: per-bucket occupancy diffs with count/sum diffs and
+  ///    the *current* min/max (receiver applies them last-write); p50/90/99
+  ///    are recomputed over the diff buckets. Unchanged histograms are
+  ///    omitted.
+  /// A default-constructed `prev` yields the full snapshot, so the first
+  /// delta bootstraps the receiver. When `current` is non-null it receives
+  /// the snapshot the delta was computed against (the shipper's next
+  /// baseline — re-snapshotting would race concurrent updates).
+  Snapshot snapshot_delta(const Snapshot& prev,
+                          Snapshot* current = nullptr) const;
 
   /// Zeroes all values; registrations (and handed-out references) survive.
   void reset();

@@ -1,0 +1,122 @@
+// Pipeline SLO watcher: a background thread that periodically evaluates a
+// small set of burn signals against configurable thresholds —
+//
+//   window_lag  seconds since the last analytics window was delivered
+//   stall       watchdog flight-record dumps per interval
+//   net         ccg.net.{connect_retries,timeouts,errors} per interval
+//   fallback    ccg.incr.* fallback rebuilds per interval
+//
+// A threshold crossed in one interval is a *breach* (structured warn log +
+// ccg.slo.breaches). A breach sustained for `burn_intervals` consecutive
+// intervals is a *sustained burn* (structured error log + one flight-record
+// dump tagged `slo-<signal>` per episode + ccg.slo.sustained). The episode
+// re-arms once the signal recovers for a full interval.
+//
+// The decision core (SloEvaluator) is deterministic: it sees only explicit
+// cumulative inputs and timestamps, so unit tests drive it without threads
+// or clocks. SloWatcher owns the thread, the clock, and the wiring to the
+// Registry / Watchdog / flight recorder.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace ccg::obs {
+
+struct SloOptions {
+  std::uint64_t interval_ms = 1000;      // evaluation cadence
+  double window_lag_seconds = 5.0;       // max silence between windows
+  std::uint64_t max_stall_dumps = 0;     // watchdog dumps allowed / interval
+  std::uint64_t max_net_events = 10;     // retries+timeouts+errors / interval
+  std::uint64_t max_fallbacks = 25;      // incremental fallbacks / interval
+  std::uint32_t burn_intervals = 3;      // consecutive breaches => sustained
+  std::string flight_dir = ".";          // where slo-* dumps land
+};
+
+/// One evaluation's inputs: cumulative totals (the evaluator differences
+/// them itself) plus the lag clock.
+struct SloInputs {
+  std::uint64_t now_ns = 0;
+  bool window_seen = false;          // has any window been delivered yet?
+  std::uint64_t last_window_ns = 0;  // timestamp of the latest delivery
+  std::uint64_t stall_dumps = 0;     // Watchdog::dumps(), cumulative
+  std::uint64_t net_events = 0;      // sum of ccg.net.* failure counters
+  std::uint64_t fallbacks = 0;       // sum of ccg.incr.*fallback* counters
+};
+
+struct SloBreach {
+  std::string signal;     // "window_lag" | "stall" | "net" | "fallback"
+  double value = 0.0;     // observed this interval
+  double threshold = 0.0;
+  std::uint32_t consecutive = 0;  // intervals in breach, including this one
+  bool sustained = false;         // first interval at/over the burn limit
+};
+
+/// Deterministic breach/burn state machine. Not thread-safe; the watcher
+/// serializes calls.
+class SloEvaluator {
+ public:
+  explicit SloEvaluator(SloOptions options);
+
+  /// Evaluates one interval. Returns the signals in breach this interval;
+  /// `sustained` is set only on the interval a burn episode *starts*, so
+  /// callers can dump exactly once per episode.
+  std::vector<SloBreach> evaluate(const SloInputs& inputs);
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct SignalState {
+    std::uint32_t consecutive = 0;
+    bool burning = false;  // episode open; re-arms on a clean interval
+  };
+  SloBreach judge(std::size_t idx, const char* signal, double value,
+                  double threshold, bool breached);
+
+  SloOptions options_;
+  bool primed_ = false;  // first call only seeds the cumulative baselines
+  std::uint64_t prev_stalls_ = 0;
+  std::uint64_t prev_net_ = 0;
+  std::uint64_t prev_fallbacks_ = 0;
+  SignalState signals_[4];
+};
+
+/// The background watcher. One global instance, started by the CLI when
+/// --slo-watch (or CCG_SLO_WATCH=1) is set.
+class SloWatcher {
+ public:
+  static SloWatcher& global();
+
+  void start(SloOptions options);
+  void stop();
+  bool running() const;
+
+  /// Heartbeat: the analytics service calls this on every delivered
+  /// window; the window_lag signal measures silence since the last call.
+  void note_window();
+
+  /// Text block for the ops endpoint / debugging: thresholds plus the
+  /// current consecutive-breach counts.
+  std::string status_text() const;
+
+ private:
+  SloWatcher() = default;
+  void watch_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool shutdown_ = false;
+  SloOptions options_;
+  bool window_seen_ = false;
+  std::uint64_t last_window_ns_ = 0;
+  std::vector<SloBreach> last_breaches_;
+};
+
+}  // namespace ccg::obs

@@ -208,6 +208,88 @@ void set_stderr_level(LogLevel level) noexcept {
                                std::memory_order_relaxed);
 }
 
+StderrRateLimiter::StderrRateLimiter(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst) {
+  for (Bucket& b : buckets_) b.tokens = burst_;
+}
+
+StderrRateLimiter::Decision StderrRateLimiter::admit(LogLevel level,
+                                                     std::uint64_t now_ns) {
+  std::lock_guard lock(mutex_);
+  Bucket& b = buckets_[static_cast<int>(level)];
+  // Refill from elapsed time; a timestamp going backwards (clamped to the
+  // last one) just refills nothing, it never drains.
+  if (now_ns > b.last_ns) {
+    b.tokens = std::min(
+        burst_, b.tokens + rate_ * static_cast<double>(now_ns - b.last_ns) * 1e-9);
+    b.last_ns = now_ns;
+  }
+  if (b.tokens < 1.0) {
+    ++b.dropped;
+    ++suppressed_total_;
+    return {false, 0};
+  }
+  b.tokens -= 1.0;
+  Decision d{true, b.dropped};
+  b.dropped = 0;
+  return d;
+}
+
+std::uint64_t StderrRateLimiter::suppressed() const {
+  std::lock_guard lock(mutex_);
+  return suppressed_total_;
+}
+
+namespace {
+
+double env_stderr_rps() {
+  if (const char* env = std::getenv("CCG_LOG_STDERR_RPS")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0.0) return v;
+  }
+  return 25.0;
+}
+
+Counter& stderr_dropped_counter() {
+  static Counter* c = &Registry::global().counter("ccg.log.stderr_dropped");
+  return *c;
+}
+
+/// Runs a record through the threshold + rate limiter and prints it (with
+/// an optional extra logfmt tail) when admitted. Shared by the local
+/// mirror and the shipped-record mirror.
+void mirror_to_stderr(const LogRecord& record, const std::string& tail) {
+  const StderrRateLimiter::Decision d =
+      stderr_rate_limiter().admit(record.level, record.ts_ns);
+  if (!d.mirror) {
+    stderr_dropped_counter().add();
+    return;
+  }
+  if (d.recovered > 0) {
+    std::fprintf(stderr,
+                 "ccg: level=%s msg=\"stderr mirror resumed\" suppressed=%llu\n",
+                 level_name(record.level),
+                 static_cast<unsigned long long>(d.recovered));
+  }
+  std::fprintf(stderr, "ccg: %s%s\n", record.render().c_str(), tail.c_str());
+}
+
+}  // namespace
+
+StderrRateLimiter& stderr_rate_limiter() {
+  static StderrRateLimiter* limiter = [] {
+    const double rate = env_stderr_rps();
+    return new StderrRateLimiter(rate, 2.0 * rate);  // leaked, like the ring
+  }();
+  return *limiter;
+}
+
+void mirror_shard_record(std::uint32_t shard, const LogRecord& record) {
+  if (record.level < stderr_level()) return;
+  mirror_to_stderr(record, " shard=" + std::to_string(shard));
+}
+
 void log(LogLevel level, std::string_view message,
          std::initializer_list<LogField> fields) {
   LogRecord record;
@@ -220,7 +302,7 @@ void log(LogLevel level, std::string_view message,
 
   level_counter(level).add();
   if (level >= stderr_level()) {
-    std::fprintf(stderr, "ccg: %s\n", record.render().c_str());
+    mirror_to_stderr(record, "");
   }
   LogRing::global().push(std::move(record));
 }

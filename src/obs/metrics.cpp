@@ -88,6 +88,29 @@ double Histogram::quantile(double q) const noexcept {
   return hi;  // unreachable unless counts raced; max is the safe answer
 }
 
+double quantile_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& buckets,
+    std::uint64_t count, double min, double max, double q) noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  if (count == 0 || buckets.empty()) return 0.0;
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i].second);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double bucket_lo = i == 0 ? 0.0 : buckets[i - 1].first;
+      const double bound = buckets[i].first;
+      const double bucket_hi = std::isinf(bound) ? max : std::min(bound, max);
+      const double frac = (target - cumulative) / in_bucket;
+      const double v = bucket_lo + frac * (bucket_hi - bucket_lo);
+      return std::clamp(v, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
 void Histogram::reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -140,11 +163,11 @@ Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    snap.counters.push_back({name, c->value()});
+    snap.counters.push_back({name, c->value(), {}});
   }
   snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
-    snap.gauges.push_back({name, g->value()});
+    snap.gauges.push_back({name, g->value(), {}});
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -164,6 +187,73 @@ Snapshot Registry::snapshot() const {
     snap.histograms.push_back(std::move(s));
   }
   return snap;
+}
+
+Snapshot Registry::snapshot_delta(const Snapshot& prev,
+                                  Snapshot* current) const {
+  // Both snapshot() and a Snapshot's vectors are sorted by name (the
+  // registry maps are ordered), so each lookup is one merge-style probe.
+  const Snapshot cur = snapshot();
+  Snapshot delta;
+
+  std::size_t p = 0;
+  for (const CounterSample& c : cur.counters) {
+    while (p < prev.counters.size() && prev.counters[p].name < c.name) ++p;
+    std::uint64_t base = 0;
+    if (p < prev.counters.size() && prev.counters[p].name == c.name) {
+      base = prev.counters[p].value;
+    }
+    // A shrinking "monotonic" counter means the source was reset; the
+    // honest delta is the whole current value.
+    const std::uint64_t d = c.value >= base ? c.value - base : c.value;
+    if (d != 0) delta.counters.push_back({c.name, d, {}});
+  }
+
+  p = 0;
+  for (const GaugeSample& g : cur.gauges) {
+    while (p < prev.gauges.size() && prev.gauges[p].name < g.name) ++p;
+    const bool known =
+        p < prev.gauges.size() && prev.gauges[p].name == g.name;
+    if (!known || prev.gauges[p].value != g.value) {
+      delta.gauges.push_back({g.name, g.value, {}});
+    }
+  }
+
+  p = 0;
+  for (const HistogramSample& h : cur.histograms) {
+    while (p < prev.histograms.size() && prev.histograms[p].name < h.name) ++p;
+    const HistogramSample* base =
+        p < prev.histograms.size() && prev.histograms[p].name == h.name
+            ? &prev.histograms[p]
+            : nullptr;
+    HistogramSample d;
+    d.name = h.name;
+    d.buckets.reserve(h.buckets.size());
+    const bool diffable =
+        base != nullptr && base->buckets.size() == h.buckets.size() &&
+        base->count <= h.count;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      const std::uint64_t cur_n = h.buckets[i].second;
+      const std::uint64_t base_n =
+          diffable && base->buckets[i].second <= cur_n
+              ? base->buckets[i].second
+              : 0;
+      d.buckets.emplace_back(h.buckets[i].first, cur_n - base_n);
+    }
+    d.count = diffable ? h.count - base->count : h.count;
+    d.sum = diffable ? h.sum - base->sum : h.sum;
+    if (d.count == 0) continue;
+    // min/max are not differencable; ship the running values and let the
+    // receiver treat them as last-write.
+    d.min = h.min;
+    d.max = h.max;
+    d.p50 = quantile_from_buckets(d.buckets, d.count, d.min, d.max, 0.50);
+    d.p90 = quantile_from_buckets(d.buckets, d.count, d.min, d.max, 0.90);
+    d.p99 = quantile_from_buckets(d.buckets, d.count, d.min, d.max, 0.99);
+    delta.histograms.push_back(std::move(d));
+  }
+  if (current != nullptr) *current = cur;
+  return delta;
 }
 
 void Registry::reset() {

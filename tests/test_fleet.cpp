@@ -1,0 +1,221 @@
+// FleetRegistry: accumulation semantics for shipped telemetry deltas,
+// labeled snapshot rendering, retention caps for shipped logs/spans, and
+// the local+fleet snapshot merge the ops endpoint exposes.
+#include "ccg/obs/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ccg/obs/metrics.hpp"
+
+namespace ccg {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The fleet registry is global (the aggregator owns it); every test
+/// starts and ends empty so ordering doesn't matter.
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::FleetRegistry::global().clear(); }
+  void TearDown() override { obs::FleetRegistry::global().clear(); }
+};
+
+obs::Snapshot counter_delta(const std::string& name, std::uint64_t value) {
+  obs::Snapshot s;
+  s.counters.push_back({name, value, {}});
+  return s;
+}
+
+TEST_F(FleetTest, StartsInactiveAndEmpty) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  EXPECT_FALSE(fleet.active());
+  EXPECT_EQ(fleet.frames_applied(), 0u);
+  const obs::Snapshot snap = fleet.labeled_snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(FleetTest, CountersAccumulateAcrossDeltasPerShard) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  fleet.apply(0, counter_delta("ccg.pipeline.records", 100));
+  fleet.apply(1, counter_delta("ccg.pipeline.records", 40));
+  fleet.apply(0, counter_delta("ccg.pipeline.records", 11));
+
+  EXPECT_TRUE(fleet.active());
+  EXPECT_EQ(fleet.frames_applied(), 3u);
+  const obs::Snapshot snap = fleet.labeled_snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].value, 111u);  // shard 0: 100 + 11
+  ASSERT_EQ(snap.counters[0].labels.size(), 1u);
+  EXPECT_EQ(snap.counters[0].labels[0].first, "shard");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "0");
+  EXPECT_EQ(snap.counters[1].value, 40u);
+  EXPECT_EQ(snap.counters[1].labels[0].second, "1");
+}
+
+TEST_F(FleetTest, GaugesAreLastWrite) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  obs::Snapshot d;
+  d.gauges.push_back({"ccg.pipeline.queue_depth_hwm", 4.0, {}});
+  fleet.apply(2, d);
+  d.gauges[0].value = 1.5;
+  fleet.apply(2, d);
+  const obs::Snapshot snap = fleet.labeled_snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  EXPECT_EQ(snap.gauges[0].labels[0].second, "2");
+}
+
+TEST_F(FleetTest, LabeledSnapshotSortsByNameThenNumericShard) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  // Shard 10 must sort after shard 2 (numeric, not lexicographic).
+  fleet.apply(10, counter_delta("b.metric", 1));
+  fleet.apply(2, counter_delta("b.metric", 1));
+  fleet.apply(7, counter_delta("a.metric", 1));
+  const obs::Snapshot snap = fleet.labeled_snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a.metric");
+  EXPECT_EQ(snap.counters[1].name, "b.metric");
+  EXPECT_EQ(snap.counters[1].labels[0].second, "2");
+  EXPECT_EQ(snap.counters[2].labels[0].second, "10");
+}
+
+TEST_F(FleetTest, HistogramBucketsAccumulateAndQuantilesRecompute) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  obs::Snapshot d;
+  obs::HistogramSample h;
+  h.name = "ccg.analytics.window.seconds";
+  h.buckets = {{1.0, 2}, {2.0, 0}, {kInf, 0}};
+  h.count = 2;
+  h.sum = 1.0;
+  h.min = 0.4;
+  h.max = 0.6;
+  d.histograms.push_back(h);
+  fleet.apply(0, d);
+
+  obs::Snapshot d2;
+  h.buckets = {{1.0, 0}, {2.0, 3}, {kInf, 0}};
+  h.count = 3;
+  h.sum = 4.5;
+  h.min = 0.4;
+  h.max = 1.8;
+  d2.histograms.push_back(h);
+  fleet.apply(0, d2);
+
+  const obs::Snapshot snap = fleet.labeled_snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const obs::HistogramSample& merged = snap.histograms[0];
+  EXPECT_EQ(merged.count, 5u);
+  EXPECT_DOUBLE_EQ(merged.sum, 5.5);
+  EXPECT_DOUBLE_EQ(merged.max, 1.8);  // last-write, not a diff
+  ASSERT_EQ(merged.buckets.size(), 3u);
+  EXPECT_EQ(merged.buckets[0].second, 2u);
+  EXPECT_EQ(merged.buckets[1].second, 3u);
+  // Quantiles come from the accumulated buckets, clamped to [min, max].
+  EXPECT_DOUBLE_EQ(
+      merged.p50, obs::quantile_from_buckets(merged.buckets, merged.count,
+                                             merged.min, merged.max, 0.5));
+  EXPECT_GE(merged.p50, merged.min);
+  EXPECT_LE(merged.p99, merged.max);
+}
+
+TEST_F(FleetTest, HistogramLayoutChangeReplacesTheSeries) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  obs::Snapshot d;
+  obs::HistogramSample h;
+  h.name = "ccg.test.lat";
+  h.buckets = {{1.0, 5}, {kInf, 0}};
+  h.count = 5;
+  h.sum = 2.5;
+  d.histograms.push_back(h);
+  fleet.apply(0, d);
+
+  // A shard restart re-registers the histogram with different options; the
+  // old accumulation would be meaningless, so the series is replaced.
+  obs::Snapshot d2;
+  h.buckets = {{0.5, 1}, {1.0, 0}, {kInf, 0}};
+  h.count = 1;
+  h.sum = 0.25;
+  d2.histograms.clear();
+  d2.histograms.push_back(h);
+  fleet.apply(0, d2);
+
+  const obs::Snapshot snap = fleet.labeled_snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].buckets.size(), 3u);
+}
+
+TEST_F(FleetTest, LogRetentionKeepsTheNewestPerShard) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  const std::size_t cap = obs::FleetRegistry::log_capacity();
+  std::vector<obs::LogRecord> records;
+  for (std::size_t i = 0; i < cap + 10; ++i) {
+    obs::LogRecord r;
+    r.message = "m" + std::to_string(i);
+    records.push_back(std::move(r));
+  }
+  fleet.add_logs(1, records);
+  const auto logs = fleet.recent_logs();
+  ASSERT_EQ(logs.size(), cap);
+  EXPECT_EQ(logs.front().shard, 1u);
+  EXPECT_EQ(logs.front().record.message, "m10");  // oldest 10 trimmed
+  EXPECT_EQ(logs.back().record.message, "m" + std::to_string(cap + 9));
+}
+
+TEST_F(FleetTest, SpanRetentionDropsOverflowAndCountsIt) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  const std::size_t cap = obs::FleetRegistry::span_capacity();
+  std::vector<obs::TraceEvent> spans(cap + 7);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    spans[i].name = "s";
+    spans[i].start_ns = i;
+  }
+  fleet.add_spans(3, spans);
+  const auto by_shard = fleet.spans_by_shard();
+  ASSERT_EQ(by_shard.size(), 1u);
+  EXPECT_EQ(by_shard[0].first, 3u);
+  EXPECT_EQ(by_shard[0].second.size(), cap);
+  EXPECT_EQ(fleet.spans_dropped(3), 7u);
+}
+
+TEST_F(FleetTest, MergeSnapshotsPutsUnlabeledFirstPerName) {
+  obs::Snapshot local;
+  local.counters.push_back({"b.shared", 9, {}});
+  local.counters.push_back({"c.local_only", 1, {}});
+
+  obs::Snapshot fleet;
+  fleet.counters.push_back({"a.fleet_only", 2, {{"shard", "0"}}});
+  fleet.counters.push_back({"b.shared", 4, {{"shard", "0"}}});
+  fleet.counters.push_back({"b.shared", 5, {{"shard", "1"}}});
+
+  const obs::Snapshot merged = obs::merge_snapshots(local, fleet);
+  ASSERT_EQ(merged.counters.size(), 5u);
+  EXPECT_EQ(merged.counters[0].name, "a.fleet_only");
+  // Same name: the unlabeled local series leads its shard series, so the
+  // Prometheus renderer emits one header block for the family.
+  EXPECT_EQ(merged.counters[1].name, "b.shared");
+  EXPECT_TRUE(merged.counters[1].labels.empty());
+  EXPECT_EQ(merged.counters[2].labels[0].second, "0");
+  EXPECT_EQ(merged.counters[3].labels[0].second, "1");
+  EXPECT_EQ(merged.counters[4].name, "c.local_only");
+}
+
+TEST_F(FleetTest, ClearResetsEverything) {
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  fleet.apply(0, counter_delta("x", 1));
+  fleet.add_spans(0, std::vector<obs::TraceEvent>(3));
+  fleet.clear();
+  EXPECT_FALSE(fleet.active());
+  EXPECT_EQ(fleet.frames_applied(), 0u);
+  EXPECT_TRUE(fleet.spans_by_shard().empty());
+  EXPECT_TRUE(fleet.recent_logs().empty());
+}
+
+}  // namespace
+}  // namespace ccg

@@ -164,5 +164,83 @@ TEST(ObsLogStderr, ThresholdIsAdjustable) {
   EXPECT_EQ(obs::stderr_level(), original);
 }
 
+// --- stderr mirror rate limiting ---------------------------------------------
+// admit() is deterministic in the supplied timestamp, so these drive a
+// virtual clock instead of sleeping.
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+TEST(ObsLogRateLimit, BurstThenRefill) {
+  // 2/s with burst 4: the first four records at t=0 pass, the fifth drops.
+  obs::StderrRateLimiter limiter(2.0, 4.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(limiter.admit(obs::LogLevel::kWarn, 0).mirror) << i;
+  }
+  EXPECT_FALSE(limiter.admit(obs::LogLevel::kWarn, 0).mirror);
+  EXPECT_EQ(limiter.suppressed(), 1u);
+
+  // Half a second accrues one token at 2/s.
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kWarn, kSecond / 2).mirror);
+  EXPECT_FALSE(limiter.admit(obs::LogLevel::kWarn, kSecond / 2).mirror);
+}
+
+TEST(ObsLogRateLimit, RecoveryReportsTheDrySpell) {
+  obs::StderrRateLimiter limiter(1.0, 1.0);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kError, 0).mirror);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(limiter.admit(obs::LogLevel::kError, 0).mirror);
+  }
+  // The first record admitted after the dry spell carries the count, so
+  // the terminal learns how much it missed; the counter does not reset
+  // the lifetime total.
+  const auto decision = limiter.admit(obs::LogLevel::kError, 2 * kSecond);
+  EXPECT_TRUE(decision.mirror);
+  EXPECT_EQ(decision.recovered, 5u);
+  EXPECT_EQ(limiter.suppressed(), 5u);
+  EXPECT_EQ(limiter.admit(obs::LogLevel::kError, 4 * kSecond).recovered, 0u);
+}
+
+TEST(ObsLogRateLimit, LevelsHaveIndependentBuckets) {
+  // A debug flood must not starve errors: each level owns a bucket.
+  obs::StderrRateLimiter limiter(1.0, 2.0);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kDebug, 0).mirror);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kDebug, 0).mirror);
+  EXPECT_FALSE(limiter.admit(obs::LogLevel::kDebug, 0).mirror);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kError, 0).mirror);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kWarn, 0).mirror);
+  EXPECT_EQ(limiter.suppressed(), 1u);
+}
+
+TEST(ObsLogRateLimit, BackwardsTimestampsRefillNothing) {
+  obs::StderrRateLimiter limiter(1.0, 1.0);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kInfo, 5 * kSecond).mirror);
+  // now < last: no refill, the bucket stays dry.
+  EXPECT_FALSE(limiter.admit(obs::LogLevel::kInfo, 1 * kSecond).mirror);
+  EXPECT_FALSE(limiter.admit(obs::LogLevel::kInfo, 5 * kSecond).mirror);
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kInfo, 7 * kSecond).mirror);
+}
+
+TEST(ObsLogRateLimit, TokensCapAtBurst) {
+  obs::StderrRateLimiter limiter(10.0, 3.0);
+  // A long quiet period must not bank more than `burst` tokens.
+  EXPECT_TRUE(limiter.admit(obs::LogLevel::kWarn, 0).mirror);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(limiter.admit(obs::LogLevel::kWarn, 100 * kSecond).mirror) << i;
+  }
+  EXPECT_FALSE(limiter.admit(obs::LogLevel::kWarn, 100 * kSecond).mirror);
+}
+
+TEST(ObsLogRateLimit, GlobalLimiterExistsAndShardMirrorCounts) {
+  // The process-wide limiter is shared state; just pin its existence and
+  // that shipped-record mirroring never touches the local ring.
+  (void)obs::stderr_rate_limiter();
+  obs::LogRing::global().clear();
+  obs::LogRecord record;
+  record.level = obs::LogLevel::kDebug;  // below the stderr threshold
+  record.message = "from a shard";
+  obs::mirror_shard_record(3, record);
+  EXPECT_TRUE(obs::LogRing::global().records().empty());
+}
+
 }  // namespace
 }  // namespace ccg

@@ -1,0 +1,215 @@
+// SloEvaluator: the deterministic breach/burn state machine behind the SLO
+// watcher thread. Every test drives explicit inputs — no clocks, threads,
+// or sleeps — which is the reason the evaluator is split from the watcher.
+#include "ccg/obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace ccg {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+obs::SloOptions tight_options() {
+  obs::SloOptions options;
+  options.window_lag_seconds = 5.0;
+  options.max_stall_dumps = 0;
+  options.max_net_events = 10;
+  options.max_fallbacks = 25;
+  options.burn_intervals = 3;
+  return options;
+}
+
+/// Inputs representing a healthy interval at time `now`.
+obs::SloInputs healthy(std::uint64_t now_ns) {
+  obs::SloInputs inputs;
+  inputs.now_ns = now_ns;
+  inputs.window_seen = true;
+  inputs.last_window_ns = now_ns;  // a window just landed
+  return inputs;
+}
+
+TEST(SloEvaluator, FirstCallOnlyPrimesBaselines) {
+  obs::SloEvaluator eval(tight_options());
+  obs::SloInputs inputs = healthy(0);
+  // Cumulative totals from a process that has been running a while: judging
+  // them as one interval would fire spurious startup breaches.
+  inputs.stall_dumps = 50;
+  inputs.net_events = 1000;
+  inputs.fallbacks = 500;
+  EXPECT_TRUE(eval.evaluate(inputs).empty());
+
+  // Second interval with no growth: still clean.
+  inputs.now_ns = kSecond;
+  inputs.last_window_ns = kSecond;
+  EXPECT_TRUE(eval.evaluate(inputs).empty());
+}
+
+TEST(SloEvaluator, StallDeltaOverThresholdBreaches) {
+  obs::SloEvaluator eval(tight_options());
+  obs::SloInputs inputs = healthy(0);
+  inputs.stall_dumps = 2;
+  (void)eval.evaluate(inputs);  // prime
+
+  inputs = healthy(kSecond);
+  inputs.stall_dumps = 3;  // one new dump; max_stall_dumps = 0
+  const auto breaches = eval.evaluate(inputs);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].signal, "stall");
+  EXPECT_DOUBLE_EQ(breaches[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(breaches[0].threshold, 0.0);
+  EXPECT_EQ(breaches[0].consecutive, 1u);
+  EXPECT_FALSE(breaches[0].sustained);
+}
+
+TEST(SloEvaluator, NetAndFallbackJudgeTheIntervalDelta) {
+  obs::SloEvaluator eval(tight_options());
+  obs::SloInputs inputs = healthy(0);
+  inputs.net_events = 100;
+  inputs.fallbacks = 100;
+  (void)eval.evaluate(inputs);
+
+  // +10 net events is exactly the threshold — not a breach (strictly over).
+  inputs = healthy(kSecond);
+  inputs.net_events = 110;
+  inputs.fallbacks = 125;  // +25, also at threshold
+  EXPECT_TRUE(eval.evaluate(inputs).empty());
+
+  inputs = healthy(2 * kSecond);
+  inputs.net_events = 121;   // +11 > 10
+  inputs.fallbacks = 151;    // +26 > 25
+  const auto breaches = eval.evaluate(inputs);
+  ASSERT_EQ(breaches.size(), 2u);
+  EXPECT_EQ(breaches[0].signal, "net");
+  EXPECT_EQ(breaches[1].signal, "fallback");
+}
+
+TEST(SloEvaluator, CumulativeShrinkMeansResetNotUnderflow) {
+  obs::SloEvaluator eval(tight_options());
+  obs::SloInputs inputs = healthy(0);
+  inputs.net_events = 1000;
+  (void)eval.evaluate(inputs);
+
+  // The source registry was reset: the honest interval delta is the whole
+  // current value, never a wrapped subtraction.
+  inputs = healthy(kSecond);
+  inputs.net_events = 5;
+  EXPECT_TRUE(eval.evaluate(inputs).empty());  // 5 <= 10
+
+  inputs = healthy(2 * kSecond);
+  inputs.net_events = 5 + 11;
+  EXPECT_EQ(eval.evaluate(inputs).size(), 1u);
+}
+
+TEST(SloEvaluator, WindowLagIsGatedOnFirstWindow) {
+  obs::SloEvaluator eval(tight_options());
+  obs::SloInputs inputs;
+  inputs.now_ns = 0;
+  inputs.window_seen = false;
+  (void)eval.evaluate(inputs);
+
+  // Startup replay may take arbitrarily long before the first window; lag
+  // only means something once a window has been delivered.
+  inputs.now_ns = 100 * kSecond;
+  EXPECT_TRUE(eval.evaluate(inputs).empty());
+
+  inputs.window_seen = true;
+  inputs.last_window_ns = 100 * kSecond;
+  inputs.now_ns = 106 * kSecond;  // 6 s > 5 s threshold
+  const auto breaches = eval.evaluate(inputs);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].signal, "window_lag");
+  EXPECT_DOUBLE_EQ(breaches[0].value, 6.0);
+}
+
+TEST(SloEvaluator, SustainedFiresOnceWhenTheEpisodeStarts) {
+  obs::SloEvaluator eval(tight_options());
+  obs::SloInputs inputs = healthy(0);
+  (void)eval.evaluate(inputs);
+
+  std::uint64_t stalls = 0;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    inputs = healthy(i * kSecond);
+    inputs.stall_dumps = ++stalls;  // one new dump every interval
+    const auto breaches = eval.evaluate(inputs);
+    ASSERT_EQ(breaches.size(), 1u) << "interval " << i;
+    EXPECT_EQ(breaches[0].consecutive, i);
+    // burn_intervals = 3: interval 3 starts the episode; 4 and 5 continue
+    // it without re-firing (one flight dump per episode).
+    EXPECT_EQ(breaches[0].sustained, i == 3) << "interval " << i;
+  }
+}
+
+TEST(SloEvaluator, RecoveryReArmsTheEpisode) {
+  obs::SloOptions options = tight_options();
+  options.burn_intervals = 2;
+  obs::SloEvaluator eval(options);
+  obs::SloInputs inputs = healthy(0);
+  (void)eval.evaluate(inputs);
+
+  std::uint64_t stalls = 0;
+  std::uint64_t t = 0;
+  const auto step = [&](bool stall) {
+    inputs = healthy(t += kSecond);
+    if (stall) ++stalls;
+    inputs.stall_dumps = stalls;
+    return eval.evaluate(inputs);
+  };
+
+  EXPECT_FALSE(step(true)[0].sustained);   // consecutive = 1
+  EXPECT_TRUE(step(true)[0].sustained);    // 2 -> episode starts
+  EXPECT_FALSE(step(true)[0].sustained);   // 3, same episode
+  EXPECT_TRUE(step(false).empty());        // clean interval re-arms
+  EXPECT_FALSE(step(true)[0].sustained);   // new count starts at 1
+  const auto again = step(true);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_TRUE(again[0].sustained);         // second episode fires again
+}
+
+TEST(SloEvaluator, IndependentSignalsTrackIndependentCounts) {
+  obs::SloOptions options = tight_options();
+  options.burn_intervals = 2;
+  obs::SloEvaluator eval(options);
+  obs::SloInputs inputs = healthy(0);
+  (void)eval.evaluate(inputs);
+
+  // Interval 1: stall breaches, net clean.
+  inputs = healthy(kSecond);
+  inputs.stall_dumps = 1;
+  auto breaches = eval.evaluate(inputs);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].signal, "stall");
+
+  // Interval 2: both breach — stall at consecutive 2 (sustained), net at 1.
+  inputs = healthy(2 * kSecond);
+  inputs.stall_dumps = 2;
+  inputs.net_events = 100;
+  breaches = eval.evaluate(inputs);
+  ASSERT_EQ(breaches.size(), 2u);
+  EXPECT_EQ(breaches[0].signal, "stall");
+  EXPECT_TRUE(breaches[0].sustained);
+  EXPECT_EQ(breaches[1].signal, "net");
+  EXPECT_EQ(breaches[1].consecutive, 1u);
+  EXPECT_FALSE(breaches[1].sustained);
+}
+
+TEST(SloWatcherApi, StatusTextReflectsLifecycle) {
+  obs::SloWatcher& watcher = obs::SloWatcher::global();
+  ASSERT_FALSE(watcher.running());
+  EXPECT_NE(watcher.status_text().find("stopped"), std::string::npos);
+
+  obs::SloOptions options;
+  options.interval_ms = 3600 * 1000;  // never actually ticks in this test
+  watcher.start(options);
+  EXPECT_TRUE(watcher.running());
+  EXPECT_NE(watcher.status_text().find("running"), std::string::npos);
+  watcher.note_window();  // must not deadlock against the watch loop
+  watcher.stop();
+  EXPECT_FALSE(watcher.running());
+}
+
+}  // namespace
+}  // namespace ccg

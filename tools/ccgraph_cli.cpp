@@ -41,10 +41,13 @@
 #include "ccg/incremental/dirty.hpp"
 #include "ccg/graph/serialize.hpp"
 #include "ccg/net/frame.hpp"
+#include "ccg/net/http.hpp"
 #include "ccg/obs/export.hpp"
+#include "ccg/obs/fleet.hpp"
 #include "ccg/obs/flight.hpp"
 #include "ccg/obs/log.hpp"
 #include "ccg/obs/metrics.hpp"
+#include "ccg/obs/slo.hpp"
 #include "ccg/obs/prof.hpp"
 #include "ccg/obs/prof_counters.hpp"
 #include "ccg/obs/span.hpp"
@@ -124,8 +127,9 @@ int usage() {
                "           Louvain (bounded divergence)\n"
                "  serve    --in flows.csv --shards N [--window MIN] [--train N]\n"
                "           [--rank K] [--collapse F] [--summary-out FILE]\n"
-               "           [--store DIR] forks N local shard workers and\n"
-               "           aggregates; output is byte-identical to `anomaly`\n"
+               "           [--store DIR] [--stall-ms MS] forks N local shard\n"
+               "           workers and aggregates; output is byte-identical\n"
+               "           to `anomaly`\n"
                "  aggregate --shards N [--listen PORT] [--window MIN]\n"
                "           [--train N] [--rank K] [--summary-out FILE]\n"
                "           [--store DIR] waits for N shard workers\n"
@@ -162,6 +166,25 @@ int usage() {
                "  --metrics-prom FILE  same registry in Prometheus text format\n"
                "  --trace-out FILE     record spans; write Chrome trace-event\n"
                "                       JSON (chrome://tracing, Perfetto) on exit\n"
+               "                       (aggregators write a merged multi-process\n"
+               "                       trace when shards shipped spans)\n"
+               "  --trace-buffer       record spans in memory without writing a\n"
+               "                       file (shard workers buffer spans to ship)\n"
+               "  --ops-port PORT      serve /metrics /healthz /readyz /tracez\n"
+               "                       on 127.0.0.1:PORT while the command runs\n"
+               "                       (0 = ephemeral; also $CCG_OPS_PORT);\n"
+               "                       aggregators expose per-shard series with\n"
+               "                       shard=\"N\" labels\n"
+               "  --slo-watch          evaluate pipeline SLOs in the background:\n"
+               "                       window lag, watchdog stalls, net errors,\n"
+               "                       incremental fallbacks; breaches log warn,\n"
+               "                       sustained burns log error + flight dump\n"
+               "  --slo-interval-ms N  SLO evaluation cadence (default 1000)\n"
+               "  --slo-window-lag-ms N  max silence between windows (default\n"
+               "                       5000) before the lag SLO breaches\n"
+               "  --slo-burn N         consecutive breach intervals before a\n"
+               "                       burn is sustained (default 3); env twins\n"
+               "                       $CCG_SLO_WATCH/_INTERVAL_MS/_WINDOW_LAG_MS/_BURN\n"
                "  --log-level LVL      stderr log threshold debug|info|warn|error\n"
                "                       (default: $CCG_LOG_LEVEL, else warn)\n"
                "  --flight-dir DIR     install crash handlers; flight records\n"
@@ -240,6 +263,71 @@ void replay_minutes(const std::vector<ConnectionSummary>& records,
     minute_batch.push_back(rec);
   }
   sink.on_batch(current, minute_batch);
+}
+
+// --- ops endpoint ------------------------------------------------------------
+
+/// /metrics body: the process-local registry, merged with per-shard
+/// `shard="N"` series once any telemetry frames arrived (aggregators).
+std::string ops_metrics_text() {
+  obs::Snapshot snapshot = obs::Registry::global().snapshot();
+  if (obs::FleetRegistry::global().active()) {
+    snapshot = obs::merge_snapshots(
+        snapshot, obs::FleetRegistry::global().labeled_snapshot());
+  }
+  return obs::to_prometheus(snapshot);
+}
+
+/// /tracez body: SLO watcher state plus span-ring and fleet occupancy.
+std::string ops_tracez_text() {
+  std::string out = obs::SloWatcher::global().status_text();
+  obs::TraceRing& ring = obs::TraceRing::global();
+  out += "trace ring: ";
+  out += ring.enabled() ? "enabled" : "disabled";
+  out += ", " + std::to_string(ring.events().size()) + " spans retained, " +
+         std::to_string(ring.dropped()) + " dropped\n";
+  obs::FleetRegistry& fleet = obs::FleetRegistry::global();
+  out += "fleet: " + std::to_string(fleet.frames_applied()) +
+         " telemetry frames applied\n";
+  for (const auto& [shard, spans] : fleet.spans_by_shard()) {
+    out += "  shard " + std::to_string(shard) + ": " +
+           std::to_string(spans.size()) + " spans shipped (" +
+           std::to_string(fleet.spans_dropped(shard)) + " dropped)\n";
+  }
+  return out;
+}
+
+/// Starts the live ops endpoint when --ops-port (or $CCG_OPS_PORT) is set.
+/// Returns nullptr otherwise; bind failure is fatal for the caller (a
+/// requested-but-dead endpoint is worse than no endpoint). The server
+/// starts *unready* — callers flip /readyz once their pipeline is up.
+std::unique_ptr<net::OpsServer> start_ops_server(const Args& args, int* rc) {
+  std::optional<std::string> port_arg = args.get("ops-port");
+  if (!port_arg) {
+    if (const char* env = std::getenv("CCG_OPS_PORT")) {
+      port_arg = std::string(env);
+    }
+  }
+  if (!port_arg || port_arg->empty()) return nullptr;
+  const long port = std::atol(port_arg->c_str());
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "ccgraph: bad --ops-port '%s'\n", port_arg->c_str());
+    *rc = 2;
+    return nullptr;
+  }
+  auto server = std::make_unique<net::OpsServer>();
+  if (!server->start(static_cast<std::uint16_t>(port),
+                     {ops_metrics_text, ops_tracez_text})) {
+    std::fprintf(stderr, "ccgraph: cannot bind ops endpoint on port %ld\n",
+                 port);
+    *rc = 1;
+    return nullptr;
+  }
+  // Port to stderr: stdout stays byte-identical with the endpoint off.
+  std::fprintf(stderr, "ccgraph: ops endpoint on 127.0.0.1:%u\n",
+               server->port());
+  std::fflush(stderr);
+  return server;
 }
 
 // --- commands ---------------------------------------------------------------
@@ -503,6 +591,10 @@ int cmd_anomaly(const Args& args) {
     }
   }
 
+  int ops_rc = 0;
+  const auto ops = start_ops_server(args, &ops_rc);
+  if (ops_rc != 0) return ops_rc;
+
   std::size_t alerts = 0;
   AnalyticsService service(
       {.graph = {.facet = GraphFacet::kIp,
@@ -525,9 +617,11 @@ int cmd_anomaly(const Args& args) {
           }
         }
       });
+  if (ops) ops->set_ready(true);
   // Records arrive sorted by minute from simulate/collectors; group them.
   replay_minutes(*records, service);
   service.flush();
+  if (ops) ops->set_ready(false);
   std::printf("%zu windows analyzed, %zu alerts\n", service.windows_reported(),
               alerts);
   return alerts > 0 ? 3 : 0;
@@ -581,7 +675,8 @@ int run_aggregation(const Args& args, std::vector<net::FrameConn> conns) {
   AnalyticsService service(
       {.graph = config,
        .training_windows = static_cast<std::size_t>(args.get_long("train", 3)),
-       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))}},
+       .spectral = {.rank = static_cast<std::size_t>(args.get_long("rank", 20))},
+       .stall_injection_ms = static_cast<int>(args.get_long("stall-ms", 0))},
       {}, [&](const WindowReport& report) {
         std::printf("%s\n", report.summary().c_str());
         if (summary_out.is_open()) summary_out << report.summary() << '\n';
@@ -607,6 +702,10 @@ int run_aggregation(const Args& args, std::vector<net::FrameConn> conns) {
     service.set_store(&*writer);
   }
 
+  int ops_rc = 0;
+  const auto ops = start_ops_server(args, &ops_rc);
+  if (ops_rc != 0) return ops_rc;
+
   const std::size_t shard_count = conns.size();
   dist::Aggregator aggregator({.graph = config,
                                .recv_timeout_ms = aggregator_timeout_ms(args),
@@ -616,8 +715,10 @@ int run_aggregation(const Args& args, std::vector<net::FrameConn> conns) {
     std::fprintf(stderr, "ccgraph: aggregator handshake failed\n");
     return 1;
   }
+  if (ops) ops->set_ready(true);
   const auto result = aggregator.run(
       [&](const CommGraph& graph) { service.ingest_window(graph); });
+  if (ops) ops->set_ready(false);
   if (!result) {
     std::fprintf(stderr,
                  "ccgraph: aggregation aborted (see flight record)\n");
@@ -739,6 +840,12 @@ int cmd_serve(const Args& args) {
         cmd.push_back(std::string("--") + key);
         cmd.push_back(*v);
       }
+    }
+    // A tracing aggregator wants the shards' spans too: workers buffer
+    // spans in memory (no file of their own — that would race the merged
+    // --trace-out) and ship them in telemetry frames.
+    if (args.get("trace-out") || args.get("trace-buffer")) {
+      cmd.push_back("--trace-buffer");
     }
   }
   std::vector<std::vector<char*>> worker_argvs;
@@ -1288,7 +1395,13 @@ int run_profiled(const std::string& command, const std::string& subcommand,
 /// the global registry, even when the command itself failed (a metrics
 /// file from a failed run is exactly what you want when diagnosing it).
 int export_metrics(const Args& args) {
-  const auto snapshot = ccg::obs::Registry::global().snapshot();
+  auto snapshot = ccg::obs::Registry::global().snapshot();
+  // Aggregators fold in the per-shard series shipped over telemetry, the
+  // same view the live /metrics endpoint serves.
+  if (ccg::obs::FleetRegistry::global().active()) {
+    snapshot = ccg::obs::merge_snapshots(
+        snapshot, ccg::obs::FleetRegistry::global().labeled_snapshot());
+  }
   if (const auto path = args.get("metrics-out")) {
     if (!ccg::obs::write_json_file(*path, snapshot)) {
       std::fprintf(stderr, "ccgraph: cannot write %s\n", path->c_str());
@@ -1325,7 +1438,7 @@ void configure_diagnostics(const Args& args) {
     ccg::obs::set_stderr_level(
         ccg::obs::parse_level(*level, ccg::obs::LogLevel::kWarn));
   }
-  if (args.get("trace-out")) {
+  if (args.get("trace-out") || args.get("trace-buffer")) {
     ccg::obs::TraceRing::global().enable(
         ccg::obs::default_trace_ring_capacity());
   }
@@ -1343,6 +1456,32 @@ void configure_diagnostics(const Args& args) {
     ccg::obs::Watchdog::global().start(
         std::chrono::milliseconds(watchdog_ms),
         flight_dir.empty() ? "." : flight_dir);
+  }
+
+  // SLO watcher: flag wins, then the CCG_SLO_* env twins.
+  const auto env_long = [](const char* name, long fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr && *v != '\0' ? std::atol(v) : fallback;
+  };
+  bool slo_watch = args.get("slo-watch").has_value();
+  if (!slo_watch) {
+    const char* env = std::getenv("CCG_SLO_WATCH");
+    slo_watch = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }
+  if (slo_watch) {
+    ccg::obs::SloOptions slo;
+    slo.interval_ms = static_cast<std::uint64_t>(std::max(
+        10L, args.get_long("slo-interval-ms",
+                           env_long("CCG_SLO_INTERVAL_MS", 1000))));
+    slo.window_lag_seconds =
+        static_cast<double>(std::max(
+            1L, args.get_long("slo-window-lag-ms",
+                              env_long("CCG_SLO_WINDOW_LAG_MS", 5000)))) *
+        1e-3;
+    slo.burn_intervals = static_cast<std::uint32_t>(std::max(
+        1L, args.get_long("slo-burn", env_long("CCG_SLO_BURN", 3))));
+    slo.flight_dir = flight_dir.empty() ? "." : flight_dir;
+    ccg::obs::SloWatcher::global().start(slo);
   }
 }
 
@@ -1382,6 +1521,7 @@ int main(int argc, char** argv) {
   try {
     const int rc = profiled ? run_profiled(command, subcommand, args)
                             : dispatch(command, subcommand, args);
+    ccg::obs::SloWatcher::global().stop();
     ccg::obs::Watchdog::global().stop();
     const int metrics_rc = export_metrics(args);
     const int trace_rc = export_trace(args);
@@ -1390,6 +1530,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ccgraph: %s\n", e.what());
     ccg::obs::log_error("ccgraph terminated by exception",
                         {ccg::obs::field("what", e.what())});
+    ccg::obs::SloWatcher::global().stop();
     ccg::obs::Watchdog::global().stop();
     export_metrics(args);  // best-effort evidence from the failed run
     export_trace(args);
